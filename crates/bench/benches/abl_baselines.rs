@@ -1,0 +1,47 @@
+//! Ablation: scheduler baselines. How much row locality does the FR-FCFS +
+//! open-page baseline already capture vs strict FCFS and closed-page, and
+//! what the lazy scheduler adds on top.
+
+use lazydram_bench::{mean, print_table, scale_from_env};
+use lazydram_common::{Arbiter, GpuConfig, RowPolicy, SchedConfig};
+use lazydram_workloads::{by_name, run_app};
+
+fn main() {
+    let scale = scale_from_env();
+    let cfg = GpuConfig::default();
+    let variants: Vec<(&str, SchedConfig)> = vec![
+        ("FCFS+open", SchedConfig { arbiter: Arbiter::Fcfs, ..SchedConfig::baseline() }),
+        ("FR-FCFS+closed", SchedConfig { row_policy: RowPolicy::Closed, ..SchedConfig::baseline() }),
+        ("FR-FCFS+open", SchedConfig::baseline()),
+        ("lazy (Dyn+Dyn)", SchedConfig::dyn_combo()),
+    ];
+    let mut rows = Vec::new();
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    for name in ["GEMM", "SCP", "CONS", "meanfilter", "MVT", "LPS"] {
+        let app = by_name(name).expect("app");
+        let base = run_app(&app, &cfg, &SchedConfig::baseline(), scale);
+        let base_acts = base.stats.dram.activations.max(1) as f64;
+        let mut cells = vec![name.to_string()];
+        for (i, (_, sched)) in variants.iter().enumerate() {
+            let r = run_app(&app, &cfg, sched, scale);
+            let v = r.stats.dram.activations as f64 / base_acts;
+            cols[i].push(v);
+            cells.push(format!("{v:.3}"));
+        }
+        rows.push(cells);
+    }
+    let mut mrow = vec!["MEAN".to_string()];
+    for c in &cols {
+        mrow.push(format!("{:.3}", mean(c)));
+    }
+    rows.push(mrow);
+    let header: Vec<String> = std::iter::once("app".into())
+        .chain(variants.iter().map(|(l, _)| l.to_string()))
+        .collect();
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table(
+        "Ablation: activations under scheduler baselines (normalized to FR-FCFS+open)",
+        &hdr,
+        &rows,
+    );
+}

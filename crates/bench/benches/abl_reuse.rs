@@ -1,0 +1,31 @@
+//! Ablation (paper footnote 2): the simple no-reuse VP model vs the advanced
+//! model that inserts approximated lines into L2 (error propagates through
+//! reuse).
+
+use lazydram_bench::{measure, measure_baseline, print_table, scale_from_env};
+use lazydram_common::{GpuConfig, SchedConfig};
+use lazydram_workloads::group;
+
+fn main() {
+    let scale = scale_from_env();
+    let cfg = GpuConfig::default();
+    let mut rows = Vec::new();
+    for app in [group(1), group(2), group(3)].concat() {
+        let (base, exact) = measure_baseline(&app, &cfg, scale);
+        let simple = measure(&app, &cfg, &SchedConfig::static_ams(), scale, "simple", &exact);
+        let adv_sched = SchedConfig { approx_reuse: true, ..SchedConfig::static_ams() };
+        let adv = measure(&app, &cfg, &adv_sched, scale, "reuse", &exact);
+        rows.push(vec![
+            app.name.to_string(),
+            format!("{:.3}", simple.activations as f64 / base.activations.max(1) as f64),
+            format!("{:.1}%", 100.0 * simple.app_error),
+            format!("{:.3}", adv.activations as f64 / base.activations.max(1) as f64),
+            format!("{:.1}%", 100.0 * adv.app_error),
+        ]);
+    }
+    print_table(
+        "Ablation (footnote 2): simple VP vs approx-reuse VP under Static-AMS",
+        &["app", "acts (simple)", "err (simple)", "acts (reuse)", "err (reuse)"],
+        &rows,
+    );
+}

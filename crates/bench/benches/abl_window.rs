@@ -1,0 +1,37 @@
+//! Ablation (paper footnote 1): the 4096-cycle profiling window of the
+//! dynamic schemes vs smaller and larger windows.
+
+use lazydram_bench::{measure, measure_baseline, print_table, scale_from_env};
+use lazydram_common::config::{DynAmsConfig, DynDmsConfig};
+use lazydram_common::{AmsMode, DmsMode, GpuConfig, SchedConfig};
+use lazydram_workloads::by_name;
+
+fn main() {
+    let scale = scale_from_env();
+    let cfg = GpuConfig::default();
+    let mut rows = Vec::new();
+    for name in ["SCP", "MVT", "3DCONV"] {
+        let app = by_name(name).expect("app");
+        let (base, exact) = measure_baseline(&app, &cfg, scale);
+        for window in [1024u32, 4096, 16384] {
+            let sched = SchedConfig {
+                dms: DmsMode::Dynamic(DynDmsConfig { window, ..DynDmsConfig::default() }),
+                ams: AmsMode::Dynamic(DynAmsConfig { window, ..DynAmsConfig::default() }),
+                ..SchedConfig::baseline()
+            };
+            let m = measure(&app, &cfg, &sched, scale, "win", &exact);
+            rows.push(vec![
+                name.to_string(),
+                window.to_string(),
+                format!("{:.3}", m.activations as f64 / base.activations.max(1) as f64),
+                format!("{:.3}", m.ipc / base.ipc.max(1e-9)),
+                format!("{:.1}%", 100.0 * m.coverage),
+            ]);
+        }
+    }
+    print_table(
+        "Ablation: Dyn-DMS+Dyn-AMS profiling-window size (paper: 4096)",
+        &["app", "window", "norm acts", "norm IPC", "coverage"],
+        &rows,
+    );
+}

@@ -1,0 +1,44 @@
+//! Figure 2: effect of the FR-FCFS pending-queue size on the number of row
+//! activations, normalized to the baseline size of 128.
+
+use lazydram_bench::{apps_from_env, mean, print_table, scale_from_env};
+use lazydram_common::{GpuConfig, SchedConfig};
+use lazydram_workloads::run_app;
+
+fn main() {
+    let scale = scale_from_env();
+    let apps = apps_from_env();
+    let sizes = [16usize, 32, 64, 128, 256];
+    let header: Vec<String> = std::iter::once("app".to_string())
+        .chain(sizes.iter().map(|s| format!("q={s}")))
+        .collect();
+    let mut rows = Vec::new();
+    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
+    for app in &apps {
+        let mut cells = vec![app.name.to_string()];
+        let mut acts = Vec::new();
+        for &q in &sizes {
+            let cfg = GpuConfig { pending_queue_size: q, ..GpuConfig::default() };
+            let r = run_app(app, &cfg, &SchedConfig::baseline(), scale);
+            acts.push(r.stats.dram.activations as f64);
+        }
+        let base = acts[3]; // q = 128
+        for (i, &a) in acts.iter().enumerate() {
+            let norm = a / base.max(1.0);
+            per_size[i].push(norm);
+            cells.push(format!("{norm:.3}"));
+        }
+        rows.push(cells);
+    }
+    let mut avg = vec!["MEAN".to_string()];
+    for v in &per_size {
+        avg.push(format!("{:.3}", mean(v)));
+    }
+    rows.push(avg);
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table(
+        "Figure 2: activations vs pending-queue size (normalized to 128)",
+        &hdr,
+        &rows,
+    );
+}

@@ -1,0 +1,49 @@
+//! Figure 4: effect of the DMS delay on (a) row activations and (b) IPC,
+//! both normalized to the no-delay baseline.
+
+use lazydram_bench::{apps_from_env, mean, measure, measure_baseline, print_table, scale_from_env};
+use lazydram_common::{DmsMode, GpuConfig, SchedConfig};
+
+fn main() {
+    let scale = scale_from_env();
+    let apps = apps_from_env();
+    let delays = [64u32, 128, 256, 512, 1024, 2048];
+    let cfg = GpuConfig::default();
+    let mut act_rows = Vec::new();
+    let mut ipc_rows = Vec::new();
+    let mut act_cols: Vec<Vec<f64>> = vec![Vec::new(); delays.len()];
+    let mut ipc_cols: Vec<Vec<f64>> = vec![Vec::new(); delays.len()];
+    for app in &apps {
+        let (base, exact) = measure_baseline(app, &cfg, scale);
+        let mut acts = vec![app.name.to_string()];
+        let mut ipcs = vec![app.name.to_string()];
+        for (i, &x) in delays.iter().enumerate() {
+            let sched = SchedConfig { dms: DmsMode::Static(x), ..SchedConfig::baseline() };
+            let m = measure(app, &cfg, &sched, scale, &format!("DMS({x})"), &exact);
+            let na = m.activations as f64 / base.activations.max(1) as f64;
+            let ni = m.ipc / base.ipc.max(1e-9);
+            act_cols[i].push(na);
+            ipc_cols[i].push(ni);
+            acts.push(format!("{na:.3}"));
+            ipcs.push(format!("{ni:.3}"));
+        }
+        act_rows.push(acts);
+        ipc_rows.push(ipcs);
+    }
+    let mut mrow = vec!["MEAN".to_string()];
+    for c in &act_cols {
+        mrow.push(format!("{:.3}", mean(c)));
+    }
+    act_rows.push(mrow);
+    let mut mrow = vec!["MEAN".to_string()];
+    for c in &ipc_cols {
+        mrow.push(format!("{:.3}", mean(c)));
+    }
+    ipc_rows.push(mrow);
+    let header: Vec<String> = std::iter::once("app".into())
+        .chain(delays.iter().map(|d| format!("DMS({d})")))
+        .collect();
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table("Figure 4(a): activations vs delay (normalized to baseline)", &hdr, &act_rows);
+    print_table("Figure 4(b): IPC vs delay (normalized to baseline)", &hdr, &ipc_rows);
+}

@@ -1,0 +1,36 @@
+//! Figure 5: distribution of row activations over RBL buckets as the DMS
+//! delay grows, for two applications.
+
+use lazydram_bench::{print_table, scale_from_env};
+use lazydram_common::{DmsMode, GpuConfig, SchedConfig};
+use lazydram_workloads::{by_name, run_app};
+
+fn main() {
+    let scale = scale_from_env();
+    let cfg = GpuConfig::default();
+    let buckets: [(u32, u32); 5] = [(1, 1), (2, 2), (3, 4), (5, 8), (9, u32::MAX - 1)];
+    for name in ["GEMM", "SCP"] {
+        let app = by_name(name).expect("app");
+        let mut rows = Vec::new();
+        for delay in [0u32, 128, 512, 2048] {
+            let sched = SchedConfig {
+                dms: if delay == 0 { DmsMode::Off } else { DmsMode::Static(delay) },
+                ..SchedConfig::baseline()
+            };
+            let r = run_app(&app, &cfg, &sched, scale);
+            let h = &r.stats.dram.rbl;
+            let total = h.activations().max(1) as f64;
+            let mut cells = vec![format!("delay={delay}")];
+            for &(lo, hi) in &buckets {
+                cells.push(format!("{:.1}%", 100.0 * h.count_range(lo, hi) as f64 / total));
+            }
+            cells.push(format!("{}", h.activations()));
+            rows.push(cells);
+        }
+        print_table(
+            &format!("Figure 5 ({name}): activation share per RBL bucket vs delay"),
+            &["delay", "RBL(1)", "RBL(2)", "RBL(3-4)", "RBL(5-8)", "RBL(9+)", "total acts"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Figure 6: cumulative distribution of row activations over requests sorted
+//! by the RBL of their activation (read-only rows), for GEMM and 3MM.
+
+use lazydram_bench::scale_from_env;
+use lazydram_common::{GpuConfig, SchedConfig};
+use lazydram_workloads::{by_name, run_app};
+
+fn main() {
+    let scale = scale_from_env();
+    let cfg = GpuConfig::default();
+    for name in ["GEMM", "3MM"] {
+        let app = by_name(name).expect("app");
+        let r = run_app(&app, &cfg, &SchedConfig::baseline(), scale);
+        let d = &r.stats.dram;
+        let all_req = d.served();
+        let all_act = d.activations;
+        println!("\n=== Figure 6 ({name}): cumulative activations vs requests (by RBL) ===");
+        println!("total requests {all_req}, total activations {all_act}, read-only activations {}",
+                 d.rbl_read_only.activations());
+        println!("{:>6} {:>10} {:>10}", "RBL", "req-cum%", "act-cum%");
+        for (x, y, rbl) in d.rbl_read_only.cumulative_curve(all_req, all_act) {
+            println!("{:>6} {:>9.2}% {:>9.2}%", rbl, 100.0 * x, 100.0 * y);
+        }
+    }
+}

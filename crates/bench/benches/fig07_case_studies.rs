@@ -1,0 +1,50 @@
+//! Figure 7: how AMS helps DMS — LPS (delay-insensitive activations) and
+//! SCP (performance-limited delay) case studies.
+
+use lazydram_bench::{measure, measure_baseline, print_table, scale_from_env};
+use lazydram_common::{AmsMode, DmsMode, GpuConfig, SchedConfig};
+use lazydram_workloads::by_name;
+
+fn main() {
+    let scale = scale_from_env();
+    let cfg = GpuConfig::default();
+    for (name, cases) in [
+        (
+            "LPS",
+            vec![
+                ("DMS(256)", DmsMode::Static(256), AmsMode::Off),
+                ("DMS(512)", DmsMode::Static(512), AmsMode::Off),
+                ("AMS(8)", DmsMode::Off, AmsMode::Static(8)),
+            ],
+        ),
+        (
+            "SCP",
+            vec![
+                ("DMS(128)", DmsMode::Static(128), AmsMode::Off),
+                ("DMS(256)", DmsMode::Static(256), AmsMode::Off),
+                ("AMS(8)", DmsMode::Off, AmsMode::Static(8)),
+                ("DMS(256)+AMS(8)", DmsMode::Static(256), AmsMode::Static(8)),
+            ],
+        ),
+    ] {
+        let app = by_name(name).expect("app");
+        let (base, exact) = measure_baseline(&app, &cfg, scale);
+        let mut rows = Vec::new();
+        for (label, dms, ams) in cases {
+            let sched = SchedConfig { dms, ams, ..SchedConfig::baseline() };
+            let m = measure(&app, &cfg, &sched, scale, label, &exact);
+            rows.push(vec![
+                label.to_string(),
+                format!("{:.3}", m.activations as f64 / base.activations.max(1) as f64),
+                format!("{:.3}", m.ipc / base.ipc.max(1e-9)),
+                format!("{:.1}%", 100.0 * m.coverage),
+                format!("{:.1}%", 100.0 * m.app_error),
+            ]);
+        }
+        print_table(
+            &format!("Figure 7 ({name}): AMS helps DMS"),
+            &["scheme", "norm acts", "norm IPC", "coverage", "app error"],
+            &rows,
+        );
+    }
+}

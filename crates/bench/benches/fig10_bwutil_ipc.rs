@@ -1,0 +1,54 @@
+//! Figure 10: IPC and DRAM bandwidth utilization are linearly correlated —
+//! the observation Dyn-DMS relies on to profile performance locally at the
+//! memory controller.
+
+use lazydram_bench::{apps_from_env, bw_util, print_table, scale_from_env};
+use lazydram_common::{DmsMode, GpuConfig, SchedConfig};
+use lazydram_workloads::run_app;
+
+fn main() {
+    let scale = scale_from_env();
+    let apps = apps_from_env();
+    let cfg = GpuConfig::default();
+    let mut rows = Vec::new();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for app in &apps {
+        for delay in [0u32, 256, 1024] {
+            let sched = SchedConfig {
+                dms: if delay == 0 { DmsMode::Off } else { DmsMode::Static(delay) },
+                ..SchedConfig::baseline()
+            };
+            let r = run_app(app, &cfg, &sched, scale);
+            let bw = bw_util(&r.stats, cfg.num_channels);
+            rows.push(vec![
+                app.name.to_string(),
+                delay.to_string(),
+                format!("{:.4}", bw),
+                format!("{:.3}", r.stats.ipc()),
+            ]);
+            xs.push(bw);
+            ys.push(r.stats.ipc());
+        }
+    }
+    print_table(
+        "Figure 10: BWUTIL vs IPC samples (baseline + two delays per app)",
+        &["app", "delay", "BWUTIL", "IPC"],
+        &rows,
+    );
+    // Per-app correlation of (BWUTIL, IPC) across the three delays.
+    let mut corrs = Vec::new();
+    for chunk in xs.chunks(3).zip(ys.chunks(3)) {
+        let (cx, cy) = chunk;
+        let mx = cx.iter().sum::<f64>() / 3.0;
+        let my = cy.iter().sum::<f64>() / 3.0;
+        let cov: f64 = cx.iter().zip(cy).map(|(a, b)| (a - mx) * (b - my)).sum();
+        let vx: f64 = cx.iter().map(|a| (a - mx).powi(2)).sum();
+        let vy: f64 = cy.iter().map(|b| (b - my).powi(2)).sum();
+        if vx > 1e-12 && vy > 1e-12 {
+            corrs.push(cov / (vx.sqrt() * vy.sqrt()));
+        }
+    }
+    let avg = corrs.iter().sum::<f64>() / corrs.len().max(1) as f64;
+    println!("\nmean per-app Pearson correlation of BWUTIL and IPC: {avg:.3} (paper: linear)");
+}

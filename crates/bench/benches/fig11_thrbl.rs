@@ -1,0 +1,38 @@
+//! Figure 11: effect of reducing Th_RBL on SCP — lower thresholds focus the
+//! limited coverage on the lowest-RBL rows and remove more activations.
+
+use lazydram_bench::{measure, measure_baseline, print_table, scale_from_env};
+use lazydram_common::{AmsMode, GpuConfig, SchedConfig};
+use lazydram_workloads::by_name;
+
+fn main() {
+    let scale = scale_from_env();
+    let cfg = GpuConfig::default();
+    let app = by_name("SCP").expect("app");
+    let (base, exact) = measure_baseline(&app, &cfg, scale);
+    let mut rows = Vec::new();
+    for th in [8u32, 4, 2, 1] {
+        let sched = SchedConfig { ams: AmsMode::Static(th), ..SchedConfig::baseline() };
+        let m = measure(&app, &cfg, &sched, scale, &format!("AMS({th})"), &exact);
+        rows.push(vec![
+            format!("AMS({th})"),
+            format!("{:.3}", m.activations as f64 / base.activations.max(1) as f64),
+            format!("{:.1}%", 100.0 * m.coverage),
+            format!("{:.1}%", 100.0 * m.app_error),
+        ]);
+    }
+    print_table(
+        "Figure 11 (SCP): normalized activations vs Th_RBL",
+        &["scheme", "norm acts", "coverage", "app error"],
+        &rows,
+    );
+    // The request-share of each RBL bucket at baseline, explaining why the
+    // best threshold sits where it does (Figure 11(b)).
+    let h = &base.stats.dram.rbl;
+    let total = h.requests().max(1) as f64;
+    println!("\nbaseline request share by activation RBL:");
+    for (lo, hi, label) in [(1, 1, "RBL(1)"), (2, 8, "RBL(2-8)"), (9, u32::MAX - 1, "RBL(9+)")] {
+        let req: u64 = (lo..=hi.min(h.max_rbl())).map(|k| k as u64 * h.count(k)).sum();
+        println!("  {label:>9}: {:.1}%", 100.0 * req as f64 / total);
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 13: effect of the pending-queue size on activations when the
+//! maximum delay DMS(2048) is applied (normalized to the no-delay baseline
+//! at queue size 128).
+
+use lazydram_bench::{apps_from_env, mean, print_table, scale_from_env};
+use lazydram_common::{DmsMode, GpuConfig, SchedConfig};
+use lazydram_workloads::run_app;
+
+fn main() {
+    let scale = scale_from_env();
+    let apps = apps_from_env();
+    let sizes = [32usize, 64, 128, 256];
+    let mut rows = Vec::new();
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
+    for app in &apps {
+        let base = run_app(app, &GpuConfig::default(), &SchedConfig::baseline(), scale);
+        let base_acts = base.stats.dram.activations.max(1) as f64;
+        let mut cells = vec![app.name.to_string()];
+        for (i, &q) in sizes.iter().enumerate() {
+            let cfg = GpuConfig { pending_queue_size: q, ..GpuConfig::default() };
+            let sched = SchedConfig { dms: DmsMode::Static(2048), ..SchedConfig::baseline() };
+            let r = run_app(app, &cfg, &sched, scale);
+            let norm = r.stats.dram.activations as f64 / base_acts;
+            cols[i].push(norm);
+            cells.push(format!("{norm:.3}"));
+        }
+        rows.push(cells);
+    }
+    let mut mrow = vec!["MEAN".to_string()];
+    for c in &cols {
+        mrow.push(format!("{:.3}", mean(c)));
+    }
+    rows.push(mrow);
+    let header: Vec<String> = std::iter::once("app".into())
+        .chain(sizes.iter().map(|s| format!("q={s}")))
+        .collect();
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table(
+        "Figure 13: activations under DMS(2048) vs queue size (normalized to baseline)",
+        &hdr,
+        &rows,
+    );
+}

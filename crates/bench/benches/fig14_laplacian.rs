@@ -1,0 +1,41 @@
+//! Figure 14: visual output-quality comparison for `laplacian` — writes the
+//! exact and the approximated (Dyn-DMS + Dyn-AMS) output images as PGM
+//! files and reports the application error.
+
+use lazydram_bench::scale_from_env;
+use lazydram_common::{GpuConfig, SchedConfig};
+use lazydram_gpu::application_error;
+use lazydram_workloads::{by_name, exact_output, run_app};
+
+fn write_pgm(path: &str, pixels: &[f32], w: usize) -> std::io::Result<()> {
+    use std::io::Write;
+    let h = pixels.len() / w;
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "P5\n{w} {h}\n255")?;
+    let bytes: Vec<u8> = pixels
+        .iter()
+        .map(|&v| (v.clamp(0.0, 1.0) * 255.0) as u8)
+        .collect();
+    f.write_all(&bytes)
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let cfg = GpuConfig::default();
+    let app = by_name("laplacian").expect("app");
+    // Width must match the app's scaled geometry: rebuild one launch to ask.
+    let exact = exact_output(&app, scale);
+    let lazy = run_app(&app, &cfg, &SchedConfig::dyn_combo(), scale);
+    let err = application_error(&exact, &lazy.output);
+    // The image is square at any scale (w == h in the builder).
+    let w = (exact.len() as f64).sqrt().round() as usize;
+    let dir = std::env::var("LAZYDRAM_OUT").unwrap_or_else(|_| "target".into());
+    let exact_path = format!("{dir}/fig14_laplacian_exact.pgm");
+    let approx_path = format!("{dir}/fig14_laplacian_approx.pgm");
+    write_pgm(&exact_path, &exact, w).expect("write exact image");
+    write_pgm(&approx_path, &lazy.output, w).expect("write approx image");
+    println!("=== Figure 14 (laplacian): output quality under Dyn-DMS+Dyn-AMS ===");
+    println!("application error: {:.1}%  coverage: {:.1}%", 100.0 * err,
+             100.0 * lazy.stats.dram.coverage());
+    println!("images written: {exact_path} (exact), {approx_path} (approximated)");
+}

@@ -1,0 +1,46 @@
+//! Figure 15: delay-only mode for the low-error-tolerance applications
+//! (Group 4): normalized row energy and IPC under Static-DMS and Dyn-DMS.
+
+use lazydram_bench::{mean, measure, measure_baseline, print_table, scale_from_env};
+use lazydram_common::{GpuConfig, SchedConfig};
+use lazydram_workloads::group;
+
+fn main() {
+    let scale = scale_from_env();
+    let cfg = GpuConfig::default();
+    let schemes = [
+        ("Static-DMS", SchedConfig::static_dms()),
+        ("Dyn-DMS", SchedConfig::dyn_dms()),
+    ];
+    let mut e_rows = Vec::new();
+    let mut i_rows = Vec::new();
+    let mut e_cols: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    let mut i_cols: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for app in group(4) {
+        let (base, exact) = measure_baseline(&app, &cfg, scale);
+        let mut er = vec![app.name.to_string()];
+        let mut ir = vec![app.name.to_string()];
+        for (i, (label, sched)) in schemes.iter().enumerate() {
+            let m = measure(&app, &cfg, sched, scale, label, &exact);
+            let ne = m.row_energy_pj / base.row_energy_pj.max(1e-9);
+            let ni = m.ipc / base.ipc.max(1e-9);
+            e_cols[i].push(ne);
+            i_cols[i].push(ni);
+            er.push(format!("{ne:.3}"));
+            ir.push(format!("{ni:.3}"));
+        }
+        e_rows.push(er);
+        i_rows.push(ir);
+    }
+    for (rows, cols) in [(&mut e_rows, &e_cols), (&mut i_rows, &i_cols)] {
+        let mut mrow = vec!["MEAN".to_string()];
+        for c in cols.iter() {
+            mrow.push(format!("{:.3}", mean(c)));
+        }
+        rows.push(mrow);
+    }
+    print_table("Figure 15(a): Group-4 normalized row energy (delay-only)",
+                &["app", "Static-DMS", "Dyn-DMS"], &e_rows);
+    print_table("Figure 15(b): Group-4 normalized IPC (delay-only)",
+                &["app", "Static-DMS", "Dyn-DMS"], &i_rows);
+}

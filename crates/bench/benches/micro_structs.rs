@@ -1,0 +1,134 @@
+//! Criterion micro-benchmarks for the hot data structures: pending-queue
+//! operations, FR-FCFS candidate selection, DRAM channel commands, cache
+//! lookups, and the address map.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lazydram_common::{AccessKind, AddressMap, GpuConfig, MemSpace, Request, RequestId, SchedConfig};
+use lazydram_core::{MemoryController, PendingQueue};
+use lazydram_dram::Channel;
+use lazydram_gpu::Cache;
+
+fn mkreq(map: &AddressMap, id: u64) -> Request {
+    let addr = map.line_of(id.wrapping_mul(0x9E37_79B9) % (1 << 30));
+    Request {
+        id: RequestId(id),
+        addr,
+        loc: map.decompose(addr),
+        kind: AccessKind::Read,
+        space: MemSpace::Global,
+        approximable: true,
+        arrival: 0,
+    }
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let cfg = GpuConfig::default();
+    let map = AddressMap::new(&cfg);
+    c.bench_function("queue_push_remove_128", |b| {
+        b.iter(|| {
+            let mut q = PendingQueue::new(128, 16, 4);
+            for i in 0..128u64 {
+                q.push(mkreq(&map, i)).unwrap();
+            }
+            for i in 0..128u64 {
+                black_box(q.remove(RequestId(i)));
+            }
+        })
+    });
+    c.bench_function("queue_visible_rbl", |b| {
+        let mut q = PendingQueue::new(128, 16, 4);
+        for i in 0..128u64 {
+            q.push(mkreq(&map, i)).unwrap();
+        }
+        b.iter(|| black_box(q.visible_rbl(3, 7)))
+    });
+}
+
+fn bench_controller_tick(c: &mut Criterion) {
+    let cfg = GpuConfig::default();
+    let map = AddressMap::new(&cfg);
+    c.bench_function("controller_tick_loaded", |b| {
+        let mut mc = MemoryController::new(&cfg, &SchedConfig::baseline());
+        let mut next = 0u64;
+        for _ in 0..96 {
+            next += 1;
+            let _ = mc.enqueue(mkreq(&map, next));
+        }
+        b.iter(|| {
+            if mc.pending_len() < 64 {
+                for _ in 0..32 {
+                    next += 1;
+                    let _ = mc.enqueue(mkreq(&map, next));
+                }
+            }
+            black_box(mc.tick())
+        })
+    });
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let cfg = GpuConfig::default();
+    c.bench_function("channel_act_cas_pre", |b| {
+        b.iter(|| {
+            let mut ch = Channel::new(&cfg);
+            let mut t = 0u64;
+            for row in 0..8u32 {
+                while !ch.can_activate(0, t) {
+                    t += 1;
+                }
+                ch.activate(0, row, t);
+                while !ch.can_cas(0, AccessKind::Read, t) {
+                    t += 1;
+                }
+                ch.cas(0, AccessKind::Read, true, t);
+                while !ch.can_precharge(0, t) {
+                    t += 1;
+                }
+                ch.precharge(0, t);
+            }
+            black_box(ch.stats().activations)
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("l2_access_fill", |b| {
+        let mut l2 = Cache::new(128 * 1024, 8, 128);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37).wrapping_mul(31) % (1 << 24);
+            let a = i * 128;
+            if l2.access(a, false) == lazydram_gpu::AccessResult::Miss {
+                l2.fill(a, false);
+            }
+        })
+    });
+    c.bench_function("l2_nearest_resident", |b| {
+        let mut l2 = Cache::new(128 * 1024, 8, 128);
+        for i in 0..512u64 {
+            l2.fill(i * 37 * 128, false);
+        }
+        b.iter(|| black_box(l2.nearest_resident(12_345_600, 4)))
+    });
+}
+
+fn bench_addr(c: &mut Criterion) {
+    let map = AddressMap::new(&GpuConfig::default());
+    c.bench_function("addr_decompose", |b| {
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(4096);
+            black_box(map.decompose(a))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_queue,
+    bench_controller_tick,
+    bench_channel,
+    bench_cache,
+    bench_addr
+);
+criterion_main!(benches);

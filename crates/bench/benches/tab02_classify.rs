@@ -1,0 +1,93 @@
+//! Tables II-III: measured feature classification of every application —
+//! thrashing level, delay tolerance (MTD), activation sensitivity, Th_RBL
+//! sensitivity, and error tolerance, with the paper's thresholds.
+
+use lazydram_bench::{measure, measure_baseline, print_table, scale_from_env, apps_from_env};
+use lazydram_common::{AmsMode, DmsMode, GpuConfig, SchedConfig};
+
+fn class(x: f64, lo: f64, hi: f64) -> &'static str {
+    if x < lo {
+        "Low"
+    } else if x < hi {
+        "Medium"
+    } else {
+        "High"
+    }
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let cfg = GpuConfig::default();
+    let mut rows = Vec::new();
+    for app in apps_from_env() {
+        let (base, exact) = measure_baseline(&app, &cfg, scale);
+
+        // Thrashing level: % of requests in rows with RBL(1-8).
+        let h = &base.stats.dram.rbl;
+        let req18: u64 = (1..=8).map(|k| k as u64 * h.count(k)).sum();
+        let thrash = 100.0 * req18 as f64 / h.requests().max(1) as f64;
+
+        // Delay tolerance: MTD = largest tested delay with ≤ 5 % IPC loss.
+        let mut mtd = 0u32;
+        for d in [128u32, 256, 512, 1024, 2048] {
+            let sched = SchedConfig { dms: DmsMode::Static(d), ..SchedConfig::baseline() };
+            let m = measure(&app, &cfg, &sched, scale, "mtd", &exact);
+            if m.ipc >= 0.95 * base.ipc {
+                mtd = d;
+            } else {
+                break;
+            }
+        }
+        // Activation sensitivity: reduction at DMS(2048).
+        let m2048 = measure(
+            &app,
+            &cfg,
+            &SchedConfig { dms: DmsMode::Static(2048), ..SchedConfig::baseline() },
+            scale,
+            "d2048",
+            &exact,
+        );
+        let act_sens =
+            100.0 * (1.0 - m2048.activations as f64 / base.activations.max(1) as f64);
+
+        // Th_RBL sensitivity: extra reduction of the best Th vs AMS(8).
+        let mut best_acts = u64::MAX;
+        let mut acts8 = u64::MAX;
+        for th in [8u32, 4, 2, 1] {
+            let sched = SchedConfig { ams: AmsMode::Static(th), ..SchedConfig::baseline() };
+            let m = measure(&app, &cfg, &sched, scale, "th", &exact);
+            if th == 8 {
+                acts8 = m.activations;
+            }
+            best_acts = best_acts.min(m.activations);
+        }
+        let th_sens = 100.0 * (acts8.saturating_sub(best_acts)) as f64
+            / base.activations.max(1) as f64;
+
+        // Error tolerance: error at 10 % coverage (Static-AMS).
+        let mams = measure(&app, &cfg, &SchedConfig::static_ams(), scale, "ams", &exact);
+        let err = 100.0 * mams.app_error;
+        let err_class = if err >= 20.0 {
+            "Low"
+        } else if err >= 5.0 {
+            "Medium"
+        } else {
+            "High"
+        };
+
+        rows.push(vec![
+            app.name.to_string(),
+            format!("g{}", app.group),
+            format!("{thrash:.0}% {}", class(thrash, 3.0, 10.0)),
+            format!("{mtd} {}", class(f64::from(mtd), 256.0, 1024.0)),
+            format!("{act_sens:.0}% {}", class(act_sens, 10.0, 20.0)),
+            format!("{th_sens:.0}% {}", if th_sens < 5.0 { "Low" } else { "High" }),
+            format!("{err:.0}% {err_class} (cov {:.0}%)", 100.0 * mams.coverage),
+        ]);
+    }
+    print_table(
+        "Tables II-III: measured application features (value + class, paper thresholds)",
+        &["app", "grp", "thrashing", "MTD/delay-tol", "act-sens", "ThRBL-sens", "err-tol@10%"],
+        &rows,
+    );
+}

@@ -1,0 +1,29 @@
+//! DMS diagnosis: activations vs delay for one app, multiple queue sizes.
+use lazydram_common::{DmsMode, GpuConfig, SchedConfig};
+use lazydram_workloads::{by_name, run_app};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).cloned().unwrap_or("LPS".into());
+    let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let app = by_name(&name).expect("app");
+    for qsize in [128usize, 512] {
+        let cfg = GpuConfig { pending_queue_size: qsize, ..GpuConfig::default() };
+        for delay in [0u32, 64, 128, 256, 512, 1024] {
+            let sched = SchedConfig {
+                dms: if delay == 0 { DmsMode::Off } else { DmsMode::Static(delay) },
+                ..SchedConfig::baseline()
+            };
+            let r = run_app(&app, &cfg, &sched, scale);
+            println!(
+                "{name} q={qsize} DMS({delay:>4}): acts={:>8} ipc={:>6.3} rbl={:>5.2} hits={:>7} misses={:>7} cycles={}",
+                r.stats.dram.activations,
+                r.stats.ipc(),
+                r.stats.dram.avg_rbl(),
+                r.stats.dram.row_hits,
+                r.stats.dram.row_misses,
+                r.stats.core_cycles,
+            );
+        }
+    }
+}

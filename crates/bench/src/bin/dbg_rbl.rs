@@ -1,0 +1,32 @@
+//! Prints the baseline RBL histogram skew (Figure 6 precursor) per app.
+use lazydram_common::{GpuConfig, SchedConfig};
+use lazydram_workloads::{all_apps, by_name, run_app};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let apps = if args.len() > 2 {
+        args[2..].iter().map(|n| by_name(n).expect("app")).collect()
+    } else {
+        all_apps()
+    };
+    let cfg = GpuConfig::default();
+    println!("{:>12} {:>8} {:>7} | req% in RBL(1-2) -> act% | req% RBL(1-8) -> act%", "app", "acts", "avgRBL");
+    for app in apps {
+        let r = run_app(&app, &cfg, &SchedConfig::baseline(), scale);
+        let h = &r.stats.dram.rbl;
+        let tot_req = h.requests().max(1);
+        let tot_act = h.activations().max(1);
+        let req12: u64 = (1..=2).map(|k| k as u64 * h.count(k)).sum();
+        let act12 = h.count_range(1, 2);
+        let req18: u64 = (1..=8).map(|k| k as u64 * h.count(k)).sum();
+        let act18 = h.count_range(1, 8);
+        println!(
+            "{:>12} {:>8} {:>7.2} |  {:>5.1}% -> {:>5.1}%  |  {:>5.1}% -> {:>5.1}%   (ro-acts {:>5.1}%)",
+            app.name, tot_act, h.avg_rbl(),
+            100.0 * req12 as f64 / tot_req as f64, 100.0 * act12 as f64 / tot_act as f64,
+            100.0 * req18 as f64 / tot_req as f64, 100.0 * act18 as f64 / tot_act as f64,
+            100.0 * r.stats.dram.rbl_read_only.activations() as f64 / tot_act as f64,
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Compares all paper schemes on a handful of apps (quick sanity harness).
+
+use lazydram_bench::{measure, measure_baseline, pct};
+use lazydram_common::{GpuConfig, SchedConfig};
+use lazydram_workloads::by_name;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let names: Vec<String> = if args.len() > 2 { args[2..].to_vec() } else { vec!["CONS".into()] };
+    let cfg = GpuConfig::default();
+    for name in names {
+        let app = by_name(&name).expect("known app");
+        let t0 = Instant::now();
+        let (base, exact) = measure_baseline(&app, &cfg, scale);
+        println!("\n{name}: baseline acts={} ipc={:.3} avgRBL={:.2} ({:?})",
+                 base.activations, base.ipc, base.avg_rbl, t0.elapsed());
+        for (label, sched) in SchedConfig::paper_schemes() {
+            let t = Instant::now();
+            let m = measure(&app, &cfg, &sched, scale, label, &exact);
+            println!(
+                "  {label:>22}: acts {:>8} ({:>6}) ipc {:>6.3} ({:>6}) cov {:>5} err {:>6} avgRBL {:>5.2} [{:?}]",
+                m.activations,
+                pct(m.activations as f64 / base.activations as f64),
+                m.ipc,
+                pct(m.ipc / base.ipc),
+                pct(m.coverage),
+                pct(m.app_error),
+                m.avg_rbl,
+                t.elapsed(),
+            );
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Quick calibration binary: times one app per program shape at a given
+//! scale and prints the key statistics, so bench scales can be tuned.
+
+use lazydram_common::{GpuConfig, SchedConfig};
+use lazydram_workloads::by_name;
+use lazydram_bench::measure_baseline;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let names: Vec<String> = if args.len() > 2 {
+        args[2..].to_vec()
+    } else {
+        vec!["CONS".into(), "GEMM".into(), "MVT".into(), "SCP".into(), "LPS".into(), "RAY".into()]
+    };
+    let cfg = GpuConfig::default();
+    println!("scale = {scale}");
+    for name in names {
+        let app = by_name(&name).expect("known app");
+        let t0 = Instant::now();
+        let (m, _) = measure_baseline(&app, &cfg, scale);
+        let dt = t0.elapsed();
+        println!(
+            "{:>12}: {:>7.2?}  cycles={:>9} ipc={:>6.2} acts={:>8} avgRBL={:>5.2} reads={:>8} writes={:>8} l2miss={:>8} trunc={}",
+            name, dt, m.stats.core_cycles, m.ipc, m.activations, m.avg_rbl,
+            m.stats.dram.reads, m.stats.dram.writes, m.stats.l2_misses, m.truncated
+        );
+        let _ = SchedConfig::baseline();
+    }
+}

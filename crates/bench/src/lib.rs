@@ -1,0 +1,195 @@
+//! Shared harness utilities for the figure/table benchmarks.
+//!
+//! Each `benches/figNN_*.rs` target (built with `harness = false`) prints the
+//! rows/series of one table or figure of the paper. This library holds the
+//! common machinery: running an app under a scheme, collecting the metrics
+//! the paper reports, and formatting aligned tables.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use lazydram_common::{GpuConfig, SchedConfig, SimStats};
+use lazydram_energy::{EnergyModel, MemoryTech};
+use lazydram_gpu::{application_error, SimLimits};
+use lazydram_workloads::{exact_output, run_app_limited, AppSpec};
+
+/// Default work scale for the benchmark harnesses. Chosen so the whole
+/// evaluation runs on a laptop in minutes while every app still issues
+/// 10⁴–10⁵ DRAM requests.
+pub const BENCH_SCALE: f64 = 1.0;
+
+/// Work scale for harness runs: `LAZYDRAM_SCALE` env var or [`BENCH_SCALE`].
+pub fn scale_from_env() -> f64 {
+    std::env::var("LAZYDRAM_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(BENCH_SCALE)
+}
+
+/// The application list for a harness run: all 20, or the comma-separated
+/// names in `LAZYDRAM_APPS`.
+pub fn apps_from_env() -> Vec<lazydram_workloads::AppSpec> {
+    match std::env::var("LAZYDRAM_APPS") {
+        Ok(list) if !list.trim().is_empty() => list
+            .split(',')
+            .map(|n| {
+                lazydram_workloads::by_name(n.trim())
+                    .unwrap_or_else(|| panic!("unknown app {n:?} in LAZYDRAM_APPS"))
+            })
+            .collect(),
+        _ => lazydram_workloads::all_apps(),
+    }
+}
+
+/// Aggregate DRAM data-bus utilization of a run: busy cycles across all
+/// channels over `channels × elapsed memory cycles`.
+pub fn bw_util(stats: &SimStats, channels: usize) -> f64 {
+    let cycles = stats.dram.mem_cycles.max(1) * channels as u64;
+    stats.dram.bus_busy_cycles as f64 / cycles as f64
+}
+
+/// All metrics the paper reports for one (app, scheme) run.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Measurement {
+    /// Application name.
+    pub app: String,
+    /// Scheme label (e.g. `"Dyn-DMS+Dyn-AMS"`).
+    pub scheme: String,
+    /// Raw statistics.
+    pub stats: SimStats,
+    /// Instructions per core cycle.
+    pub ipc: f64,
+    /// Row activations.
+    pub activations: u64,
+    /// Average row-buffer locality (served requests / activations).
+    pub avg_rbl: f64,
+    /// Achieved prediction coverage.
+    pub coverage: f64,
+    /// Application error vs. the exact output (0 when no approximation).
+    pub app_error: f64,
+    /// GDDR5 row energy, pJ.
+    pub row_energy_pj: f64,
+    /// `true` if the run hit the safety cycle limit.
+    pub truncated: bool,
+}
+
+/// Runs one app under one scheme and collects every reported metric.
+///
+/// `exact` is the functional reference output (compute it once per app with
+/// [`lazydram_workloads::exact_output`] and share it across schemes).
+pub fn measure(
+    app: &AppSpec,
+    cfg: &GpuConfig,
+    sched: &SchedConfig,
+    scale: f64,
+    scheme_label: &str,
+    exact: &[f32],
+) -> Measurement {
+    let run = run_app_limited(app, cfg, sched, scale, SimLimits::default());
+    let energy = EnergyModel::new(MemoryTech::Gddr5);
+    let row_energy_pj = energy.breakdown(&run.stats.dram).row_energy_pj;
+    Measurement {
+        app: app.name.to_string(),
+        scheme: scheme_label.to_string(),
+        ipc: run.stats.ipc(),
+        activations: run.stats.dram.activations,
+        avg_rbl: run.stats.dram.avg_rbl(),
+        coverage: run.stats.dram.coverage(),
+        app_error: application_error(exact, &run.output),
+        row_energy_pj,
+        truncated: run.hit_cycle_limit,
+        stats: run.stats,
+    }
+}
+
+/// Convenience: the baseline measurement plus its exact output.
+pub fn measure_baseline(app: &AppSpec, cfg: &GpuConfig, scale: f64) -> (Measurement, Vec<f32>) {
+    let exact = exact_output(app, scale);
+    let m = measure(app, cfg, &SchedConfig::baseline(), scale, "baseline", &exact);
+    (m, exact)
+}
+
+/// Geometric-mean helper (the paper reports means across applications).
+///
+/// # Panics
+///
+/// Panics if any value is non-positive.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(values.iter().all(|&v| v > 0.0), "geomean needs positive values");
+    if values.is_empty() {
+        return 1.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Prints an aligned table: a header row and rows of cells.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a ratio as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Serializes measurements to pretty JSON (for downstream plotting).
+///
+/// # Panics
+///
+/// Panics if serialization fails (statically impossible for these types).
+pub fn to_json(measurements: &[Measurement]) -> String {
+    serde_json::to_string_pretty(measurements).expect("measurements serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_and_mean() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.443), "44.3%");
+    }
+}

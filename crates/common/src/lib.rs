@@ -1,0 +1,38 @@
+//! Shared foundation types for the `lazydram` simulator.
+//!
+//! This crate holds everything that more than one subsystem needs:
+//!
+//! * [`config`] — the simulated-GPU configuration (Table I of the paper) and the
+//!   scheduler-policy configuration (DMS/AMS modes and their knobs),
+//! * [`addr`] — the global-address ⇄ DRAM-location mapping (channel, bank group,
+//!   bank, row, column) with 256-byte channel interleaving,
+//! * [`stats`] — row-buffer-locality histograms and aggregate simulation
+//!   statistics shared by the DRAM model, the scheduler and the harnesses,
+//! * [`req`] — the memory-request representation exchanged between the GPU
+//!   substrate, the memory controller and the DRAM model.
+//!
+//! # Example
+//!
+//! ```
+//! use lazydram_common::addr::AddressMap;
+//! use lazydram_common::config::GpuConfig;
+//!
+//! let map = AddressMap::new(&GpuConfig::default());
+//! let loc = map.decompose(0x1_2345_6780);
+//! assert_eq!(map.compose(loc), 0x1_2345_6780 & !(map.line_bytes() as u64 - 1));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod addr;
+pub mod config;
+pub mod fasthash;
+pub mod req;
+pub mod stats;
+
+pub use addr::{AddressMap, Location};
+pub use fasthash::{FastMap, FastSet};
+pub use config::{AmsMode, Arbiter, DmsMode, DramTimings, GpuConfig, RowPolicy, SchedConfig};
+pub use req::{AccessKind, MemSpace, Request, RequestId};
+pub use stats::{DramStats, RblHistogram, SimStats};

@@ -1,0 +1,57 @@
+//! The **lazy memory scheduler** — the paper's primary contribution.
+//!
+//! A GPU memory controller built on FR-FCFS with a 128-entry re-order pending
+//! queue and two cooperating relaxations of the baseline's "aggressive and
+//! strict" scheduling:
+//!
+//! * **Delayed memory scheduling** ([`DmsUnit`]) trades request latency for
+//!   row-buffer locality: new rows open only once the oldest pending request
+//!   has aged past a (static or dynamically profiled) threshold, so more
+//!   same-row requests accumulate and are co-scheduled back-to-back.
+//! * **Approximate memory scheduling** ([`AmsUnit`]) trades output quality for
+//!   row energy: pending rows with low *visible RBL* that contain only
+//!   annotated global reads are dropped from the queue and their values are
+//!   approximated by a value predictor on the way back to the cores.
+//!
+//! [`MemoryController`] integrates both units with the FR-FCFS scheduler and
+//! the [`lazydram_dram::Channel`] timing model.
+//!
+//! # Example
+//!
+//! ```
+//! use lazydram_common::{AccessKind, AddressMap, GpuConfig, MemSpace, Request, RequestId, SchedConfig};
+//! use lazydram_core::MemoryController;
+//!
+//! let cfg = GpuConfig::default();
+//! let map = AddressMap::new(&cfg);
+//! let mut mc = MemoryController::new(&cfg, &SchedConfig::baseline());
+//! let addr = 0x4000;
+//! mc.enqueue(Request {
+//!     id: RequestId(1),
+//!     addr: map.line_of(addr),
+//!     loc: map.decompose(addr),
+//!     kind: AccessKind::Read,
+//!     space: MemSpace::Global,
+//!     approximable: false,
+//!     arrival: 0,
+//! })?;
+//! let mut responses = Vec::new();
+//! while !mc.is_idle() {
+//!     responses.extend(mc.tick());
+//! }
+//! assert_eq!(responses.len(), 1);
+//! # Ok::<(), lazydram_core::QueueFull>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod ams;
+mod controller;
+mod dms;
+mod queue;
+
+pub use ams::{AmsDecline, AmsUnit};
+pub use controller::{MemoryController, Response};
+pub use dms::DmsUnit;
+pub use queue::{PendingQueue, QueueFull};

@@ -1,0 +1,331 @@
+//! The FR-FCFS re-order pending request queue (indexed implementation).
+//!
+//! Requests are stored once, keyed by id, with three light-weight orderings:
+//!
+//! * a global arrival (FCFS) order — for "the oldest request" (DMS gate),
+//! * a per-bank FIFO — for the oldest request of each bank (row management),
+//! * a per-(bank, row) FIFO + counters — for row-hit selection, *visible
+//!   RBL* and AMS's all-global-reads safety check, all in O(1).
+//!
+//! Orderings hold (seq, id) pairs and are cleaned lazily: entries whose id
+//! is no longer live are discarded when they reach a front. This keeps every
+//! scheduler query O(banks) instead of O(queue length), which is what makes
+//! whole-suite simulation tractable.
+
+use lazydram_common::{FastMap, Request, RequestId};
+use std::collections::VecDeque;
+
+/// Error returned when enqueueing into a full pending queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("pending queue is full")
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct RowStat {
+    count: u32,
+    global_reads: u32,
+}
+
+/// Bounded FCFS-ordered pending queue of one memory controller.
+#[derive(Debug, Clone)]
+pub struct PendingQueue {
+    capacity: usize,
+    banks_per_group: usize,
+    next_seq: u64,
+    /// Live requests with their arrival sequence number.
+    reqs: FastMap<RequestId, (u64, Request)>,
+    /// Global FCFS order (lazily cleaned).
+    arrival: VecDeque<(u64, RequestId)>,
+    /// Per-flat-bank FCFS order (lazily cleaned).
+    bank_fifo: Vec<VecDeque<(u64, RequestId)>>,
+    /// Per-(bank, row) FCFS order (lazily cleaned).
+    row_fifo: FastMap<(usize, u32), VecDeque<(u64, RequestId)>>,
+    /// Per-(bank, row) live counts.
+    row_stats: FastMap<(usize, u32), RowStat>,
+}
+
+impl PendingQueue {
+    /// Creates an empty queue with the given capacity, for a channel with
+    /// `banks` banks grouped in `banks_per_group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `banks` is zero.
+    pub fn new(capacity: usize, banks: usize, banks_per_group: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        assert!(banks > 0, "need at least one bank");
+        Self {
+            capacity,
+            banks_per_group,
+            next_seq: 0,
+            reqs: FastMap::default(),
+            arrival: VecDeque::with_capacity(capacity),
+            bank_fifo: vec![VecDeque::new(); banks],
+            row_fifo: FastMap::default(),
+            row_stats: FastMap::default(),
+        }
+    }
+
+    /// Maximum number of pending requests.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of pending requests.
+    pub fn len(&self) -> usize {
+        self.reqs.len()
+    }
+
+    /// `true` when no requests are pending.
+    pub fn is_empty(&self) -> bool {
+        self.reqs.is_empty()
+    }
+
+    /// `true` when the queue cannot accept another request.
+    pub fn is_full(&self) -> bool {
+        self.reqs.len() >= self.capacity
+    }
+
+    fn flat_bank(&self, req: &Request) -> usize {
+        req.loc.flat_bank(self.banks_per_group)
+    }
+
+    /// Appends a request in FCFS order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] when the queue is at capacity; the caller must
+    /// apply backpressure (the request stays in the interconnect).
+    pub fn push(&mut self, req: Request) -> Result<(), QueueFull> {
+        if self.is_full() {
+            return Err(QueueFull);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let bank = self.flat_bank(&req);
+        let row = req.loc.row;
+        self.arrival.push_back((seq, req.id));
+        self.bank_fifo[bank].push_back((seq, req.id));
+        self.row_fifo.entry((bank, row)).or_default().push_back((seq, req.id));
+        let stat = self.row_stats.entry((bank, row)).or_default();
+        stat.count += 1;
+        if req.is_global_read() {
+            stat.global_reads += 1;
+        }
+        self.reqs.insert(req.id, (seq, req));
+        Ok(())
+    }
+
+    fn clean_front(live: &FastMap<RequestId, (u64, Request)>, q: &mut VecDeque<(u64, RequestId)>) {
+        while let Some(&(seq, id)) = q.front() {
+            match live.get(&id) {
+                Some(&(s, _)) if s == seq => return,
+                _ => {
+                    q.pop_front();
+                }
+            }
+        }
+    }
+
+    /// The oldest pending request, if any.
+    pub fn oldest(&mut self) -> Option<&Request> {
+        Self::clean_front(&self.reqs, &mut self.arrival);
+        let &(_, id) = self.arrival.front()?;
+        self.reqs.get(&id).map(|(_, r)| r)
+    }
+
+    /// The oldest pending request destined to `bank`, with its sequence
+    /// number.
+    pub fn oldest_for_bank(&mut self, bank: usize) -> Option<(u64, &Request)> {
+        Self::clean_front(&self.reqs, &mut self.bank_fifo[bank]);
+        let &(seq, id) = self.bank_fifo[bank].front()?;
+        self.reqs.get(&id).map(|(_, r)| (seq, r))
+    }
+
+    /// The oldest pending request destined to `(bank, row)`, with its
+    /// sequence number.
+    pub fn oldest_for_row(&mut self, bank: usize, row: u32) -> Option<(u64, &Request)> {
+        let q = self.row_fifo.get_mut(&(bank, row))?;
+        Self::clean_front(&self.reqs, q);
+        let &(seq, id) = q.front()?;
+        self.reqs.get(&id).map(|(_, r)| (seq, r))
+    }
+
+    /// Removes and returns the request with `id`.
+    pub fn remove(&mut self, id: RequestId) -> Option<Request> {
+        let (_, req) = self.reqs.remove(&id)?;
+        let bank = self.flat_bank(&req);
+        let key = (bank, req.loc.row);
+        if let Some(stat) = self.row_stats.get_mut(&key) {
+            stat.count -= 1;
+            if req.is_global_read() {
+                stat.global_reads -= 1;
+            }
+            if stat.count == 0 {
+                self.row_stats.remove(&key);
+                self.row_fifo.remove(&key);
+            }
+        }
+        Some(req)
+    }
+
+    /// Visible RBL of a row: how many pending requests target `(bank, row)`.
+    pub fn visible_rbl(&self, bank: usize, row: u32) -> u32 {
+        self.row_stats.get(&(bank, row)).map_or(0, |s| s.count)
+    }
+
+    /// `true` when every pending request destined to `(bank, row)` is a
+    /// global read (AMS safety criterion). Vacuously true for empty rows.
+    pub fn row_is_all_global_reads(&self, bank: usize, row: u32) -> bool {
+        self.row_stats
+            .get(&(bank, row))
+            .map_or(true, |s| s.count == s.global_reads)
+    }
+
+    /// `true` when at least one pending request targets `(bank, row)`.
+    pub fn any_for_row(&self, bank: usize, row: u32) -> bool {
+        self.visible_rbl(bank, row) > 0
+    }
+
+    /// Iterates live requests in FCFS (oldest-first) order. O(n); intended
+    /// for tests and statistics, not the per-cycle scheduler path.
+    pub fn iter(&self) -> impl Iterator<Item = &Request> {
+        self.arrival
+            .iter()
+            .filter_map(move |&(seq, id)| match self.reqs.get(&id) {
+                Some(&(s, ref r)) if s == seq => Some(r),
+                _ => None,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazydram_common::{AccessKind, Location, MemSpace};
+
+    fn req(id: u64, bank_in_group: u16, row: u32, kind: AccessKind) -> Request {
+        Request {
+            id: RequestId(id),
+            addr: id * 128,
+            loc: Location {
+                channel: 0,
+                bank_group: 0,
+                bank_in_group,
+                row,
+                col: 0,
+            },
+            kind,
+            space: MemSpace::Global,
+            approximable: true,
+            arrival: id,
+        }
+    }
+
+    fn q() -> PendingQueue {
+        PendingQueue::new(128, 16, 4)
+    }
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let mut q = PendingQueue::new(2, 16, 4);
+        assert!(q.is_empty());
+        q.push(req(1, 0, 0, AccessKind::Read)).unwrap();
+        q.push(req(2, 0, 0, AccessKind::Read)).unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.push(req(3, 0, 0, AccessKind::Read)), Err(QueueFull));
+        assert_eq!(q.oldest().unwrap().id, RequestId(1));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn remove_keeps_order_consistent() {
+        let mut q = q();
+        for i in 1..=4 {
+            q.push(req(i, 0, 0, AccessKind::Read)).unwrap();
+        }
+        assert!(q.remove(RequestId(2)).is_some());
+        assert!(q.remove(RequestId(99)).is_none());
+        let ids: Vec<u64> = q.iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, vec![1, 3, 4]);
+        // Remove the front; oldest must lazily advance.
+        q.remove(RequestId(1));
+        assert_eq!(q.oldest().unwrap().id, RequestId(3));
+    }
+
+    #[test]
+    fn per_bank_and_per_row_fronts() {
+        let mut q = q();
+        q.push(req(1, 0, 6, AccessKind::Read)).unwrap();
+        q.push(req(2, 0, 5, AccessKind::Read)).unwrap();
+        q.push(req(3, 0, 5, AccessKind::Read)).unwrap();
+        q.push(req(4, 1, 5, AccessKind::Read)).unwrap(); // flat bank 1
+        assert_eq!(q.oldest_for_bank(0).unwrap().1.id, RequestId(1));
+        assert_eq!(q.oldest_for_bank(1).unwrap().1.id, RequestId(4));
+        assert!(q.oldest_for_bank(2).is_none());
+        assert_eq!(q.oldest_for_row(0, 5).unwrap().1.id, RequestId(2));
+        assert!(q.oldest_for_row(0, 9).is_none());
+        // Sequence numbers order correctly across banks.
+        let s0 = q.oldest_for_bank(0).unwrap().0;
+        let s1 = q.oldest_for_bank(1).unwrap().0;
+        assert!(s0 < s1);
+    }
+
+    #[test]
+    fn visible_rbl_counts_and_updates_on_remove() {
+        let mut q = q();
+        q.push(req(1, 0, 5, AccessKind::Read)).unwrap();
+        q.push(req(2, 0, 5, AccessKind::Read)).unwrap();
+        q.push(req(3, 0, 6, AccessKind::Read)).unwrap();
+        assert_eq!(q.visible_rbl(0, 5), 2);
+        assert_eq!(q.visible_rbl(0, 6), 1);
+        assert_eq!(q.visible_rbl(3, 5), 0);
+        q.remove(RequestId(1));
+        assert_eq!(q.visible_rbl(0, 5), 1);
+        q.remove(RequestId(2));
+        assert_eq!(q.visible_rbl(0, 5), 0);
+        assert!(!q.any_for_row(0, 5));
+        assert!(q.any_for_row(0, 6));
+    }
+
+    #[test]
+    fn all_global_reads_tracks_mix() {
+        let mut q = q();
+        q.push(req(1, 0, 5, AccessKind::Read)).unwrap();
+        assert!(q.row_is_all_global_reads(0, 5));
+        q.push(req(2, 0, 5, AccessKind::Write)).unwrap();
+        assert!(!q.row_is_all_global_reads(0, 5));
+        q.remove(RequestId(2));
+        assert!(q.row_is_all_global_reads(0, 5));
+        assert!(q.row_is_all_global_reads(0, 99), "vacuous for empty rows");
+    }
+
+    #[test]
+    fn lazy_cleaning_survives_heavy_churn() {
+        let mut q = q();
+        for round in 0..50u64 {
+            for i in 0..10u64 {
+                q.push(req(round * 10 + i + 1, (i % 4) as u16, (i % 3) as u32, AccessKind::Read))
+                    .unwrap();
+            }
+            for i in 0..10u64 {
+                assert!(q.remove(RequestId(round * 10 + i + 1)).is_some());
+            }
+            assert!(q.is_empty());
+            assert!(q.oldest().is_none());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = PendingQueue::new(0, 16, 4);
+    }
+}

@@ -1,0 +1,144 @@
+//! Model-based property test: the indexed pending queue must behave exactly
+//! like a naive reference implementation under arbitrary push/remove
+//! interleavings.
+
+use lazydram_common::{AccessKind, Location, MemSpace, Request, RequestId};
+use lazydram_core::PendingQueue;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push { bank: u8, row: u8, write: bool },
+    RemoveOldest,
+    RemoveOldestForBank { bank: u8 },
+    RemoveOldestForRow { bank: u8, row: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..16, 0u8..6, any::<bool>()).prop_map(|(bank, row, write)| Op::Push { bank, row, write }),
+        Just(Op::RemoveOldest),
+        (0u8..16).prop_map(|bank| Op::RemoveOldestForBank { bank }),
+        (0u8..16, 0u8..6).prop_map(|(bank, row)| Op::RemoveOldestForRow { bank, row }),
+    ]
+}
+
+fn mk(id: u64, bank: u8, row: u8, write: bool) -> Request {
+    Request {
+        id: RequestId(id),
+        addr: id * 128,
+        loc: Location {
+            channel: 0,
+            bank_group: (bank % 4) as u16,
+            bank_in_group: (bank / 4) as u16,
+            row: u32::from(row),
+            col: 0,
+        },
+        kind: if write { AccessKind::Write } else { AccessKind::Read },
+        space: MemSpace::Global,
+        approximable: true,
+        arrival: id,
+    }
+}
+
+/// Naive reference: FCFS Vec.
+#[derive(Default)]
+struct Model {
+    items: Vec<Request>,
+}
+
+impl Model {
+    fn flat(r: &Request) -> usize {
+        r.loc.flat_bank(4)
+    }
+    fn oldest(&self) -> Option<&Request> {
+        self.items.first()
+    }
+    fn oldest_for_bank(&self, bank: usize) -> Option<&Request> {
+        self.items.iter().find(|r| Self::flat(r) == bank)
+    }
+    fn oldest_for_row(&self, bank: usize, row: u32) -> Option<&Request> {
+        self.items
+            .iter()
+            .find(|r| Self::flat(r) == bank && r.loc.row == row)
+    }
+    fn visible_rbl(&self, bank: usize, row: u32) -> u32 {
+        self.items
+            .iter()
+            .filter(|r| Self::flat(r) == bank && r.loc.row == row)
+            .count() as u32
+    }
+    fn all_reads(&self, bank: usize, row: u32) -> bool {
+        self.items
+            .iter()
+            .filter(|r| Self::flat(r) == bank && r.loc.row == row)
+            .all(|r| r.is_global_read())
+    }
+    fn remove(&mut self, id: RequestId) -> Option<Request> {
+        let pos = self.items.iter().position(|r| r.id == id)?;
+        Some(self.items.remove(pos))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn indexed_queue_matches_reference(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut q = PendingQueue::new(256, 16, 4);
+        let mut m = Model::default();
+        let mut next_id = 0u64;
+        for op in ops {
+            match op {
+                Op::Push { bank, row, write } => {
+                    next_id += 1;
+                    let r = mk(next_id, bank, row, write);
+                    if !q.is_full() {
+                        q.push(r).unwrap();
+                        m.items.push(r);
+                    }
+                }
+                Op::RemoveOldest => {
+                    let expect = m.oldest().map(|r| r.id);
+                    let got = q.oldest().map(|r| r.id);
+                    prop_assert_eq!(got, expect, "oldest mismatch");
+                    if let Some(id) = expect {
+                        prop_assert!(q.remove(id).is_some());
+                        m.remove(id);
+                    }
+                }
+                Op::RemoveOldestForBank { bank } => {
+                    let bank = bank as usize;
+                    let expect = m.oldest_for_bank(bank).map(|r| r.id);
+                    let got = q.oldest_for_bank(bank).map(|(_, r)| r.id);
+                    prop_assert_eq!(got, expect, "oldest_for_bank mismatch");
+                    if let Some(id) = expect {
+                        q.remove(id);
+                        m.remove(id);
+                    }
+                }
+                Op::RemoveOldestForRow { bank, row } => {
+                    let (bank, row) = (bank as usize, u32::from(row));
+                    let expect = m.oldest_for_row(bank, row).map(|r| r.id);
+                    let got = q.oldest_for_row(bank, row).map(|(_, r)| r.id);
+                    prop_assert_eq!(got, expect, "oldest_for_row mismatch");
+                    if let Some(id) = expect {
+                        q.remove(id);
+                        m.remove(id);
+                    }
+                }
+            }
+            // Cross-check aggregate views after every step.
+            prop_assert_eq!(q.len(), m.items.len());
+            for bank in 0..16usize {
+                for row in 0..6u32 {
+                    prop_assert_eq!(q.visible_rbl(bank, row), m.visible_rbl(bank, row));
+                    prop_assert_eq!(q.row_is_all_global_reads(bank, row), m.all_reads(bank, row));
+                }
+            }
+        }
+        // Final FCFS iteration order must match.
+        let got: Vec<u64> = q.iter().map(|r| r.id.0).collect();
+        let expect: Vec<u64> = m.items.iter().map(|r| r.id.0).collect();
+        prop_assert_eq!(got, expect);
+    }
+}

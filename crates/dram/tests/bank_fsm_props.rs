@@ -1,0 +1,81 @@
+//! Property tests of the bank FSM: guarded random walks always terminate in
+//! legal states and preserve RBL accounting.
+
+use lazydram_common::{AccessKind, DramTimings, GpuConfig};
+use lazydram_dram::{Bank, BankState, Channel};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bank_counts_served_requests_exactly(
+        rows in prop::collection::vec((0u32..8, 1u8..6), 1..30)
+    ) {
+        let t = DramTimings::default();
+        let mut b = Bank::new();
+        let mut now = 0u64;
+        for (row, serves) in rows {
+            while !b.can_activate(now) {
+                now += 1;
+            }
+            b.activate(row, now, &t);
+            for _ in 0..serves {
+                while !b.can_cas(now) {
+                    now += 1;
+                }
+                b.cas(AccessKind::Read, true, now, &t);
+                now += 2;
+            }
+            prop_assert_eq!(b.activation().unwrap().served, u32::from(serves));
+            while !b.can_precharge(now) {
+                now += 1;
+            }
+            let rec = b.precharge(now, &t);
+            prop_assert_eq!(rec.served, u32::from(serves));
+            prop_assert_eq!(rec.row, row);
+            prop_assert_eq!(b.state(), BankState::Closed);
+        }
+    }
+
+    #[test]
+    fn channel_histogram_requests_match_cas_count(
+        plan in prop::collection::vec((0u8..16, 0u32..4, 1u8..5), 1..40)
+    ) {
+        let cfg = GpuConfig::default();
+        let mut ch = Channel::new(&cfg);
+        let mut now = 0u64;
+        let mut cas_issued = 0u64;
+        for (bank, row, serves) in plan {
+            let bank = bank as usize;
+            // Close the bank's current row if it differs.
+            if let Some(open) = ch.open_row(bank) {
+                if open != row {
+                    while !ch.can_precharge(bank, now) {
+                        now += 1;
+                    }
+                    ch.precharge(bank, now);
+                    now += 1;
+                }
+            }
+            if ch.open_row(bank).is_none() {
+                while !ch.can_activate(bank, now) {
+                    now += 1;
+                }
+                ch.activate(bank, row, now);
+                now += 1;
+            }
+            for _ in 0..serves {
+                while !ch.can_cas(bank, AccessKind::Read, now) {
+                    now += 1;
+                }
+                ch.cas(bank, AccessKind::Read, true, now);
+                cas_issued += 1;
+                now += 1;
+            }
+        }
+        ch.drain();
+        let st = ch.stats();
+        prop_assert_eq!(st.rbl.requests(), cas_issued);
+        prop_assert_eq!(st.rbl.activations(), st.activations);
+        prop_assert_eq!(st.row_hits + st.row_misses, cas_issued);
+    }
+}

@@ -1,0 +1,178 @@
+//! The kernel and warp-program abstraction.
+//!
+//! A [`Kernel`] describes a launch: how many warps run, how each warp behaves
+//! (as a [`WarpProgram`] state machine), which data is annotated approximable
+//! (the paper's `pragma pred_var`), and where the output lives. Warp programs
+//! are *execution-driven*: they issue real addresses and consume the real
+//! (or approximated) values the memory system returns, so application error
+//! under AMS is measured, not assumed.
+
+use crate::memimg::MemoryImage;
+
+
+/// One operation issued by a warp.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WarpOp {
+    /// `n` single-cycle ALU warp instructions.
+    Compute(u32),
+    /// A global load: one address per active lane (≤ 32 entries). The warp
+    /// blocks until all covered cache lines arrive; the loaded values are
+    /// passed to the next [`WarpProgram::next`] call in lane order.
+    Load(Vec<u64>),
+    /// A global store: `(address, value)` per active lane. The warp does not
+    /// wait for completion (write-through, fire-and-forget).
+    Store(Vec<(u64, f32)>),
+    /// The warp has retired.
+    Finished,
+}
+
+/// The per-warp state machine of a kernel.
+pub trait WarpProgram {
+    /// Produces the warp's next operation.
+    ///
+    /// `loaded` holds the values of the most recent [`WarpOp::Load`] in lane
+    /// order (empty on the first call and after non-load operations).
+    fn next(&mut self, loaded: &[f32]) -> WarpOp;
+}
+
+/// A GPU kernel launch.
+pub trait Kernel {
+    /// Short workload name (e.g. `"GEMM"`).
+    fn name(&self) -> &str;
+
+    /// Allocates and initializes the kernel's arrays in the memory image.
+    /// Called exactly once before simulation.
+    fn setup(&mut self, mem: &mut MemoryImage);
+
+    /// Total number of warps in the launch.
+    fn total_warps(&self) -> usize;
+
+    /// Builds the program for warp `warp_id` (0-based, `< total_warps`).
+    fn program(&self, warp_id: usize) -> Box<dyn WarpProgram>;
+
+    /// `pragma pred_var`: is the datum at `addr` annotated error-tolerant?
+    /// The AMS unit may only approximate loads from annotated regions.
+    fn approximable(&self, addr: u64) -> bool;
+
+    /// Reads the kernel output (for application-error measurement).
+    fn output(&self, mem: &MemoryImage) -> Vec<f32>;
+}
+
+/// Mean relative error between a baseline output and an approximated output,
+/// the paper's *application error* metric (Section II-D).
+///
+/// Per-element relative error is truncated at 100 % (as in the RFVP line of
+/// work the paper builds on) so a single near-zero baseline element cannot
+/// dominate the average; elements whose baseline is (near) zero contribute
+/// the capped absolute difference instead.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn application_error(exact: &[f32], approx: &[f32]) -> f64 {
+    assert_eq!(exact.len(), approx.len(), "output shapes differ");
+    if exact.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for (&e, &a) in exact.iter().zip(approx) {
+        let diff = f64::from((e - a).abs());
+        let denom = f64::from(e.abs());
+        let rel = if denom > 1e-6 { diff / denom } else { diff };
+        total += rel.min(1.0);
+    }
+    total / exact.len() as f64
+}
+
+/// Splits `n` work items across warps of `lanes` threads: returns the item
+/// index range `[lo, hi)` covered by `warp_id`'s lane `lane`.
+/// A convenience used by many warp programs.
+pub fn lane_item(warp_id: usize, lane: usize, lanes: usize) -> usize {
+    warp_id * lanes + lane
+}
+
+/// Executes a kernel *functionally* — no timing, no caches, every load exact —
+/// and returns its output and final memory image.
+///
+/// This is the reference executor: it runs every warp program to completion,
+/// one warp at a time, serving loads straight from the image. Use it to
+/// obtain the exact baseline output cheaply (the timed simulator produces the
+/// same values when no approximation is enabled) and to unit-test warp
+/// programs.
+///
+/// # Panics
+///
+/// Panics if a warp program runs for more than 100 million operations
+/// (a runaway state machine).
+pub fn run_functional(kernel: &mut dyn Kernel) -> (Vec<f32>, MemoryImage) {
+    let mut image = MemoryImage::new();
+    kernel.setup(&mut image);
+    for w in 0..kernel.total_warps() {
+        let mut prog = kernel.program(w);
+        let mut loaded: Vec<f32> = Vec::new();
+        let mut ops = 0u64;
+        loop {
+            ops += 1;
+            assert!(ops < 100_000_000, "runaway warp program in {}", kernel.name());
+            match prog.next(&loaded) {
+                WarpOp::Compute(_) => loaded.clear(),
+                WarpOp::Load(addrs) => {
+                    loaded = addrs.iter().map(|&a| image.read_f32(a)).collect();
+                }
+                WarpOp::Store(writes) => {
+                    for (a, v) in writes {
+                        image.write_f32(a, v);
+                    }
+                    loaded.clear();
+                }
+                WarpOp::Finished => break,
+            }
+        }
+    }
+    (kernel.output(&image), image)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn application_error_zero_for_identical() {
+        let x = vec![1.0, -2.0, 3.0];
+        assert_eq!(application_error(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn application_error_relative() {
+        let e = vec![2.0, 4.0];
+        let a = vec![1.0, 4.0];
+        // |2-1|/2 = 0.5 averaged with 0 → 0.25
+        assert!((application_error(&e, &a) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn application_error_near_zero_baseline_uses_absolute() {
+        let e = vec![0.0];
+        let a = vec![0.5];
+        assert!((application_error(&e, &a) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn application_error_empty_is_zero() {
+        assert_eq!(application_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "output shapes differ")]
+    fn application_error_shape_mismatch_panics() {
+        let _ = application_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn lane_item_is_dense() {
+        assert_eq!(lane_item(0, 0, 32), 0);
+        assert_eq!(lane_item(0, 31, 32), 31);
+        assert_eq!(lane_item(1, 0, 32), 32);
+        assert_eq!(lane_item(2, 5, 32), 69);
+    }
+}

@@ -1,0 +1,146 @@
+//! The functional memory image.
+//!
+//! The simulator separates *timing* from *function*: caches and DRAM model
+//! when data moves, while one flat, coherent [`MemoryImage`] holds the actual
+//! `f32` values. This is exactly sufficient for the paper's machinery — the
+//! value predictor approximates a dropped line with the contents of the
+//! nearest-address line *resident in L2*, whose exact values we serve from
+//! the image keyed by the L2 tag array.
+//!
+//! All data is `f32` and 4-byte aligned; a 128-byte line holds
+//! [`WORDS_PER_LINE`] words.
+
+use lazydram_common::FastMap;
+
+/// `f32` words per 128-byte cache line.
+pub const WORDS_PER_LINE: usize = 32;
+
+/// Byte size of a line in the image (fixed at the baseline's 128 B).
+pub const LINE_BYTES: u64 = 128;
+
+/// Flat sparse memory of `f32` words, organized in 128-byte lines.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryImage {
+    lines: FastMap<u64, Box<[f32; WORDS_PER_LINE]>>,
+    /// Bump allocator cursor for [`MemoryImage::alloc`].
+    next: u64,
+}
+
+impl MemoryImage {
+    /// Creates an empty image; allocations start at a non-zero base so that
+    /// stray zero addresses stand out.
+    pub fn new() -> Self {
+        Self {
+            lines: FastMap::default(),
+            next: 0x10_0000,
+        }
+    }
+
+    /// Allocates a line-aligned region of `words` `f32`s and returns its base
+    /// byte address. Regions are laid out contiguously in allocation order,
+    /// mirroring how the benchmark suites place their arrays.
+    pub fn alloc(&mut self, words: usize) -> u64 {
+        let base = self.next;
+        let bytes = (words as u64 * 4).div_ceil(LINE_BYTES) * LINE_BYTES;
+        self.next += bytes;
+        base
+    }
+
+    /// Reads the `f32` at byte address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 4-byte aligned.
+    pub fn read_f32(&self, addr: u64) -> f32 {
+        assert!(addr % 4 == 0, "unaligned f32 read at {addr:#x}");
+        let line = addr & !(LINE_BYTES - 1);
+        let idx = ((addr % LINE_BYTES) / 4) as usize;
+        self.lines.get(&line).map_or(0.0, |l| l[idx])
+    }
+
+    /// Writes the `f32` at byte address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 4-byte aligned.
+    pub fn write_f32(&mut self, addr: u64, value: f32) {
+        assert!(addr % 4 == 0, "unaligned f32 write at {addr:#x}");
+        let line = addr & !(LINE_BYTES - 1);
+        let idx = ((addr % LINE_BYTES) / 4) as usize;
+        self.lines.entry(line).or_insert_with(|| Box::new([0.0; WORDS_PER_LINE]))[idx] = value;
+    }
+
+    /// Returns the 32 words of the line containing `addr` (zeroes if the
+    /// line was never written).
+    pub fn read_line(&self, addr: u64) -> [f32; WORDS_PER_LINE] {
+        let line = addr & !(LINE_BYTES - 1);
+        self.lines.get(&line).map_or([0.0; WORDS_PER_LINE], |l| **l)
+    }
+
+    /// Convenience: reads `n` consecutive `f32`s starting at `base`.
+    pub fn read_slice(&self, base: u64, n: usize) -> Vec<f32> {
+        (0..n).map(|i| self.read_f32(base + i as u64 * 4)).collect()
+    }
+
+    /// Convenience: writes a slice of `f32`s starting at `base`.
+    pub fn write_slice(&mut self, base: u64, data: &[f32]) {
+        for (i, &v) in data.iter().enumerate() {
+            self.write_f32(base + i as u64 * 4, v);
+        }
+    }
+
+    /// Number of lines materialized in the image.
+    pub fn resident_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_of_untouched_memory_is_zero() {
+        let m = MemoryImage::new();
+        assert_eq!(m.read_f32(0x10_0000), 0.0);
+        assert_eq!(m.read_line(0x10_0000), [0.0; 32]);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut m = MemoryImage::new();
+        m.write_f32(0x10_0004, 3.5);
+        assert_eq!(m.read_f32(0x10_0004), 3.5);
+        assert_eq!(m.read_f32(0x10_0000), 0.0);
+        let line = m.read_line(0x10_0004);
+        assert_eq!(line[1], 3.5);
+    }
+
+    #[test]
+    fn alloc_is_line_aligned_and_contiguous() {
+        let mut m = MemoryImage::new();
+        let a = m.alloc(10); // 40 B → 1 line
+        let b = m.alloc(33); // 132 B → 2 lines
+        let c = m.alloc(1);
+        assert_eq!(a % 128, 0);
+        assert_eq!(b, a + 128);
+        assert_eq!(c, b + 256);
+    }
+
+    #[test]
+    fn slice_helpers_roundtrip() {
+        let mut m = MemoryImage::new();
+        let base = m.alloc(100);
+        let data: Vec<f32> = (0..100).map(|i| i as f32 * 0.5).collect();
+        m.write_slice(base, &data);
+        assert_eq!(m.read_slice(base, 100), data);
+        assert!(m.resident_lines() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_read_panics() {
+        let m = MemoryImage::new();
+        let _ = m.read_f32(0x10_0001);
+    }
+}

@@ -1,0 +1,312 @@
+//! The top-level execution-driven simulator.
+//!
+//! [`Simulator::run`] wires 30 SMs, a request/reply crossbar, 6 L2 slices and
+//! 6 lazy memory controllers together, runs a [`Kernel`] to completion (or a
+//! cycle limit), and returns per-run statistics plus the kernel output for
+//! application-error measurement.
+//!
+//! The master loop runs in *core* cycles (1400 MHz); a fractional accumulator
+//! ticks the memory side at the 924 / 1400 clock ratio, so every DRAM timing
+//! parameter and every DMS/AMS window is honored in memory cycles exactly as
+//! in the paper.
+
+use crate::kernel::Kernel;
+use crate::memimg::MemoryImage;
+use crate::noc::DelayQueue;
+use crate::slice::Slice;
+use crate::trace::Trace;
+use crate::sm::{Reply, Sm, SmCtx, SliceReq};
+use lazydram_common::{AddressMap, GpuConfig, SchedConfig, SimStats};
+use lazydram_core::MemoryController;
+
+/// Safety limits for one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimLimits {
+    /// Hard cap on core cycles (guards against livelock in experiments).
+    pub max_core_cycles: u64,
+}
+
+impl Default for SimLimits {
+    fn default() -> Self {
+        Self {
+            max_core_cycles: 50_000_000,
+        }
+    }
+}
+
+/// The result of one kernel run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Aggregated statistics.
+    pub stats: SimStats,
+    /// Kernel output (for application-error comparison across runs).
+    pub output: Vec<f32>,
+    /// `true` when the run hit [`SimLimits::max_core_cycles`] before the
+    /// kernel finished; statistics are still meaningful but partial.
+    pub hit_cycle_limit: bool,
+    /// The DRAM request trace, when capture was enabled
+    /// ([`Simulator::with_trace_capture`]). Entries are in per-controller
+    /// arrival order, merged across channels by cycle.
+    pub trace: Option<Trace>,
+}
+
+/// One configured GPU simulation.
+pub struct Simulator {
+    cfg: GpuConfig,
+    sched: SchedConfig,
+    limits: SimLimits,
+    capture_trace: bool,
+}
+
+impl Simulator {
+    /// Creates a simulator for a GPU configuration and scheduling policy.
+    pub fn new(cfg: GpuConfig, sched: SchedConfig) -> Self {
+        Self {
+            cfg,
+            sched,
+            limits: SimLimits::default(),
+            capture_trace: false,
+        }
+    }
+
+    /// Overrides the default safety limits.
+    pub fn with_limits(mut self, limits: SimLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Enables DRAM request-trace capture; the trace lands in
+    /// [`RunResult::trace`] and can be replayed with [`Trace::replay`].
+    pub fn with_trace_capture(mut self, capture: bool) -> Self {
+        self.capture_trace = capture;
+        self
+    }
+
+    /// Runs `kernel` to completion and returns statistics plus output.
+    pub fn run(&self, kernel: &mut dyn Kernel) -> RunResult {
+        let mut image = MemoryImage::new();
+        let mut stats = SimStats::new();
+        let mut trace = self.capture_trace.then(Trace::new);
+        let hit = self.run_launch(kernel, &mut image, &mut stats, &mut trace);
+        RunResult {
+            output: kernel.output(&image),
+            stats,
+            hit_cycle_limit: hit,
+            trace,
+        }
+    }
+
+    /// Runs several dependent kernel launches back to back on one shared
+    /// memory image (e.g. the two matrix products of `2MM`), accumulating
+    /// statistics. The returned output is the **last** launch's output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernels` is empty.
+    pub fn run_sequence(&self, kernels: &mut [Box<dyn Kernel>]) -> RunResult {
+        assert!(!kernels.is_empty(), "run_sequence needs at least one launch");
+        let mut image = MemoryImage::new();
+        let mut stats = SimStats::new();
+        let mut trace = self.capture_trace.then(Trace::new);
+        let mut hit = false;
+        for kernel in kernels.iter_mut() {
+            hit |= self.run_launch(kernel.as_mut(), &mut image, &mut stats, &mut trace);
+        }
+        RunResult {
+            output: kernels.last().expect("non-empty").output(&image),
+            stats,
+            hit_cycle_limit: hit,
+            trace,
+        }
+    }
+
+    /// Runs one launch on a shared image, folding statistics into `total`.
+    /// Returns `true` when the cycle limit was hit.
+    fn run_launch(
+        &self,
+        kernel: &mut dyn Kernel,
+        image: &mut MemoryImage,
+        total: &mut SimStats,
+        trace: &mut Option<Trace>,
+    ) -> bool {
+        let cfg = &self.cfg;
+        let map = AddressMap::new(cfg);
+        kernel.setup(image);
+
+        let mut sms: Vec<Sm> = (0..cfg.num_sms).map(|i| Sm::new(i, cfg)).collect();
+        let mut slices: Vec<Slice> = (0..cfg.num_channels)
+            .map(|i| {
+                let mut s = Slice::new(i, cfg, &self.sched);
+                if trace.is_some() {
+                    s.trace = Some(Trace::new());
+                }
+                s
+            })
+            .collect();
+        let mut mcs: Vec<MemoryController> = (0..cfg.num_channels)
+            .map(|_| MemoryController::new(cfg, &self.sched))
+            .collect();
+        let mut req_noc: Vec<DelayQueue<SliceReq>> = (0..cfg.num_channels)
+            .map(|_| DelayQueue::new(u64::from(cfg.noc_latency) + u64::from(cfg.l2_latency), 64, cfg.noc_width))
+            .collect();
+        let mut reply_noc: Vec<DelayQueue<Reply>> = (0..cfg.num_sms)
+            .map(|_| DelayQueue::new(u64::from(cfg.noc_latency), 256, 8))
+            .collect();
+
+        let total_warps = kernel.total_warps();
+        let mut next_warp = 0usize;
+        let mut next_req_id = 0u64;
+        let ratio = cfg.clock_ratio();
+        let mut mem_acc = 0.0f64;
+        let mut core_cycle = 0u64;
+        let mut hit_limit = false;
+
+        // Initial dispatch: round-robin across SMs (like GPGPU-Sim's block
+        // dispatcher), so small launches spread over all cores instead of
+        // piling onto SM 0 and thrashing its L1.
+        'fill: loop {
+            let mut placed = false;
+            for sm in &mut sms {
+                if next_warp >= total_warps {
+                    break 'fill;
+                }
+                if sm.has_free_slot() {
+                    sm.dispatch(kernel.program(next_warp));
+                    next_warp += 1;
+                    placed = true;
+                }
+            }
+            if !placed {
+                break;
+            }
+        }
+
+        loop {
+            core_cycle += 1;
+            if core_cycle > self.limits.max_core_cycles {
+                hit_limit = true;
+                break;
+            }
+
+            // 1. Deliver replies, then issue from each SM.
+            for (i, sm) in sms.iter_mut().enumerate() {
+                while let Some(reply) = reply_noc[i].pop_ready(core_cycle) {
+                    sm.on_reply(reply, image);
+                }
+                let mut ctx = SmCtx {
+                    now: core_cycle,
+                    image: &mut *image,
+                    map: &map,
+                    kernel,
+                    req_noc: &mut req_noc,
+                };
+                sm.tick(&mut ctx);
+                while next_warp < total_warps && sm.has_free_slot() {
+                    sm.dispatch(kernel.program(next_warp));
+                    next_warp += 1;
+                }
+            }
+
+            // 2. L2 slices.
+            for (i, slice) in slices.iter_mut().enumerate() {
+                slice.tick(
+                    core_cycle,
+                    &mut req_noc[i],
+                    &mut reply_noc,
+                    &mut mcs[i],
+                    image,
+                    &map,
+                    &mut next_req_id,
+                );
+            }
+
+            // 3. Memory clock domain.
+            mem_acc += ratio;
+            while mem_acc >= 1.0 {
+                mem_acc -= 1.0;
+                for (i, mc) in mcs.iter_mut().enumerate() {
+                    for resp in mc.tick() {
+                        slices[i].responses.push_back(resp);
+                    }
+                }
+            }
+
+            // 4. Termination.
+            if next_warp >= total_warps
+                && sms.iter().all(|s| s.live_warps() == 0)
+                && (core_cycle % 8 == 0)
+                && req_noc.iter().all(|q| q.is_empty())
+                && reply_noc.iter().all(|q| q.is_empty())
+                && slices.iter().all(|s| s.is_idle())
+                && mcs.iter().all(|m| m.is_idle())
+            {
+                break;
+            }
+        }
+
+        // Flush: close open rows so final RBL lands in the histograms.
+        for mc in &mut mcs {
+            let _ = mc.drain();
+        }
+
+        total.core_cycles += core_cycle;
+        for sm in &sms {
+            total.instructions += sm.instructions;
+            total.l1_hits += sm.l1().hits();
+            total.l1_misses += sm.l1().misses();
+            total.approximated_loads += sm.approximated_loads;
+        }
+        for slice in &slices {
+            total.l2_hits += slice.l2().hits();
+            total.l2_misses += slice.l2().misses();
+        }
+        if let Some(total_trace) = trace {
+            // Merge per-slice traces by arrival cycle (stable across slices).
+            let mut merged: Vec<_> = slices
+                .iter_mut()
+                .filter_map(|s| s.trace.take())
+                .flat_map(|t| t.iter().copied().collect::<Vec<_>>())
+                .collect();
+            merged.sort_by_key(|e| e.cycle);
+            for e in merged {
+                total_trace.push(e);
+            }
+        }
+
+        let mut launch_dram = lazydram_common::DramStats::new();
+        for mc in &mcs {
+            launch_dram.merge(mc.channel().stats());
+            let d = &mc.ams().declines;
+            if total.ams_declines.len() < d.len() {
+                total.ams_declines.resize(d.len(), 0);
+            }
+            for (t, &v) in total.ams_declines.iter_mut().zip(d.iter()) {
+                *t += v;
+            }
+            total.ams_accepts += mc.ams().accepts;
+        }
+        // Across launches, channel time accumulates rather than maxing.
+        let prior_cycles = total.dram.mem_cycles;
+        total.dram.merge(&launch_dram);
+        total.dram.mem_cycles = prior_cycles + launch_dram.mem_cycles;
+
+        hit_limit
+    }
+}
+
+/// Convenience: runs `kernel` under `sched` on the default GPU and returns
+/// the result.
+///
+/// # Example
+///
+/// ```no_run
+/// use lazydram_common::{GpuConfig, SchedConfig};
+/// use lazydram_gpu::{run_kernel, Kernel};
+/// # fn demo(kernel: &mut dyn Kernel) {
+/// let result = run_kernel(kernel, &GpuConfig::default(), &SchedConfig::dyn_combo());
+/// println!("IPC = {:.2}", result.stats.ipc());
+/// # }
+/// ```
+pub fn run_kernel(kernel: &mut dyn Kernel, cfg: &GpuConfig, sched: &SchedConfig) -> RunResult {
+    Simulator::new(cfg.clone(), sched.clone()).run(kernel)
+}

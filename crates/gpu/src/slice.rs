@@ -1,0 +1,434 @@
+//! An L2 slice: the shared cache bank of one memory partition, its MSHRs,
+//! its writeback path, and the value-prediction (VP) unit.
+//!
+//! The slice sits between the request interconnect and its memory
+//! controller. Reads that miss are forwarded to the controller (with MSHR
+//! merging); responses flagged `approximated` never touch DRAM data —
+//! instead the VP unit searches nearby L2 sets for the resident line with
+//! the nearest address and serves *its* values (paper Section IV-D). In the
+//! default model approximated lines are not inserted into the cache; with
+//! [`approx_reuse`](lazydram_common::SchedConfig::approx_reuse) they are,
+//! modeling the paper's footnote-2 "advanced model" including error
+//! propagation through reuse.
+
+use crate::cache::{AccessResult, Cache};
+use crate::memimg::MemoryImage;
+use crate::noc::DelayQueue;
+use crate::sm::{Reply, SliceReq};
+use crate::trace::{Trace, TraceEntry};
+use lazydram_common::{AccessKind, AddressMap, GpuConfig, MemSpace, Request, RequestId, SchedConfig};
+use lazydram_core::{MemoryController, Response};
+use lazydram_common::FastMap;
+use std::collections::VecDeque;
+
+/// One L2 slice and its glue to the memory controller.
+pub(crate) struct Slice {
+    id: usize,
+    l2: Cache,
+    mshr: FastMap<u64, Vec<usize>>,
+    mshr_capacity: usize,
+    throughput: usize,
+    vp_radius: u32,
+    approx_reuse: bool,
+    /// Responses delivered by the memory controller during memory ticks.
+    pub responses: VecDeque<Response>,
+    /// Dirty lines evicted while the controller was full.
+    wb_buffer: VecDeque<u64>,
+    /// Replies that could not enter the reply NoC yet.
+    reply_retry: VecDeque<(usize, Reply)>,
+    /// Approximate contents of L2-resident approximated lines (reuse mode).
+    approx_store: FastMap<u64, [f32; 32]>,
+    /// Reads that returned VP-predicted values.
+    pub approx_replies: u64,
+    /// When enabled, every request handed to the controller is recorded.
+    pub trace: Option<Trace>,
+}
+
+impl Slice {
+    pub fn new(id: usize, cfg: &GpuConfig, sched: &SchedConfig) -> Self {
+        Self {
+            id,
+            l2: Cache::new(cfg.l2_bytes, cfg.l2_ways, cfg.line_bytes),
+            mshr: FastMap::default(),
+            mshr_capacity: cfg.l2_mshrs,
+            throughput: cfg.l2_throughput,
+            vp_radius: sched.vp_set_radius,
+            approx_reuse: sched.approx_reuse,
+            responses: VecDeque::new(),
+            wb_buffer: VecDeque::new(),
+            reply_retry: VecDeque::new(),
+            approx_store: FastMap::default(),
+            approx_replies: 0,
+            trace: None,
+        }
+    }
+
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// `true` when the slice holds no outstanding work.
+    pub fn is_idle(&self) -> bool {
+        self.mshr.is_empty()
+            && self.responses.is_empty()
+            && self.wb_buffer.is_empty()
+            && self.reply_retry.is_empty()
+    }
+
+    /// The VP prediction for a dropped line: values of the nearest-address
+    /// line resident in this slice's L2, or zeroes when none is in range.
+    fn predict(&self, line: u64, image: &MemoryImage) -> [f32; 32] {
+        match self.l2.nearest_resident(line, self.vp_radius) {
+            Some(neighbor) => match self.approx_store.get(&neighbor) {
+                Some(vals) => *vals,
+                None => image.read_line(neighbor),
+            },
+            None => [0.0; 32],
+        }
+    }
+
+    fn send_reply(
+        &mut self,
+        now: u64,
+        sm: usize,
+        reply: Reply,
+        reply_noc: &mut [DelayQueue<Reply>],
+    ) {
+        if reply_noc[sm].push(now, reply).is_err() {
+            self.reply_retry.push_back((sm, reply));
+        }
+    }
+
+    fn forward_write(&mut self, line: u64, space: MemSpace, map: &AddressMap, mc: &mut MemoryController, next_id: &mut u64) -> bool {
+        if !mc.can_accept() {
+            return false;
+        }
+        *next_id += 1;
+        let req = Request {
+            id: RequestId(*next_id),
+            addr: line,
+            loc: map.decompose(line),
+            kind: AccessKind::Write,
+            space,
+            approximable: false,
+            arrival: 0,
+        };
+        self.record(mc.now(), &req);
+        mc.enqueue(req).expect("can_accept checked");
+        true
+    }
+
+    fn record(&mut self, cycle: u64, req: &Request) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEntry {
+                cycle,
+                channel: req.loc.channel,
+                request: *req,
+            });
+        }
+    }
+
+    fn fill_l2(&mut self, line: u64, map: &AddressMap, mc: &mut MemoryController, next_id: &mut u64) {
+        if let Some((victim, dirty)) = self.l2.fill(line, false) {
+            self.approx_store.remove(&victim);
+            if dirty && !self.forward_write(victim, MemSpace::Other, map, mc, next_id) {
+                self.wb_buffer.push_back(victim);
+            }
+        }
+    }
+
+    /// One core cycle of slice work.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tick(
+        &mut self,
+        now: u64,
+        incoming: &mut DelayQueue<SliceReq>,
+        reply_noc: &mut [DelayQueue<Reply>],
+        mc: &mut MemoryController,
+        image: &MemoryImage,
+        map: &AddressMap,
+        next_id: &mut u64,
+    ) {
+        // 0. Retry stalled replies and writebacks first (oldest work).
+        while let Some((sm, reply)) = self.reply_retry.pop_front() {
+            if reply_noc[sm].push(now, reply).is_err() {
+                self.reply_retry.push_front((sm, reply));
+                break;
+            }
+        }
+        while let Some(&line) = self.wb_buffer.front() {
+            if self.forward_write(line, MemSpace::Other, map, mc, next_id) {
+                self.wb_buffer.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        // 1. Absorb memory-controller responses.
+        while let Some(resp) = self.responses.pop_front() {
+            let line = resp.addr;
+            let reply = if resp.approximated {
+                self.approx_replies += 1;
+                let vals = self.predict(line, image);
+                if self.approx_reuse {
+                    self.fill_l2(line, map, mc, next_id);
+                    self.approx_store.insert(line, vals);
+                }
+                Reply { line, values: Some(vals) }
+            } else {
+                self.fill_l2(line, map, mc, next_id);
+                self.approx_store.remove(&line);
+                Reply { line, values: None }
+            };
+            if let Some(waiters) = self.mshr.remove(&line) {
+                for sm in waiters {
+                    self.send_reply(now, sm, reply, reply_noc);
+                }
+            }
+        }
+
+        // 2. Service incoming requests.
+        for _ in 0..self.throughput {
+            let Some(req) = incoming.pop_ready(now) else {
+                break;
+            };
+            if req.write {
+                if self.l2.probe(req.line) {
+                    let r = self.l2.access(req.line, true);
+                    debug_assert_eq!(r, AccessResult::Hit);
+                    // The store overwrote (part of) the line; if it was an
+                    // approximation, the written words are now exact — we
+                    // conservatively treat the whole line as corrected.
+                    self.approx_store.remove(&req.line);
+                } else {
+                    // Write-through, no allocate: forward to DRAM. Count the
+                    // miss only when the request actually proceeds, so
+                    // backpressure retries do not inflate the statistics.
+                    if !self.forward_write(req.line, MemSpace::Global, map, mc, next_id) {
+                        incoming.push_front(now, req);
+                        break;
+                    }
+                    let r = self.l2.access(req.line, true);
+                    debug_assert_eq!(r, AccessResult::Miss);
+                }
+            } else if self.l2.probe(req.line) {
+                let r = self.l2.access(req.line, false);
+                debug_assert_eq!(r, AccessResult::Hit);
+                let values = self.approx_store.get(&req.line).copied();
+                if values.is_some() {
+                    self.approx_replies += 1;
+                }
+                let reply = Reply { line: req.line, values };
+                self.send_reply(now, req.sm, reply, reply_noc);
+            } else if let Some(waiters) = self.mshr.get_mut(&req.line) {
+                waiters.push(req.sm);
+                let r = self.l2.access(req.line, false); // merged miss
+                debug_assert_eq!(r, AccessResult::Miss);
+            } else if self.mshr.len() < self.mshr_capacity && mc.can_accept() {
+                let r = self.l2.access(req.line, false);
+                debug_assert_eq!(r, AccessResult::Miss);
+                *next_id += 1;
+                let dram_req = Request {
+                    id: RequestId(*next_id),
+                    addr: req.line,
+                    loc: map.decompose(req.line),
+                    kind: AccessKind::Read,
+                    space: MemSpace::Global,
+                    approximable: req.approximable,
+                    arrival: 0,
+                };
+                self.record(mc.now(), &dram_req);
+                mc.enqueue(dram_req).expect("can_accept checked");
+                self.mshr.insert(req.line, vec![req.sm]);
+            } else {
+                incoming.push_front(now, req);
+                break;
+            }
+        }
+        let _ = self.id;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazydram_common::GpuConfig;
+
+    fn setup(sched: SchedConfig) -> (Slice, MemoryController, MemoryImage, AddressMap, DelayQueue<SliceReq>, Vec<DelayQueue<Reply>>) {
+        let cfg = GpuConfig::default();
+        let slice = Slice::new(0, &cfg, &sched);
+        let mc = MemoryController::new(&cfg, &sched);
+        let image = MemoryImage::new();
+        let map = AddressMap::new(&cfg);
+        let incoming = DelayQueue::new(0, 64, 8);
+        let replies: Vec<DelayQueue<Reply>> = (0..2).map(|_| DelayQueue::new(0, 64, 8)).collect();
+        (slice, mc, image, map, incoming, replies)
+    }
+
+    /// Drives the slice + controller until the given SM receives a reply.
+    fn run_to_reply(
+        slice: &mut Slice,
+        mc: &mut MemoryController,
+        image: &MemoryImage,
+        map: &AddressMap,
+        incoming: &mut DelayQueue<SliceReq>,
+        replies: &mut [DelayQueue<Reply>],
+        sm: usize,
+        max: u64,
+    ) -> Reply {
+        let mut next_id = 0;
+        for now in 1..max {
+            slice.tick(now, incoming, replies, mc, image, map, &mut next_id);
+            for resp in mc.tick() {
+                slice.responses.push_back(resp);
+            }
+            if let Some(r) = replies[sm].pop_ready(now) {
+                return r;
+            }
+        }
+        panic!("no reply within {max} cycles");
+    }
+
+    #[test]
+    fn read_miss_goes_to_dram_and_fills_l2() {
+        let (mut slice, mut mc, image, map, mut incoming, mut replies) =
+            setup(SchedConfig::baseline());
+        incoming
+            .push(0, SliceReq { sm: 0, line: 0x10_0000, write: false, approximable: false })
+            .unwrap();
+        let r = run_to_reply(&mut slice, &mut mc, &image, &map, &mut incoming, &mut replies, 0, 500);
+        assert_eq!(r.line, 0x10_0000);
+        assert!(r.values.is_none());
+        assert!(slice.l2().probe(0x10_0000));
+        assert_eq!(mc.channel().stats().reads, 1);
+    }
+
+    #[test]
+    fn second_read_hits_l2_without_dram() {
+        let (mut slice, mut mc, image, map, mut incoming, mut replies) =
+            setup(SchedConfig::baseline());
+        incoming
+            .push(0, SliceReq { sm: 0, line: 0x10_0000, write: false, approximable: false })
+            .unwrap();
+        run_to_reply(&mut slice, &mut mc, &image, &map, &mut incoming, &mut replies, 0, 500);
+        incoming
+            .push(500, SliceReq { sm: 1, line: 0x10_0000, write: false, approximable: false })
+            .unwrap();
+        let mut next_id = 100;
+        slice.tick(501, &mut incoming, &mut replies, &mut mc, &image, &map, &mut next_id);
+        assert!(replies[1].pop_ready(501).is_some());
+        assert_eq!(mc.channel().stats().reads, 1, "L2 hit must not touch DRAM");
+    }
+
+    #[test]
+    fn write_miss_forwards_to_dram_write() {
+        let (mut slice, mut mc, image, map, mut incoming, mut replies) =
+            setup(SchedConfig::baseline());
+        incoming
+            .push(0, SliceReq { sm: 0, line: 0x10_0000, write: true, approximable: false })
+            .unwrap();
+        let mut next_id = 0;
+        slice.tick(1, &mut incoming, &mut replies, &mut mc, &image, &map, &mut next_id);
+        while !mc.is_idle() {
+            mc.tick();
+        }
+        assert_eq!(mc.channel().stats().writes, 1);
+        assert!(!slice.l2().probe(0x10_0000), "write-no-allocate");
+    }
+
+    #[test]
+    fn approximated_response_uses_nearest_l2_neighbor() {
+        let sched = SchedConfig {
+            ams: lazydram_common::AmsMode::Static(8),
+            ams_warmup_requests: 0,
+            coverage_cap: 1.0,
+            ..SchedConfig::baseline()
+        };
+        let (mut slice, mut mc, mut image, map, mut incoming, mut replies) = setup(sched);
+        // Warm a neighbor line into L2 whose image values are known.
+        image.write_slice(0x10_0000, &[42.0; 32]);
+        incoming
+            .push(0, SliceReq { sm: 0, line: 0x10_0000, write: false, approximable: false })
+            .unwrap();
+        run_to_reply(&mut slice, &mut mc, &image, &map, &mut incoming, &mut replies, 0, 500);
+        // Now request the next row of the same bank (+196608 B keeps the
+        // same L2 set but a different, closed DRAM row, so the request is a
+        // row miss). The AMS controller drops it (single pending low-RBL
+        // read) and the VP must serve the neighbor's 42.0s.
+        incoming
+            .push(600, SliceReq { sm: 1, line: 0x13_0000, write: false, approximable: true })
+            .unwrap();
+        let r = run_to_reply(&mut slice, &mut mc, &image, &map, &mut incoming, &mut replies, 1, 2_000);
+        assert_eq!(r.line, 0x13_0000);
+        assert_eq!(r.values.expect("approximated")[0], 42.0);
+        assert_eq!(slice.approx_replies, 1);
+        assert!(!slice.l2().probe(0x13_0000), "no reuse by default");
+    }
+
+    #[test]
+    fn approx_reuse_mode_caches_predictions() {
+        let sched = SchedConfig {
+            ams: lazydram_common::AmsMode::Static(8),
+            ams_warmup_requests: 0,
+            coverage_cap: 1.0,
+            approx_reuse: true,
+            ..SchedConfig::baseline()
+        };
+        let (mut slice, mut mc, mut image, map, mut incoming, mut replies) = setup(sched);
+        image.write_slice(0x10_0000, &[42.0; 32]);
+        incoming
+            .push(0, SliceReq { sm: 0, line: 0x10_0000, write: false, approximable: false })
+            .unwrap();
+        run_to_reply(&mut slice, &mut mc, &image, &map, &mut incoming, &mut replies, 0, 500);
+        incoming
+            .push(600, SliceReq { sm: 1, line: 0x13_0000, write: false, approximable: true })
+            .unwrap();
+        run_to_reply(&mut slice, &mut mc, &image, &map, &mut incoming, &mut replies, 1, 2_000);
+        assert!(slice.l2().probe(0x13_0000), "reuse mode caches the line");
+        // A subsequent read is an L2 hit that still returns approximate data.
+        incoming
+            .push(3_000, SliceReq { sm: 0, line: 0x13_0000, write: false, approximable: true })
+            .unwrap();
+        let mut next_id = 500;
+        slice.tick(3_001, &mut incoming, &mut replies, &mut mc, &image, &map, &mut next_id);
+        let r = replies[0].pop_ready(3_001).expect("hit replies same cycle");
+        assert_eq!(r.values.expect("approx data on reuse")[5], 42.0);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let cfg = GpuConfig::default();
+        let sched = SchedConfig::baseline();
+        let mut slice = Slice::new(0, &cfg, &sched);
+        let mut mc = MemoryController::new(&cfg, &sched);
+        let image = MemoryImage::new();
+        let map = AddressMap::new(&cfg);
+        let mut incoming = DelayQueue::new(0, 8192, 8192);
+        let mut replies: Vec<DelayQueue<Reply>> = vec![DelayQueue::new(0, 8192, 8192)];
+        let mut next_id = 0;
+        // Fill one L2 set (8 ways) with dirty lines, then displace them.
+        // Lines mapping to set 0: stride = sets(128) * 128 B = 16 KiB.
+        let mut now = 0;
+        for i in 0..9u64 {
+            let line = 0x10_0000 + i * 128 * 128;
+            // Make the line present by filling via a read.
+            incoming.push(now, SliceReq { sm: 0, line, write: false, approximable: false }).unwrap();
+            for _ in 0..400 {
+                now += 1;
+                slice.tick(now, &mut incoming, &mut replies, &mut mc, &image, &map, &mut next_id);
+                for resp in mc.tick() {
+                    slice.responses.push_back(resp);
+                }
+            }
+            // Dirty it.
+            incoming.push(now, SliceReq { sm: 0, line, write: true, approximable: false }).unwrap();
+            now += 1;
+            slice.tick(now, &mut incoming, &mut replies, &mut mc, &image, &map, &mut next_id);
+        }
+        // 9 fills into an 8-way set → at least one dirty eviction → ≥1 write.
+        while !mc.is_idle() {
+            mc.tick();
+        }
+        assert!(mc.channel().stats().writes >= 1, "dirty eviction must write back");
+    }
+}

@@ -1,0 +1,58 @@
+//! Property tests for the interconnect building block.
+
+use lazydram_gpu::DelayQueue;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn delivery_preserves_order_and_latency(
+        latency in 0u64..20,
+        pushes in prop::collection::vec(0u64..50, 1..100),
+    ) {
+        let mut q: DelayQueue<usize> = DelayQueue::new(latency, 4096, 4096);
+        // Push at non-decreasing times.
+        let mut times: Vec<u64> = pushes.clone();
+        times.sort_unstable();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, i).unwrap();
+        }
+        // Drain far in the future: everything must come out FIFO.
+        let mut out = Vec::new();
+        while let Some(v) = q.pop_ready(1_000) {
+            out.push(v);
+        }
+        prop_assert_eq!(out.len(), times.len());
+        prop_assert!(out.windows(2).all(|w| w[0] < w[1]), "FIFO order violated");
+    }
+
+    #[test]
+    fn nothing_pops_before_latency(latency in 1u64..50, t0 in 0u64..100) {
+        let mut q: DelayQueue<u8> = DelayQueue::new(latency, 16, 16);
+        q.push(t0, 7).unwrap();
+        for t in t0..t0 + latency {
+            prop_assert!(q.pop_ready(t).is_none(), "item visible too early at {t}");
+        }
+        prop_assert_eq!(q.pop_ready(t0 + latency), Some(7));
+    }
+
+    #[test]
+    fn width_limits_throughput(width in 1usize..8, n in 1usize..64) {
+        let mut q: DelayQueue<usize> = DelayQueue::new(0, 4096, width);
+        for i in 0..n {
+            q.push(0, i).unwrap();
+        }
+        let mut cycle = 1u64;
+        let mut drained = 0;
+        while drained < n {
+            let mut this_cycle = 0;
+            while q.pop_ready(cycle).is_some() {
+                this_cycle += 1;
+                drained += 1;
+            }
+            prop_assert!(this_cycle <= width, "popped {this_cycle} > width {width}");
+            cycle += 1;
+        }
+        // Takes exactly ceil(n/width) cycles.
+        prop_assert_eq!(cycle - 1, n.div_ceil(width) as u64);
+    }
+}

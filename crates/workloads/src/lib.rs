@@ -1,0 +1,39 @@
+//! Functional re-implementations of the paper's 20 GPGPU workloads
+//! (Table II) as execution-driven warp programs.
+//!
+//! Every application issues the *addresses* of the original access pattern
+//! (tiled products, strided matrix-vector sweeps, stencil strips, scrambled
+//! gathers…) **and** computes on the real values flowing through the
+//! simulated memory system, so approximation error under AMS is measured on
+//! genuine outputs.
+//!
+//! * [`suite::suite`] — the 20-app registry with the paper's result groups,
+//! * [`suite::run_app`] — run one app under a [`SchedConfig`](lazydram_common::SchedConfig),
+//! * [`suite::exact_output`] — the functional (error-free) reference output,
+//! * [`programs`] — the reusable warp-program shapes.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use lazydram_common::{GpuConfig, SchedConfig};
+//! use lazydram_workloads::suite::{by_name, exact_output, run_app};
+//! use lazydram_gpu::application_error;
+//!
+//! let app = by_name("GEMM").expect("known app");
+//! let exact = exact_output(&app, 0.25);
+//! let lazy = run_app(&app, &GpuConfig::default(), &SchedConfig::dyn_combo(), 0.25);
+//! println!("error = {:.2}%", 100.0 * application_error(&exact, &lazy.output));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod axbench;
+pub mod polybench;
+pub mod programs;
+pub mod sdk;
+pub mod stencil_apps;
+pub mod suite;
+pub mod util;
+
+pub use suite::{by_name, exact_output, group, run_app, run_app_limited, suite as all_apps, AppSpec};

@@ -1,0 +1,42 @@
+//! Sweep the static DMS delay for one application and print the
+//! activation / IPC / energy trade-off curve (a per-app slice of Figure 4),
+//! with the GDDR5 / HBM1 / HBM2 energy projections.
+//!
+//! ```text
+//! cargo run --release --example energy_explorer [APP] [SCALE]
+//! ```
+
+use lazydram::common::{DmsMode, GpuConfig, SchedConfig};
+use lazydram::energy::{EnergyModel, MemoryTech};
+use lazydram::workloads::{by_name, run_app};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).cloned().unwrap_or_else(|| "SCP".into());
+    let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let app = by_name(&name).expect("known app");
+    let cfg = GpuConfig::default();
+
+    let base = run_app(&app, &cfg, &SchedConfig::baseline(), scale);
+    let base_acts = base.stats.dram.activations.max(1) as f64;
+    let base_ipc = base.stats.ipc().max(1e-9);
+    println!("{name}: baseline {} activations, IPC {:.2}\n", base.stats.dram.activations, base_ipc);
+    println!("{:>9} {:>10} {:>9} {:>11} {:>11} {:>11}",
+             "delay", "norm acts", "norm IPC", "GDDR5 -E%", "HBM1 -E%", "HBM2 -E%");
+    for delay in [0u32, 64, 128, 256, 512, 1024, 2048] {
+        let sched = SchedConfig {
+            dms: if delay == 0 { DmsMode::Off } else { DmsMode::Static(delay) },
+            ..SchedConfig::baseline()
+        };
+        let r = run_app(&app, &cfg, &sched, scale);
+        let na = r.stats.dram.activations as f64 / base_acts;
+        let ni = r.stats.ipc() / base_ipc;
+        let mut cells = format!("{delay:>9} {na:>10.3} {ni:>9.3}");
+        for tech in [MemoryTech::Gddr5, MemoryTech::Hbm1, MemoryTech::Hbm2] {
+            let red = EnergyModel::new(tech).system_energy_reduction(na);
+            cells += &format!(" {:>10.1}%", 100.0 * red);
+        }
+        println!("{cells}");
+    }
+    println!("\n(-E% = projected memory-system energy reduction from the row-energy ratio)");
+}

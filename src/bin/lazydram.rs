@@ -1,0 +1,119 @@
+//! `lazydram` — command-line front end for the simulator.
+//!
+//! ```text
+//! lazydram apps                         list the 20 workloads and groups
+//! lazydram run <APP> [--scheme S] [--scale F]
+//! lazydram sweep <APP> [--scale F]      DMS delay sweep for one app
+//! lazydram schemes <APP> [--scale F]    all six paper schemes side by side
+//! ```
+
+use lazydram::common::{DmsMode, GpuConfig, SchedConfig};
+use lazydram::energy::{EnergyModel, MemoryTech};
+use lazydram::gpu::application_error;
+use lazydram::workloads::{all_apps, by_name, exact_output, run_app, AppSpec};
+
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn scheme_by_name(name: &str) -> Option<(String, SchedConfig)> {
+    let all: Vec<(&str, SchedConfig)> = vec![("baseline", SchedConfig::baseline())]
+        .into_iter()
+        .chain(SchedConfig::paper_schemes())
+        .collect();
+    all.into_iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(n, s)| (n.to_string(), s))
+}
+
+fn app_or_exit(name: &str) -> AppSpec {
+    by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown app {name:?}; run `lazydram apps` for the list");
+        std::process::exit(2);
+    })
+}
+
+fn cmd_apps() {
+    println!("{:<14} {:>5}  description", "app", "group");
+    for a in all_apps() {
+        println!("{:<14} {:>5}  {}", a.name, a.group, a.description);
+    }
+    println!("\ngroups 1-3 are error tolerant (AMS applies); group 4 is delay-only");
+}
+
+fn cmd_run(app: &AppSpec, scheme: &str, scale: f64) {
+    let (label, sched) = scheme_by_name(scheme).unwrap_or_else(|| {
+        eprintln!("unknown scheme {scheme:?} (baseline, Static-DMS, Dyn-DMS, Static-AMS, Dyn-AMS, Static-DMS+Static-AMS, Dyn-DMS+Dyn-AMS)");
+        std::process::exit(2);
+    });
+    let cfg = GpuConfig::default();
+    let exact = exact_output(app, scale);
+    let r = run_app(app, &cfg, &sched, scale);
+    let e = EnergyModel::new(MemoryTech::Gddr5).breakdown(&r.stats.dram);
+    println!("{} under {label} (scale {scale})", app.name);
+    println!("  core cycles      {:>12}", r.stats.core_cycles);
+    println!("  IPC              {:>12.3}", r.stats.ipc());
+    println!("  DRAM activations {:>12}", r.stats.dram.activations);
+    println!("  Avg-RBL          {:>12.2}", r.stats.dram.avg_rbl());
+    println!("  row energy       {:>12.1} µJ", e.row_energy_pj / 1e6);
+    println!("  coverage         {:>11.1}%", 100.0 * r.stats.dram.coverage());
+    println!("  app error        {:>11.2}%", 100.0 * application_error(&exact, &r.output));
+}
+
+fn cmd_sweep(app: &AppSpec, scale: f64) {
+    let cfg = GpuConfig::default();
+    let base = run_app(app, &cfg, &SchedConfig::baseline(), scale);
+    println!("{}: DMS delay sweep (scale {scale})", app.name);
+    println!("{:>7} {:>10} {:>9}", "delay", "norm acts", "norm IPC");
+    for d in [0u32, 64, 128, 256, 512, 1024, 2048] {
+        let sched = SchedConfig {
+            dms: if d == 0 { DmsMode::Off } else { DmsMode::Static(d) },
+            ..SchedConfig::baseline()
+        };
+        let r = run_app(app, &cfg, &sched, scale);
+        println!(
+            "{d:>7} {:>10.3} {:>9.3}",
+            r.stats.dram.activations as f64 / base.stats.dram.activations.max(1) as f64,
+            r.stats.ipc() / base.stats.ipc().max(1e-9),
+        );
+    }
+}
+
+fn cmd_schemes(app: &AppSpec, scale: f64) {
+    let cfg = GpuConfig::default();
+    let exact = exact_output(app, scale);
+    let base = run_app(app, &cfg, &SchedConfig::baseline(), scale);
+    println!("{}: all schemes (scale {scale})", app.name);
+    println!("{:>24} {:>10} {:>9} {:>9} {:>9}", "scheme", "norm acts", "norm IPC", "coverage", "error");
+    for (label, sched) in SchedConfig::paper_schemes() {
+        let r = run_app(app, &cfg, &sched, scale);
+        println!(
+            "{label:>24} {:>10.3} {:>9.3} {:>8.1}% {:>8.2}%",
+            r.stats.dram.activations as f64 / base.stats.dram.activations.max(1) as f64,
+            r.stats.ipc() / base.stats.ipc().max(1e-9),
+            100.0 * r.stats.dram.coverage(),
+            100.0 * application_error(&exact, &r.output),
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: f64 = parse_flag(&args, "--scale").and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    match args.first().map(String::as_str) {
+        Some("apps") => cmd_apps(),
+        Some("run") if args.len() >= 2 => {
+            let scheme = parse_flag(&args, "--scheme").unwrap_or_else(|| "Dyn-DMS+Dyn-AMS".into());
+            cmd_run(&app_or_exit(&args[1]), &scheme, scale);
+        }
+        Some("sweep") if args.len() >= 2 => cmd_sweep(&app_or_exit(&args[1]), scale),
+        Some("schemes") if args.len() >= 2 => cmd_schemes(&app_or_exit(&args[1]), scale),
+        _ => {
+            eprintln!("usage: lazydram <apps | run APP [--scheme S] | sweep APP | schemes APP> [--scale F]");
+            std::process::exit(2);
+        }
+    }
+}

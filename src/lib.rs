@@ -1,0 +1,35 @@
+//! **lazydram** — a from-scratch Rust reproduction of *“Exploiting Latency
+//! and Error Tolerance of GPGPU Applications for an Energy-Efficient DRAM”*
+//! (Wang & Jog, DSN 2019).
+//!
+//! This facade re-exports the workspace crates under stable names:
+//!
+//! * [`common`] — configuration (Table I), address mapping, statistics;
+//! * [`dram`] — the cycle-level GDDR5 channel/bank model and protocol auditor;
+//! * [`core`] — the lazy memory scheduler (FR-FCFS + DMS + AMS), the paper's
+//!   contribution;
+//! * [`gpu`] — the execution-driven GPU substrate (SMs, caches, interconnect,
+//!   value prediction, trace capture/replay);
+//! * [`workloads`] — the 20-application evaluation suite of Table II;
+//! * [`energy`] — the GPUWattch-style DRAM energy model.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use lazydram::common::{GpuConfig, SchedConfig};
+//! use lazydram::workloads::{by_name, run_app};
+//!
+//! let app = by_name("SCP").expect("known app");
+//! let lazy = run_app(&app, &GpuConfig::default(), &SchedConfig::dyn_combo(), 1.0);
+//! println!("activations: {}", lazy.stats.dram.activations);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub use lazydram_common as common;
+pub use lazydram_core as core;
+pub use lazydram_dram as dram;
+pub use lazydram_energy as energy;
+pub use lazydram_gpu as gpu;
+pub use lazydram_workloads as workloads;

@@ -1,0 +1,18 @@
+//! The facade crate re-exports every subsystem under stable names.
+
+#[test]
+fn facade_reexports_compile_and_link() {
+    use lazydram::common::GpuConfig;
+    use lazydram::core::PendingQueue;
+    use lazydram::dram::Channel;
+    use lazydram::energy::{EnergyModel, MemoryTech};
+    use lazydram::gpu::MemoryImage;
+    use lazydram::workloads::all_apps;
+
+    let cfg = GpuConfig::default();
+    let _q = PendingQueue::new(8, cfg.banks_per_channel, 4);
+    let _c = Channel::new(&cfg);
+    let _m = MemoryImage::new();
+    let _e = EnergyModel::new(MemoryTech::Gddr5);
+    assert_eq!(all_apps().len(), 20);
+}

@@ -1,0 +1,74 @@
+//! DRAM protocol compliance: mirror randomized (guard-checked) command
+//! streams into the independent `Auditor` and assert no timing rule breaks.
+
+use lazydram::common::{AccessKind, DramTimings, GpuConfig};
+use lazydram::dram::{Auditor, Channel, Command};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Act { bank: u8, row: u8 },
+    Pre { bank: u8 },
+    Read { bank: u8 },
+    Write { bank: u8 },
+    Wait { cycles: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..16, 0u8..8).prop_map(|(bank, row)| Op::Act { bank, row }),
+        (0u8..16).prop_map(|bank| Op::Pre { bank }),
+        (0u8..16).prop_map(|bank| Op::Read { bank }),
+        (0u8..16).prop_map(|bank| Op::Write { bank }),
+        (1u8..24).prop_map(|cycles| Op::Wait { cycles }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn random_guarded_streams_obey_the_protocol(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let cfg = GpuConfig::default();
+        let mut ch = Channel::new(&cfg);
+        let mut aud = Auditor::new(DramTimings::default());
+        let mut now = 0u64;
+        for op in ops {
+            match op {
+                Op::Act { bank, row } => {
+                    let (bank, row) = (bank as usize, u32::from(row));
+                    if ch.can_activate(bank, now) {
+                        ch.activate(bank, row, now);
+                        aud.observe(Command::Act { bank, row, at: now });
+                        now += 1;
+                    }
+                }
+                Op::Pre { bank } => {
+                    let bank = bank as usize;
+                    if ch.can_precharge(bank, now) {
+                        ch.precharge(bank, now);
+                        aud.observe(Command::Pre { bank, at: now });
+                        now += 1;
+                    }
+                }
+                Op::Read { bank } => {
+                    let bank = bank as usize;
+                    if ch.can_cas(bank, AccessKind::Read, now) {
+                        ch.cas(bank, AccessKind::Read, true, now);
+                        aud.observe(Command::Read { bank, at: now });
+                        now += 1;
+                    }
+                }
+                Op::Write { bank } => {
+                    let bank = bank as usize;
+                    if ch.can_cas(bank, AccessKind::Write, now) {
+                        ch.cas(bank, AccessKind::Write, false, now);
+                        aud.observe(Command::Write { bank, at: now });
+                        now += 1;
+                    }
+                }
+                Op::Wait { cycles } => now += u64::from(cycles),
+            }
+        }
+        prop_assert!(aud.check().is_ok(), "protocol violation: {:?}", aud.violations().first());
+    }
+}

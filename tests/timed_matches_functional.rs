@@ -1,0 +1,58 @@
+//! The timed simulator without approximation must produce bit-identical
+//! outputs to the functional reference executor: timing must never change
+//! values.
+
+use lazydram::common::{GpuConfig, SchedConfig};
+use lazydram::workloads::{by_name, exact_output, run_app};
+
+fn check(name: &str, scale: f64) {
+    let app = by_name(name).expect("app");
+    let exact = exact_output(&app, scale);
+    let timed = run_app(&app, &GpuConfig::default(), &SchedConfig::baseline(), scale);
+    assert!(!timed.hit_cycle_limit, "{name} hit the cycle limit");
+    assert_eq!(exact.len(), timed.output.len(), "{name}: shape");
+    for (i, (e, t)) in exact.iter().zip(&timed.output).enumerate() {
+        assert_eq!(e, t, "{name}: output[{i}] differs: {e} vs {t}");
+    }
+}
+
+#[test]
+fn gemm_timed_equals_functional() {
+    check("GEMM", 0.05);
+}
+
+#[test]
+fn stencils_timed_equal_functional() {
+    check("meanfilter", 0.05);
+    check("LPS", 0.05);
+    check("CONS", 0.05);
+}
+
+#[test]
+fn multi_launch_apps_timed_equal_functional() {
+    check("2MM", 0.05);
+    check("ATAX", 0.05);
+    check("MVT", 0.05);
+}
+
+#[test]
+fn map_apps_timed_equal_functional() {
+    check("blackscholes", 0.05);
+    check("jmeint", 0.05);
+}
+
+#[test]
+fn inplace_apps_timed_equal_functional() {
+    check("FWT", 0.05);
+    check("SLA", 0.05);
+}
+
+#[test]
+fn delay_does_not_change_values() {
+    // DMS reorders and delays but must never alter data.
+    let app = by_name("SCP").expect("app");
+    let exact = exact_output(&app, 0.05);
+    let sched = SchedConfig::static_dms();
+    let timed = run_app(&app, &GpuConfig::default(), &sched, 0.05);
+    assert_eq!(exact, timed.output, "DMS changed output values");
+}
