@@ -1,31 +1,84 @@
 //! Ablation (Section V): the row-locality benefit is independent of memory
 //! technology — run the headline scheme on HBM1/HBM2-like organizations.
 
-use lazydram_bench::{print_table, scale_from_env};
+use lazydram_bench::{print_table, scale_from_env, MeasureSpec, SweepRunner};
 use lazydram_common::{GpuConfig, SchedConfig};
-use lazydram_workloads::{by_name, run_app};
+use lazydram_workloads::by_name;
 
 fn main() {
     let scale = scale_from_env();
-    let mut rows = Vec::new();
-    for name in ["SCP", "MVT", "meanfilter"] {
-        let app = by_name(name).expect("app");
-        for (tl, cfg) in [
-            ("GDDR5", GpuConfig::default()),
-            ("HBM1", GpuConfig::hbm1()),
-            ("HBM2", GpuConfig::hbm2()),
-        ] {
-            let base = run_app(&app, &cfg, &SchedConfig::baseline(), scale);
-            let lazy = run_app(&app, &cfg, &SchedConfig::dyn_combo(), scale);
-            rows.push(vec![
-                name.to_string(),
-                tl.to_string(),
-                base.stats.dram.activations.to_string(),
-                format!("{:.3}", lazy.stats.dram.activations as f64
-                        / base.stats.dram.activations.max(1) as f64),
-                format!("{:.3}", lazy.stats.ipc() / base.stats.ipc().max(1e-9)),
-            ]);
+    let techs = [
+        ("GDDR5", GpuConfig::default()),
+        ("HBM1", GpuConfig::hbm1()),
+        ("HBM2", GpuConfig::hbm2()),
+    ];
+    let apps: Vec<_> = ["SCP", "MVT", "meanfilter"]
+        .iter()
+        .map(|n| by_name(n).expect("app"))
+        .collect();
+    let runner = SweepRunner::from_env();
+    // One baseline per (app, tech): the cache keys on the config, so the
+    // three techs are three distinct cached baselines computed in parallel.
+    let mut bases = Vec::new();
+    for (_, cfg) in &techs {
+        bases.push(runner.baselines(&apps, cfg, scale));
+    }
+    let mut specs = Vec::new();
+    for (t, (_, cfg)) in techs.iter().enumerate() {
+        for (app, base) in apps.iter().zip(&bases[t]) {
+            let Ok(base) = base else { continue };
+            specs.push(MeasureSpec {
+                app: app.clone(),
+                cfg: cfg.clone(),
+                sched: SchedConfig::dyn_combo(),
+                scale,
+                label: "Dyn-DMS+Dyn-AMS".to_string(),
+                exact: base.exact.clone(),
+            });
         }
+    }
+    let results = runner.measure_all(specs);
+
+    let mut rows = Vec::new();
+    let mut cursor = results.iter();
+    // Reassemble in (tech, app) job order, then print in (app, tech) order.
+    let mut cells: Vec<Vec<Vec<String>>> = vec![Vec::new(); apps.len()];
+    for (t, (tl, _)) in techs.iter().enumerate() {
+        for (a, (app, base)) in apps.iter().zip(&bases[t]).enumerate() {
+            let row = match base {
+                Ok(base) => {
+                    let lazy = cursor.next().expect("one lazy run per ok baseline");
+                    match lazy {
+                        Ok(m) => vec![
+                            app.name.to_string(),
+                            tl.to_string(),
+                            base.measurement.activations.to_string(),
+                            format!("{:.3}", m.activations as f64
+                                    / base.measurement.activations.max(1) as f64),
+                            format!("{:.3}", m.ipc / base.measurement.ipc.max(1e-9)),
+                        ],
+                        Err(_) => vec![
+                            app.name.to_string(),
+                            tl.to_string(),
+                            base.measurement.activations.to_string(),
+                            "FAIL".to_string(),
+                            "FAIL".to_string(),
+                        ],
+                    }
+                }
+                Err(_) => vec![
+                    app.name.to_string(),
+                    tl.to_string(),
+                    "FAIL".to_string(),
+                    "FAIL".to_string(),
+                    "FAIL".to_string(),
+                ],
+            };
+            cells[a].push(row);
+        }
+    }
+    for app_rows in cells {
+        rows.extend(app_rows);
     }
     print_table(
         "Ablation: Dyn-DMS+Dyn-AMS across memory technologies (Section V claim)",

@@ -2,26 +2,58 @@
 //! model that inserts approximated lines into L2 (error propagates through
 //! reuse).
 
-use lazydram_bench::{measure, measure_baseline, print_table, scale_from_env};
+use lazydram_bench::{print_table, scale_from_env, MeasureSpec, SweepRunner};
 use lazydram_common::{GpuConfig, SchedConfig};
 use lazydram_workloads::group;
 
 fn main() {
     let scale = scale_from_env();
     let cfg = GpuConfig::default();
+    let apps = [group(1), group(2), group(3)].concat();
+    let runner = SweepRunner::from_env();
+    let bases = runner.baselines(&apps, &cfg, scale);
+    let mut specs = Vec::new();
+    for (app, base) in apps.iter().zip(&bases) {
+        let Ok(base) = base else { continue };
+        for (label, sched) in [
+            ("simple", SchedConfig::static_ams()),
+            ("reuse", SchedConfig { approx_reuse: true, ..SchedConfig::static_ams() }),
+        ] {
+            specs.push(MeasureSpec {
+                app: app.clone(),
+                cfg: cfg.clone(),
+                sched,
+                scale,
+                label: label.to_string(),
+                exact: base.exact.clone(),
+            });
+        }
+    }
+    let results = runner.measure_all(specs);
+
     let mut rows = Vec::new();
-    for app in [group(1), group(2), group(3)].concat() {
-        let (base, exact) = measure_baseline(&app, &cfg, scale);
-        let simple = measure(&app, &cfg, &SchedConfig::static_ams(), scale, "simple", &exact);
-        let adv_sched = SchedConfig { approx_reuse: true, ..SchedConfig::static_ams() };
-        let adv = measure(&app, &cfg, &adv_sched, scale, "reuse", &exact);
-        rows.push(vec![
-            app.name.to_string(),
-            format!("{:.3}", simple.activations as f64 / base.activations.max(1) as f64),
-            format!("{:.1}%", 100.0 * simple.app_error),
-            format!("{:.3}", adv.activations as f64 / base.activations.max(1) as f64),
-            format!("{:.1}%", 100.0 * adv.app_error),
-        ]);
+    let mut cursor = results.iter();
+    for (app, base) in apps.iter().zip(&bases) {
+        let mut cells = vec![app.name.to_string()];
+        let Ok(base) = base else {
+            cells.extend(std::iter::repeat_n("FAIL".to_string(), 4));
+            rows.push(cells);
+            continue;
+        };
+        let base_acts = base.measurement.activations.max(1) as f64;
+        for r in cursor.by_ref().take(2) {
+            match r {
+                Ok(m) => {
+                    cells.push(format!("{:.3}", m.activations as f64 / base_acts));
+                    cells.push(format!("{:.1}%", 100.0 * m.app_error));
+                }
+                Err(_) => {
+                    cells.push("FAIL".to_string());
+                    cells.push("FAIL".to_string());
+                }
+            }
+        }
+        rows.push(cells);
     }
     print_table(
         "Ablation (footnote 2): simple VP vs approx-reuse VP under Static-AMS",

@@ -3,31 +3,81 @@
 //! the lazy scheduler's activation reductions must survive the extra
 //! constraints.
 
-use lazydram_bench::{print_table, scale_from_env};
+use lazydram_bench::{print_table, scale_from_env, MeasureSpec, SweepRunner};
 use lazydram_common::{DramTimings, GpuConfig, SchedConfig};
-use lazydram_workloads::{by_name, run_app};
+use lazydram_workloads::by_name;
 
 fn main() {
     let scale = scale_from_env();
-    let mut rows = Vec::new();
-    for name in ["SCP", "MVT", "meanfilter", "CONS"] {
-        let app = by_name(name).expect("app");
-        for (tl, timings) in [
-            ("Table I", DramTimings::default()),
-            ("extended", DramTimings::gddr5_extended()),
-        ] {
-            let cfg = GpuConfig { timings, ..GpuConfig::default() };
-            let base = run_app(&app, &cfg, &SchedConfig::baseline(), scale);
-            let lazy = run_app(&app, &cfg, &SchedConfig::dyn_combo(), scale);
-            rows.push(vec![
-                name.to_string(),
-                tl.to_string(),
-                base.stats.dram.activations.to_string(),
-                format!("{:.3}", lazy.stats.dram.activations as f64
-                        / base.stats.dram.activations.max(1) as f64),
-                format!("{:.3}", lazy.stats.ipc() / base.stats.ipc().max(1e-9)),
-            ]);
+    let timing_sets = [
+        ("Table I", DramTimings::default()),
+        ("extended", DramTimings::gddr5_extended()),
+    ];
+    let apps: Vec<_> = ["SCP", "MVT", "meanfilter", "CONS"]
+        .iter()
+        .map(|n| by_name(n).expect("app"))
+        .collect();
+    let runner = SweepRunner::from_env();
+    let mut bases = Vec::new();
+    for (_, timings) in &timing_sets {
+        let cfg = GpuConfig { timings: *timings, ..GpuConfig::default() };
+        bases.push((cfg.clone(), runner.baselines(&apps, &cfg, scale)));
+    }
+    let mut specs = Vec::new();
+    for (cfg, tech_bases) in &bases {
+        for (app, base) in apps.iter().zip(tech_bases) {
+            let Ok(base) = base else { continue };
+            specs.push(MeasureSpec {
+                app: app.clone(),
+                cfg: cfg.clone(),
+                sched: SchedConfig::dyn_combo(),
+                scale,
+                label: "Dyn-DMS+Dyn-AMS".to_string(),
+                exact: base.exact.clone(),
+            });
         }
+    }
+    let results = runner.measure_all(specs);
+
+    let mut cursor = results.iter();
+    let mut cells: Vec<Vec<Vec<String>>> = vec![Vec::new(); apps.len()];
+    for (t, (tl, _)) in timing_sets.iter().enumerate() {
+        for (a, (app, base)) in apps.iter().zip(&bases[t].1).enumerate() {
+            let row = match base {
+                Ok(base) => {
+                    let lazy = cursor.next().expect("one lazy run per ok baseline");
+                    match lazy {
+                        Ok(m) => vec![
+                            app.name.to_string(),
+                            tl.to_string(),
+                            base.measurement.activations.to_string(),
+                            format!("{:.3}", m.activations as f64
+                                    / base.measurement.activations.max(1) as f64),
+                            format!("{:.3}", m.ipc / base.measurement.ipc.max(1e-9)),
+                        ],
+                        Err(_) => vec![
+                            app.name.to_string(),
+                            tl.to_string(),
+                            base.measurement.activations.to_string(),
+                            "FAIL".to_string(),
+                            "FAIL".to_string(),
+                        ],
+                    }
+                }
+                Err(_) => vec![
+                    app.name.to_string(),
+                    tl.to_string(),
+                    "FAIL".to_string(),
+                    "FAIL".to_string(),
+                    "FAIL".to_string(),
+                ],
+            };
+            cells[a].push(row);
+        }
+    }
+    let mut rows = Vec::new();
+    for app_rows in cells {
+        rows.extend(app_rows);
     }
     print_table(
         "Ablation: lazy-scheduler benefit under extended GDDR5 timing (tFAW/tCCDL/refresh)",

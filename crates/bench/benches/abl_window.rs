@@ -1,7 +1,7 @@
 //! Ablation (paper footnote 1): the 4096-cycle profiling window of the
 //! dynamic schemes vs smaller and larger windows.
 
-use lazydram_bench::{measure, measure_baseline, print_table, scale_from_env};
+use lazydram_bench::{print_table, scale_from_env, MeasureSpec, SweepRunner};
 use lazydram_common::config::{DynAmsConfig, DynDmsConfig};
 use lazydram_common::{AmsMode, DmsMode, GpuConfig, SchedConfig};
 use lazydram_workloads::by_name;
@@ -9,24 +9,64 @@ use lazydram_workloads::by_name;
 fn main() {
     let scale = scale_from_env();
     let cfg = GpuConfig::default();
+    let windows = [1024u32, 4096, 16384];
+    let apps: Vec<_> = ["SCP", "MVT", "3DCONV"]
+        .iter()
+        .map(|n| by_name(n).expect("app"))
+        .collect();
+    let runner = SweepRunner::from_env();
+    let bases = runner.baselines(&apps, &cfg, scale);
+    let mut specs = Vec::new();
+    for (app, base) in apps.iter().zip(&bases) {
+        let Ok(base) = base else { continue };
+        for &window in &windows {
+            specs.push(MeasureSpec {
+                app: app.clone(),
+                cfg: cfg.clone(),
+                sched: SchedConfig {
+                    dms: DmsMode::Dynamic(DynDmsConfig { window, ..DynDmsConfig::default() }),
+                    ams: AmsMode::Dynamic(DynAmsConfig { window, ..DynAmsConfig::default() }),
+                    ..SchedConfig::baseline()
+                },
+                scale,
+                label: format!("window={window}"),
+                exact: base.exact.clone(),
+            });
+        }
+    }
+    let results = runner.measure_all(specs);
+
     let mut rows = Vec::new();
-    for name in ["SCP", "MVT", "3DCONV"] {
-        let app = by_name(name).expect("app");
-        let (base, exact) = measure_baseline(&app, &cfg, scale);
-        for window in [1024u32, 4096, 16384] {
-            let sched = SchedConfig {
-                dms: DmsMode::Dynamic(DynDmsConfig { window, ..DynDmsConfig::default() }),
-                ams: AmsMode::Dynamic(DynAmsConfig { window, ..DynAmsConfig::default() }),
-                ..SchedConfig::baseline()
-            };
-            let m = measure(&app, &cfg, &sched, scale, "win", &exact);
+    let mut cursor = results.iter();
+    for (app, base) in apps.iter().zip(&bases) {
+        let Ok(base) = base else {
             rows.push(vec![
-                name.to_string(),
-                window.to_string(),
-                format!("{:.3}", m.activations as f64 / base.activations.max(1) as f64),
-                format!("{:.3}", m.ipc / base.ipc.max(1e-9)),
-                format!("{:.1}%", 100.0 * m.coverage),
+                app.name.to_string(),
+                "-".to_string(),
+                "FAIL".to_string(),
+                "FAIL".to_string(),
+                "FAIL".to_string(),
             ]);
+            continue;
+        };
+        for (&window, r) in windows.iter().zip(cursor.by_ref().take(windows.len())) {
+            rows.push(match r {
+                Ok(m) => vec![
+                    app.name.to_string(),
+                    window.to_string(),
+                    format!("{:.3}",
+                        m.activations as f64 / base.measurement.activations.max(1) as f64),
+                    format!("{:.3}", m.ipc / base.measurement.ipc.max(1e-9)),
+                    format!("{:.1}%", 100.0 * m.coverage),
+                ],
+                Err(_) => vec![
+                    app.name.to_string(),
+                    window.to_string(),
+                    "FAIL".to_string(),
+                    "FAIL".to_string(),
+                    "FAIL".to_string(),
+                ],
+            });
         }
     }
     print_table(

@@ -1,7 +1,7 @@
 //! Figure 4: effect of the DMS delay on (a) row activations and (b) IPC,
 //! both normalized to the no-delay baseline.
 
-use lazydram_bench::{apps_from_env, mean, measure, measure_baseline, print_table, scale_from_env};
+use lazydram_bench::{apps_from_env, mean, print_table, scale_from_env, MeasureSpec, SweepRunner};
 use lazydram_common::{DmsMode, GpuConfig, SchedConfig};
 
 fn main() {
@@ -9,23 +9,54 @@ fn main() {
     let apps = apps_from_env();
     let delays = [64u32, 128, 256, 512, 1024, 2048];
     let cfg = GpuConfig::default();
+    let runner = SweepRunner::from_env();
+    let bases = runner.baselines(&apps, &cfg, scale);
+    let mut specs = Vec::new();
+    for (app, base) in apps.iter().zip(&bases) {
+        let Ok(base) = base else { continue };
+        for &x in &delays {
+            specs.push(MeasureSpec {
+                app: app.clone(),
+                cfg: cfg.clone(),
+                sched: SchedConfig { dms: DmsMode::Static(x), ..SchedConfig::baseline() },
+                scale,
+                label: format!("DMS({x})"),
+                exact: base.exact.clone(),
+            });
+        }
+    }
+    let results = runner.measure_all(specs);
+
     let mut act_rows = Vec::new();
     let mut ipc_rows = Vec::new();
     let mut act_cols: Vec<Vec<f64>> = vec![Vec::new(); delays.len()];
     let mut ipc_cols: Vec<Vec<f64>> = vec![Vec::new(); delays.len()];
-    for app in &apps {
-        let (base, exact) = measure_baseline(app, &cfg, scale);
+    let mut cursor = results.iter();
+    for (app, base) in apps.iter().zip(&bases) {
         let mut acts = vec![app.name.to_string()];
         let mut ipcs = vec![app.name.to_string()];
-        for (i, &x) in delays.iter().enumerate() {
-            let sched = SchedConfig { dms: DmsMode::Static(x), ..SchedConfig::baseline() };
-            let m = measure(app, &cfg, &sched, scale, &format!("DMS({x})"), &exact);
-            let na = m.activations as f64 / base.activations.max(1) as f64;
-            let ni = m.ipc / base.ipc.max(1e-9);
-            act_cols[i].push(na);
-            ipc_cols[i].push(ni);
-            acts.push(format!("{na:.3}"));
-            ipcs.push(format!("{ni:.3}"));
+        let Ok(base) = base else {
+            acts.extend(delays.iter().map(|_| "FAIL".to_string()));
+            ipcs.extend(delays.iter().map(|_| "FAIL".to_string()));
+            act_rows.push(acts);
+            ipc_rows.push(ipcs);
+            continue;
+        };
+        for (i, r) in cursor.by_ref().take(delays.len()).enumerate() {
+            match r {
+                Ok(m) => {
+                    let na = m.activations as f64 / base.measurement.activations.max(1) as f64;
+                    let ni = m.ipc / base.measurement.ipc.max(1e-9);
+                    act_cols[i].push(na);
+                    ipc_cols[i].push(ni);
+                    acts.push(format!("{na:.3}"));
+                    ipcs.push(format!("{ni:.3}"));
+                }
+                Err(_) => {
+                    acts.push("FAIL".to_string());
+                    ipcs.push("FAIL".to_string());
+                }
+            }
         }
         act_rows.push(acts);
         ipc_rows.push(ipcs);

@@ -1,34 +1,69 @@
 //! Figure 5: distribution of row activations over RBL buckets as the DMS
 //! delay grows, for two applications.
 
-use lazydram_bench::{print_table, scale_from_env};
+use lazydram_bench::{print_table, scale_from_env, Measurement, MeasureSpec, SweepRunner};
 use lazydram_common::{DmsMode, GpuConfig, SchedConfig};
-use lazydram_workloads::{by_name, run_app};
+use lazydram_workloads::by_name;
+
+const BUCKETS: [(u32, u32); 5] = [(1, 1), (2, 2), (3, 4), (5, 8), (9, u32::MAX - 1)];
+
+fn bucket_cells(delay: u32, m: &Measurement) -> Vec<String> {
+    let h = &m.stats.dram.rbl;
+    let total = h.activations().max(1) as f64;
+    let mut cells = vec![format!("delay={delay}")];
+    for &(lo, hi) in &BUCKETS {
+        cells.push(format!("{:.1}%", 100.0 * h.count_range(lo, hi) as f64 / total));
+    }
+    cells.push(format!("{}", h.activations()));
+    cells
+}
+
+fn fail_cells(delay: u32) -> Vec<String> {
+    let mut cells = vec![format!("delay={delay}")];
+    cells.extend(std::iter::repeat_n("FAIL".to_string(), BUCKETS.len() + 1));
+    cells
+}
 
 fn main() {
     let scale = scale_from_env();
     let cfg = GpuConfig::default();
-    let buckets: [(u32, u32); 5] = [(1, 1), (2, 2), (3, 4), (5, 8), (9, u32::MAX - 1)];
-    for name in ["GEMM", "SCP"] {
-        let app = by_name(name).expect("app");
+    let runner = SweepRunner::from_env();
+    let apps: Vec<_> = ["GEMM", "SCP"].iter().map(|n| by_name(n).expect("app")).collect();
+    let delays = [128u32, 512, 2048]; // delay = 0 is the cached baseline run
+    let bases = runner.baselines(&apps, &cfg, scale);
+    let mut specs = Vec::new();
+    for (app, base) in apps.iter().zip(&bases) {
+        let Ok(base) = base else { continue };
+        for &delay in &delays {
+            specs.push(MeasureSpec {
+                app: app.clone(),
+                cfg: cfg.clone(),
+                sched: SchedConfig { dms: DmsMode::Static(delay), ..SchedConfig::baseline() },
+                scale,
+                label: format!("DMS({delay})"),
+                exact: base.exact.clone(),
+            });
+        }
+    }
+    let results = runner.measure_all(specs);
+
+    let mut cursor = results.iter();
+    for (app, base) in apps.iter().zip(&bases) {
         let mut rows = Vec::new();
-        for delay in [0u32, 128, 512, 2048] {
-            let sched = SchedConfig {
-                dms: if delay == 0 { DmsMode::Off } else { DmsMode::Static(delay) },
-                ..SchedConfig::baseline()
-            };
-            let r = run_app(&app, &cfg, &sched, scale);
-            let h = &r.stats.dram.rbl;
-            let total = h.activations().max(1) as f64;
-            let mut cells = vec![format!("delay={delay}")];
-            for &(lo, hi) in &buckets {
-                cells.push(format!("{:.1}%", 100.0 * h.count_range(lo, hi) as f64 / total));
+        match base {
+            Ok(base) => {
+                rows.push(bucket_cells(0, &base.measurement));
+                for (&delay, r) in delays.iter().zip(cursor.by_ref().take(delays.len())) {
+                    rows.push(match r {
+                        Ok(m) => bucket_cells(delay, m),
+                        Err(_) => fail_cells(delay),
+                    });
+                }
             }
-            cells.push(format!("{}", h.activations()));
-            rows.push(cells);
+            Err(_) => rows.push(fail_cells(0)),
         }
         print_table(
-            &format!("Figure 5 ({name}): activation share per RBL bucket vs delay"),
+            &format!("Figure 5 ({}): activation share per RBL bucket vs delay", app.name),
             &["delay", "RBL(1)", "RBL(2)", "RBL(3-4)", "RBL(5-8)", "RBL(9+)", "total acts"],
             &rows,
         );

@@ -1,20 +1,29 @@
 //! Figure 6: cumulative distribution of row activations over requests sorted
 //! by the RBL of their activation (read-only rows), for GEMM and 3MM.
 
-use lazydram_bench::scale_from_env;
-use lazydram_common::{GpuConfig, SchedConfig};
-use lazydram_workloads::{by_name, run_app};
+use lazydram_bench::{scale_from_env, SweepRunner};
+use lazydram_common::GpuConfig;
+use lazydram_workloads::by_name;
 
 fn main() {
     let scale = scale_from_env();
     let cfg = GpuConfig::default();
-    for name in ["GEMM", "3MM"] {
-        let app = by_name(name).expect("app");
-        let r = run_app(&app, &cfg, &SchedConfig::baseline(), scale);
-        let d = &r.stats.dram;
+    let runner = SweepRunner::from_env();
+    let apps: Vec<_> = ["GEMM", "3MM"].iter().map(|n| by_name(n).expect("app")).collect();
+    let bases = runner.baselines(&apps, &cfg, scale);
+    for (app, base) in apps.iter().zip(&bases) {
+        let name = app.name;
+        println!("\n=== Figure 6 ({name}): cumulative activations vs requests (by RBL) ===");
+        let base = match base {
+            Ok(b) => b,
+            Err(f) => {
+                println!("FAILED: {}", f.message);
+                continue;
+            }
+        };
+        let d = &base.measurement.stats.dram;
         let all_req = d.served();
         let all_act = d.activations;
-        println!("\n=== Figure 6 ({name}): cumulative activations vs requests (by RBL) ===");
         println!("total requests {all_req}, total activations {all_act}, read-only activations {}",
                  d.rbl_read_only.activations());
         println!("{:>6} {:>10} {:>10}", "RBL", "req-cum%", "act-cum%");

@@ -1,14 +1,17 @@
 //! Figure 7: how AMS helps DMS — LPS (delay-insensitive activations) and
 //! SCP (performance-limited delay) case studies.
 
-use lazydram_bench::{measure, measure_baseline, print_table, scale_from_env};
+use lazydram_bench::{print_table, scale_from_env, MeasureSpec, SweepRunner};
 use lazydram_common::{AmsMode, DmsMode, GpuConfig, SchedConfig};
 use lazydram_workloads::by_name;
+
+type Case = (&'static str, DmsMode, AmsMode);
 
 fn main() {
     let scale = scale_from_env();
     let cfg = GpuConfig::default();
-    for (name, cases) in [
+    let runner = SweepRunner::from_env();
+    let studies: Vec<(&str, Vec<Case>)> = vec![
         (
             "LPS",
             vec![
@@ -26,23 +29,57 @@ fn main() {
                 ("DMS(256)+AMS(8)", DmsMode::Static(256), AmsMode::Static(8)),
             ],
         ),
-    ] {
-        let app = by_name(name).expect("app");
-        let (base, exact) = measure_baseline(&app, &cfg, scale);
-        let mut rows = Vec::new();
+    ];
+    let apps: Vec<_> = studies.iter().map(|(n, _)| by_name(n).expect("app")).collect();
+    let bases = runner.baselines(&apps, &cfg, scale);
+    let mut specs = Vec::new();
+    for ((app, base), (_, cases)) in apps.iter().zip(&bases).zip(&studies) {
+        let Ok(base) = base else { continue };
         for (label, dms, ams) in cases {
-            let sched = SchedConfig { dms, ams, ..SchedConfig::baseline() };
-            let m = measure(&app, &cfg, &sched, scale, label, &exact);
-            rows.push(vec![
-                label.to_string(),
-                format!("{:.3}", m.activations as f64 / base.activations.max(1) as f64),
-                format!("{:.3}", m.ipc / base.ipc.max(1e-9)),
-                format!("{:.1}%", 100.0 * m.coverage),
-                format!("{:.1}%", 100.0 * m.app_error),
-            ]);
+            specs.push(MeasureSpec {
+                app: app.clone(),
+                cfg: cfg.clone(),
+                sched: SchedConfig { dms: *dms, ams: *ams, ..SchedConfig::baseline() },
+                scale,
+                label: (*label).to_string(),
+                exact: base.exact.clone(),
+            });
+        }
+    }
+    let results = runner.measure_all(specs);
+
+    let mut cursor = results.iter();
+    for ((app, base), (_, cases)) in apps.iter().zip(&bases).zip(&studies) {
+        let mut rows = Vec::new();
+        match base {
+            Ok(base) => {
+                for ((label, _, _), r) in cases.iter().zip(cursor.by_ref().take(cases.len())) {
+                    rows.push(match r {
+                        Ok(m) => vec![
+                            (*label).to_string(),
+                            format!("{:.3}",
+                                m.activations as f64 / base.measurement.activations.max(1) as f64),
+                            format!("{:.3}", m.ipc / base.measurement.ipc.max(1e-9)),
+                            format!("{:.1}%", 100.0 * m.coverage),
+                            format!("{:.1}%", 100.0 * m.app_error),
+                        ],
+                        Err(_) => vec![(*label).to_string(); 1]
+                            .into_iter()
+                            .chain(std::iter::repeat_n("FAIL".to_string(), 4))
+                            .collect(),
+                    });
+                }
+            }
+            Err(f) => rows.push(vec![
+                "baseline".to_string(),
+                format!("FAILED: {}", f.message),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]),
         }
         print_table(
-            &format!("Figure 7 ({name}): AMS helps DMS"),
+            &format!("Figure 7 ({}): AMS helps DMS", app.name),
             &["scheme", "norm acts", "norm IPC", "coverage", "app error"],
             &rows,
         );

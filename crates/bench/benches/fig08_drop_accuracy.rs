@@ -2,6 +2,7 @@
 //! micro-trace over five rows of one bank: AMS alone drops the oldest
 //! request (wrongly), AMS+DMS drops the only true RBL(1) row.
 
+use lazydram_bench::{Job, SweepRunner};
 use lazydram_common::{AccessKind, AddressMap, AmsMode, DmsMode, GpuConfig, MemSpace, Request,
                       RequestId, SchedConfig};
 use lazydram_core::MemoryController;
@@ -67,10 +68,22 @@ fn run(dms: DmsMode) -> (Vec<u64>, u64, f64) {
 fn main() {
     println!("=== Figure 8: drop accuracy of AMS alone vs AMS+DMS ===");
     println!("nine requests over rows R1..R5 of one bank; second batch to R1..R4 arrives late\n");
-    let (d, acts, rbl) = run(DmsMode::Off);
-    println!("AMS alone  : dropped request ids {d:?} (oldest, row R1 — inaccurate)");
-    println!("             activations {acts}, Avg-RBL {rbl:.2}");
-    let (d, acts, rbl) = run(DmsMode::Static(64));
-    println!("AMS + DMS  : dropped request ids {d:?} (request 5, row R5 — the true RBL(1) row)");
-    println!("             activations {acts}, Avg-RBL {rbl:.2}");
+    let runner = SweepRunner::from_env();
+    let results = runner.run(vec![
+        Job::new("fig08/AMS-alone", || run(DmsMode::Off)),
+        Job::new("fig08/AMS+DMS", || run(DmsMode::Static(64))),
+    ]);
+    let captions = [
+        ("AMS alone  ", "(oldest, row R1 — inaccurate)"),
+        ("AMS + DMS  ", "(request 5, row R5 — the true RBL(1) row)"),
+    ];
+    for (res, (tag, note)) in results.iter().zip(captions) {
+        match res {
+            Ok((d, acts, rbl)) => {
+                println!("{tag}: dropped request ids {d:?} {note}");
+                println!("             activations {acts}, Avg-RBL {rbl:.2}");
+            }
+            Err(f) => println!("{tag}: FAILED — {}", f.message),
+        }
+    }
 }

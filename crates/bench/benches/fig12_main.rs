@@ -3,7 +3,7 @@
 //! error-tolerant applications (groups 1-3), plus the HBM1/HBM2
 //! memory-system-energy projection of Section V.
 
-use lazydram_bench::{measure, measure_baseline, mean, print_table, scale_from_env};
+use lazydram_bench::{mean, print_table, scale_from_env, MeasureSpec, SweepRunner};
 use lazydram_common::{GpuConfig, SchedConfig};
 use lazydram_energy::{CardBudget, EnergyModel, MemoryTech};
 use lazydram_workloads::all_apps;
@@ -13,6 +13,23 @@ fn main() {
     let cfg = GpuConfig::default();
     let apps: Vec<_> = all_apps().into_iter().filter(|a| a.error_tolerant()).collect();
     let schemes = SchedConfig::paper_schemes();
+    let runner = SweepRunner::from_env();
+    let bases = runner.baselines(&apps, &cfg, scale);
+    let mut specs = Vec::new();
+    for (app, base) in apps.iter().zip(&bases) {
+        let Ok(base) = base else { continue };
+        for (label, sched) in &schemes {
+            specs.push(MeasureSpec {
+                app: app.clone(),
+                cfg: cfg.clone(),
+                sched: sched.clone(),
+                scale,
+                label: (*label).to_string(),
+                exact: base.exact.clone(),
+            });
+        }
+    }
+    let results = runner.measure_all(specs);
 
     let mut energy_rows = Vec::new();
     let mut ipc_rows = Vec::new();
@@ -22,25 +39,42 @@ fn main() {
     let mut ipc_cols: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
     let mut err_cols: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
     let mut cov_cols: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
-
-    for app in &apps {
-        let (base, exact) = measure_baseline(app, &cfg, scale);
+    let mut cursor = results.iter();
+    for (app, base) in apps.iter().zip(&bases) {
         let mut er = vec![format!("{}(g{})", app.name, app.group)];
         let mut ir = er.clone();
         let mut xr = er.clone();
         let mut cr = er.clone();
-        for (i, (label, sched)) in schemes.iter().enumerate() {
-            let m = measure(app, &cfg, sched, scale, label, &exact);
-            let ne = m.row_energy_pj / base.row_energy_pj.max(1e-9);
-            let ni = m.ipc / base.ipc.max(1e-9);
-            energy_cols[i].push(ne);
-            ipc_cols[i].push(ni);
-            err_cols[i].push(m.app_error);
-            cov_cols[i].push(m.coverage);
-            er.push(format!("{ne:.3}"));
-            ir.push(format!("{ni:.3}"));
-            xr.push(format!("{:.1}%", 100.0 * m.app_error));
-            cr.push(format!("{:.1}%", 100.0 * m.coverage));
+        let Ok(base) = base else {
+            for row in [&mut er, &mut ir, &mut xr, &mut cr] {
+                row.extend(schemes.iter().map(|_| "FAIL".to_string()));
+            }
+            energy_rows.push(er);
+            ipc_rows.push(ir);
+            err_rows.push(xr);
+            cov_rows.push(cr);
+            continue;
+        };
+        for (i, r) in cursor.by_ref().take(schemes.len()).enumerate() {
+            match r {
+                Ok(m) => {
+                    let ne = m.row_energy_pj / base.measurement.row_energy_pj.max(1e-9);
+                    let ni = m.ipc / base.measurement.ipc.max(1e-9);
+                    energy_cols[i].push(ne);
+                    ipc_cols[i].push(ni);
+                    err_cols[i].push(m.app_error);
+                    cov_cols[i].push(m.coverage);
+                    er.push(format!("{ne:.3}"));
+                    ir.push(format!("{ni:.3}"));
+                    xr.push(format!("{:.1}%", 100.0 * m.app_error));
+                    cr.push(format!("{:.1}%", 100.0 * m.coverage));
+                }
+                Err(_) => {
+                    for row in [&mut er, &mut ir, &mut xr, &mut cr] {
+                        row.push("FAIL".to_string());
+                    }
+                }
+            }
         }
         energy_rows.push(er);
         ipc_rows.push(ir);

@@ -2,27 +2,51 @@
 //! maximum delay DMS(2048) is applied (normalized to the no-delay baseline
 //! at queue size 128).
 
-use lazydram_bench::{apps_from_env, mean, print_table, scale_from_env};
+use lazydram_bench::{apps_from_env, mean, print_table, scale_from_env, MeasureSpec, SweepRunner};
 use lazydram_common::{DmsMode, GpuConfig, SchedConfig};
-use lazydram_workloads::run_app;
 
 fn main() {
     let scale = scale_from_env();
     let apps = apps_from_env();
     let sizes = [32usize, 64, 128, 256];
+    let runner = SweepRunner::from_env();
+    let bases = runner.baselines(&apps, &GpuConfig::default(), scale);
+    let mut specs = Vec::new();
+    for (app, base) in apps.iter().zip(&bases) {
+        let Ok(base) = base else { continue };
+        for &q in &sizes {
+            specs.push(MeasureSpec {
+                app: app.clone(),
+                cfg: GpuConfig { pending_queue_size: q, ..GpuConfig::default() },
+                sched: SchedConfig { dms: DmsMode::Static(2048), ..SchedConfig::baseline() },
+                scale,
+                label: format!("DMS(2048)/q={q}"),
+                exact: base.exact.clone(),
+            });
+        }
+    }
+    let results = runner.measure_all(specs);
+
     let mut rows = Vec::new();
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
-    for app in &apps {
-        let base = run_app(app, &GpuConfig::default(), &SchedConfig::baseline(), scale);
-        let base_acts = base.stats.dram.activations.max(1) as f64;
+    let mut cursor = results.iter();
+    for (app, base) in apps.iter().zip(&bases) {
         let mut cells = vec![app.name.to_string()];
-        for (i, &q) in sizes.iter().enumerate() {
-            let cfg = GpuConfig { pending_queue_size: q, ..GpuConfig::default() };
-            let sched = SchedConfig { dms: DmsMode::Static(2048), ..SchedConfig::baseline() };
-            let r = run_app(app, &cfg, &sched, scale);
-            let norm = r.stats.dram.activations as f64 / base_acts;
-            cols[i].push(norm);
-            cells.push(format!("{norm:.3}"));
+        let Ok(base) = base else {
+            cells.extend(sizes.iter().map(|_| "FAIL".to_string()));
+            rows.push(cells);
+            continue;
+        };
+        let base_acts = base.measurement.activations.max(1) as f64;
+        for (i, r) in cursor.by_ref().take(sizes.len()).enumerate() {
+            match r {
+                Ok(m) => {
+                    let norm = m.activations as f64 / base_acts;
+                    cols[i].push(norm);
+                    cells.push(format!("{norm:.3}"));
+                }
+                Err(_) => cells.push("FAIL".to_string()),
+            }
         }
         rows.push(cells);
     }

@@ -2,7 +2,7 @@
 //! exact and the approximated (Dyn-DMS + Dyn-AMS) output images as PGM
 //! files and reports the application error.
 
-use lazydram_bench::scale_from_env;
+use lazydram_bench::{scale_from_env, Job, SweepRunner};
 use lazydram_common::{GpuConfig, SchedConfig};
 use lazydram_gpu::application_error;
 use lazydram_workloads::{by_name, exact_output, run_app};
@@ -23,19 +23,44 @@ fn main() {
     let scale = scale_from_env();
     let cfg = GpuConfig::default();
     let app = by_name("laplacian").expect("app");
-    // Width must match the app's scaled geometry: rebuild one launch to ask.
-    let exact = exact_output(&app, scale);
-    let lazy = run_app(&app, &cfg, &SchedConfig::dyn_combo(), scale);
-    let err = application_error(&exact, &lazy.output);
+    let runner = SweepRunner::from_env();
+    // The exact (functional) output and the approximated run are independent —
+    // compute both in parallel, each isolated against panics.
+    let exact_job = {
+        let app = app.clone();
+        Job::new("laplacian/exact", move || {
+            (exact_output(&app, scale), 0.0f64)
+        })
+    };
+    let lazy_job = {
+        let app = app.clone();
+        let cfg = cfg.clone();
+        Job::new("laplacian/Dyn-DMS+Dyn-AMS", move || {
+            let r = run_app(&app, &cfg, &SchedConfig::dyn_combo(), scale);
+            let coverage = r.stats.dram.coverage();
+            (r.output, coverage)
+        })
+    };
+    let mut results = runner.run(vec![exact_job, lazy_job]);
+    let lazy = results.pop().expect("lazy job");
+    let exact = results.pop().expect("exact job");
+    let ((exact, _), (lazy_out, coverage)) = match (exact, lazy) {
+        (Ok(e), Ok(l)) => (e, l),
+        (Err(f), _) | (_, Err(f)) => {
+            println!("Figure 14 (laplacian): FAILED — {}", f.message);
+            return;
+        }
+    };
+    let err = application_error(&exact, &lazy_out);
     // The image is square at any scale (w == h in the builder).
     let w = (exact.len() as f64).sqrt().round() as usize;
     let dir = std::env::var("LAZYDRAM_OUT").unwrap_or_else(|_| "target".into());
+    std::fs::create_dir_all(&dir).expect("create LAZYDRAM_OUT dir");
     let exact_path = format!("{dir}/fig14_laplacian_exact.pgm");
     let approx_path = format!("{dir}/fig14_laplacian_approx.pgm");
     write_pgm(&exact_path, &exact, w).expect("write exact image");
-    write_pgm(&approx_path, &lazy.output, w).expect("write approx image");
+    write_pgm(&approx_path, &lazy_out, w).expect("write approx image");
     println!("=== Figure 14 (laplacian): output quality under Dyn-DMS+Dyn-AMS ===");
-    println!("application error: {:.1}%  coverage: {:.1}%", 100.0 * err,
-             100.0 * lazy.stats.dram.coverage());
+    println!("application error: {:.1}%  coverage: {:.1}%", 100.0 * err, 100.0 * coverage);
     println!("images written: {exact_path} (exact), {approx_path} (approximated)");
 }

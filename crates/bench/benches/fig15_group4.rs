@@ -1,7 +1,7 @@
 //! Figure 15: delay-only mode for the low-error-tolerance applications
 //! (Group 4): normalized row energy and IPC under Static-DMS and Dyn-DMS.
 
-use lazydram_bench::{mean, measure, measure_baseline, print_table, scale_from_env};
+use lazydram_bench::{mean, print_table, scale_from_env, MeasureSpec, SweepRunner};
 use lazydram_common::{GpuConfig, SchedConfig};
 use lazydram_workloads::group;
 
@@ -12,22 +12,55 @@ fn main() {
         ("Static-DMS", SchedConfig::static_dms()),
         ("Dyn-DMS", SchedConfig::dyn_dms()),
     ];
+    let apps = group(4);
+    let runner = SweepRunner::from_env();
+    let bases = runner.baselines(&apps, &cfg, scale);
+    let mut specs = Vec::new();
+    for (app, base) in apps.iter().zip(&bases) {
+        let Ok(base) = base else { continue };
+        for (label, sched) in &schemes {
+            specs.push(MeasureSpec {
+                app: app.clone(),
+                cfg: cfg.clone(),
+                sched: sched.clone(),
+                scale,
+                label: (*label).to_string(),
+                exact: base.exact.clone(),
+            });
+        }
+    }
+    let results = runner.measure_all(specs);
+
     let mut e_rows = Vec::new();
     let mut i_rows = Vec::new();
     let mut e_cols: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
     let mut i_cols: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
-    for app in group(4) {
-        let (base, exact) = measure_baseline(&app, &cfg, scale);
+    let mut cursor = results.iter();
+    for (app, base) in apps.iter().zip(&bases) {
         let mut er = vec![app.name.to_string()];
         let mut ir = vec![app.name.to_string()];
-        for (i, (label, sched)) in schemes.iter().enumerate() {
-            let m = measure(&app, &cfg, sched, scale, label, &exact);
-            let ne = m.row_energy_pj / base.row_energy_pj.max(1e-9);
-            let ni = m.ipc / base.ipc.max(1e-9);
-            e_cols[i].push(ne);
-            i_cols[i].push(ni);
-            er.push(format!("{ne:.3}"));
-            ir.push(format!("{ni:.3}"));
+        let Ok(base) = base else {
+            er.extend(schemes.iter().map(|_| "FAIL".to_string()));
+            ir.extend(schemes.iter().map(|_| "FAIL".to_string()));
+            e_rows.push(er);
+            i_rows.push(ir);
+            continue;
+        };
+        for (i, r) in cursor.by_ref().take(schemes.len()).enumerate() {
+            match r {
+                Ok(m) => {
+                    let ne = m.row_energy_pj / base.measurement.row_energy_pj.max(1e-9);
+                    let ni = m.ipc / base.measurement.ipc.max(1e-9);
+                    e_cols[i].push(ne);
+                    i_cols[i].push(ni);
+                    er.push(format!("{ne:.3}"));
+                    ir.push(format!("{ni:.3}"));
+                }
+                Err(_) => {
+                    er.push("FAIL".to_string());
+                    ir.push("FAIL".to_string());
+                }
+            }
         }
         e_rows.push(er);
         i_rows.push(ir);

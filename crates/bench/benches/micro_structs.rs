@@ -1,12 +1,46 @@
-//! Criterion micro-benchmarks for the hot data structures: pending-queue
-//! operations, FR-FCFS candidate selection, DRAM channel commands, cache
-//! lookups, and the address map.
+//! Micro-benchmarks for the hot data structures: pending-queue operations,
+//! FR-FCFS candidate selection, DRAM channel commands, cache lookups, and
+//! the address map.
+//!
+//! Uses a small self-contained timing harness (adaptive batching around
+//! `std::hint::black_box`) instead of `criterion`, which is unavailable in
+//! the offline build environment. Reported numbers are median-of-5 batch
+//! averages — stable enough to track order-of-magnitude regressions.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lazydram_common::{AccessKind, AddressMap, GpuConfig, MemSpace, Request, RequestId, SchedConfig};
 use lazydram_core::{MemoryController, PendingQueue};
 use lazydram_dram::Channel;
 use lazydram_gpu::Cache;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Times `f` adaptively: grows the batch size until one batch takes ≥ 50 ms,
+/// then reports the median ns/iteration over five batches.
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Warm up + find a batch size.
+    let mut batch: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        if t0.elapsed() >= Duration::from_millis(50) || batch >= 1 << 30 {
+            break;
+        }
+        batch *= 4;
+    }
+    let mut per_iter: Vec<f64> = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    println!("{name:<28} {:>12.1} ns/iter   (batch {batch})", per_iter[2]);
+}
 
 fn mkreq(map: &AddressMap, id: u64) -> Request {
     let addr = map.line_of(id.wrapping_mul(0x9E37_79B9) % (1 << 30));
@@ -21,114 +55,99 @@ fn mkreq(map: &AddressMap, id: u64) -> Request {
     }
 }
 
-fn bench_queue(c: &mut Criterion) {
-    let cfg = GpuConfig::default();
-    let map = AddressMap::new(&cfg);
-    c.bench_function("queue_push_remove_128", |b| {
-        b.iter(|| {
-            let mut q = PendingQueue::new(128, 16, 4);
-            for i in 0..128u64 {
-                q.push(mkreq(&map, i)).unwrap();
-            }
-            for i in 0..128u64 {
-                black_box(q.remove(RequestId(i)));
-            }
-        })
-    });
-    c.bench_function("queue_visible_rbl", |b| {
+fn bench_queue(map: &AddressMap) {
+    bench("queue_push_remove_128", || {
         let mut q = PendingQueue::new(128, 16, 4);
         for i in 0..128u64 {
-            q.push(mkreq(&map, i)).unwrap();
+            q.push(mkreq(map, i)).unwrap();
         }
-        b.iter(|| black_box(q.visible_rbl(3, 7)))
+        for i in 0..128u64 {
+            black_box(q.remove(RequestId(i)));
+        }
+    });
+    let mut q = PendingQueue::new(128, 16, 4);
+    for i in 0..128u64 {
+        q.push(mkreq(map, i)).unwrap();
+    }
+    bench("queue_visible_rbl", || {
+        black_box(q.visible_rbl(3, 7));
     });
 }
 
-fn bench_controller_tick(c: &mut Criterion) {
+fn bench_controller_tick(cfg: &GpuConfig, map: &AddressMap) {
+    let mut mc = MemoryController::new(cfg, &SchedConfig::baseline());
+    let mut next = 0u64;
+    for _ in 0..96 {
+        next += 1;
+        let _ = mc.enqueue(mkreq(map, next));
+    }
+    bench("controller_tick_loaded", || {
+        if mc.pending_len() < 64 {
+            for _ in 0..32 {
+                next += 1;
+                let _ = mc.enqueue(mkreq(map, next));
+            }
+        }
+        black_box(mc.tick());
+    });
+}
+
+fn bench_channel(cfg: &GpuConfig) {
+    bench("channel_act_cas_pre", || {
+        let mut ch = Channel::new(cfg);
+        let mut t = 0u64;
+        for row in 0..8u32 {
+            while !ch.can_activate(0, t) {
+                t += 1;
+            }
+            ch.activate(0, row, t);
+            while !ch.can_cas(0, AccessKind::Read, t) {
+                t += 1;
+            }
+            ch.cas(0, AccessKind::Read, true, t);
+            while !ch.can_precharge(0, t) {
+                t += 1;
+            }
+            ch.precharge(0, t);
+        }
+        black_box(ch.stats().activations);
+    });
+}
+
+fn bench_cache() {
+    let mut l2 = Cache::new(128 * 1024, 8, 128);
+    let mut i = 0u64;
+    bench("l2_access_fill", || {
+        i = i.wrapping_add(0x9E37).wrapping_mul(31) % (1 << 24);
+        let a = i * 128;
+        if l2.access(a, false) == lazydram_gpu::AccessResult::Miss {
+            l2.fill(a, false);
+        }
+    });
+    let mut l2 = Cache::new(128 * 1024, 8, 128);
+    for i in 0..512u64 {
+        l2.fill(i * 37 * 128, false);
+    }
+    bench("l2_nearest_resident", || {
+        black_box(l2.nearest_resident(12_345_600, 4));
+    });
+}
+
+fn bench_addr(map: &AddressMap) {
+    let mut a = 0u64;
+    bench("addr_decompose", || {
+        a = a.wrapping_add(4096);
+        black_box(map.decompose(a));
+    });
+}
+
+fn main() {
     let cfg = GpuConfig::default();
     let map = AddressMap::new(&cfg);
-    c.bench_function("controller_tick_loaded", |b| {
-        let mut mc = MemoryController::new(&cfg, &SchedConfig::baseline());
-        let mut next = 0u64;
-        for _ in 0..96 {
-            next += 1;
-            let _ = mc.enqueue(mkreq(&map, next));
-        }
-        b.iter(|| {
-            if mc.pending_len() < 64 {
-                for _ in 0..32 {
-                    next += 1;
-                    let _ = mc.enqueue(mkreq(&map, next));
-                }
-            }
-            black_box(mc.tick())
-        })
-    });
+    println!("=== micro-benchmarks (hot structures) ===");
+    bench_queue(&map);
+    bench_controller_tick(&cfg, &map);
+    bench_channel(&cfg);
+    bench_cache();
+    bench_addr(&map);
 }
-
-fn bench_channel(c: &mut Criterion) {
-    let cfg = GpuConfig::default();
-    c.bench_function("channel_act_cas_pre", |b| {
-        b.iter(|| {
-            let mut ch = Channel::new(&cfg);
-            let mut t = 0u64;
-            for row in 0..8u32 {
-                while !ch.can_activate(0, t) {
-                    t += 1;
-                }
-                ch.activate(0, row, t);
-                while !ch.can_cas(0, AccessKind::Read, t) {
-                    t += 1;
-                }
-                ch.cas(0, AccessKind::Read, true, t);
-                while !ch.can_precharge(0, t) {
-                    t += 1;
-                }
-                ch.precharge(0, t);
-            }
-            black_box(ch.stats().activations)
-        })
-    });
-}
-
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("l2_access_fill", |b| {
-        let mut l2 = Cache::new(128 * 1024, 8, 128);
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(0x9E37).wrapping_mul(31) % (1 << 24);
-            let a = i * 128;
-            if l2.access(a, false) == lazydram_gpu::AccessResult::Miss {
-                l2.fill(a, false);
-            }
-        })
-    });
-    c.bench_function("l2_nearest_resident", |b| {
-        let mut l2 = Cache::new(128 * 1024, 8, 128);
-        for i in 0..512u64 {
-            l2.fill(i * 37 * 128, false);
-        }
-        b.iter(|| black_box(l2.nearest_resident(12_345_600, 4)))
-    });
-}
-
-fn bench_addr(c: &mut Criterion) {
-    let map = AddressMap::new(&GpuConfig::default());
-    c.bench_function("addr_decompose", |b| {
-        let mut a = 0u64;
-        b.iter(|| {
-            a = a.wrapping_add(4096);
-            black_box(map.decompose(a))
-        })
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_queue,
-    bench_controller_tick,
-    bench_channel,
-    bench_cache,
-    bench_addr
-);
-criterion_main!(benches);

@@ -3,7 +3,9 @@
 //! Each `benches/figNN_*.rs` target (built with `harness = false`) prints the
 //! rows/series of one table or figure of the paper. This library holds the
 //! common machinery: running an app under a scheme, collecting the metrics
-//! the paper reports, and formatting aligned tables.
+//! the paper reports, formatting aligned tables, and — via [`runner`] — the
+//! parallel sweep runner that fans `(app × scheme)` jobs across a worker
+//! pool with panic isolation.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -13,30 +15,75 @@ use lazydram_energy::{EnergyModel, MemoryTech};
 use lazydram_gpu::{application_error, SimLimits};
 use lazydram_workloads::{exact_output, run_app_limited, AppSpec};
 
+pub mod runner;
+
+pub use runner::{Baseline, Job, JobFailure, JobResult, MeasureSpec, SweepRunner};
+
 /// Default work scale for the benchmark harnesses. Chosen so the whole
 /// evaluation runs on a laptop in minutes while every app still issues
 /// 10⁴–10⁵ DRAM requests.
 pub const BENCH_SCALE: f64 = 1.0;
 
+/// Parses a `LAZYDRAM_SCALE` value: must be a finite, positive number.
+///
+/// Kept separate from [`scale_from_env`] so the validation is unit-testable.
+pub fn parse_scale(s: &str) -> Result<f64, String> {
+    match s.trim().parse::<f64>() {
+        Err(_) => Err(format!(
+            "LAZYDRAM_SCALE={s:?} is not a number; expected a positive work \
+             scale such as 0.5 or 1.0"
+        )),
+        Ok(v) if !v.is_finite() || v <= 0.0 => Err(format!(
+            "LAZYDRAM_SCALE={s:?} must be a finite, positive work scale \
+             (e.g. 0.5 for a half-size run); got {v}"
+        )),
+        Ok(v) => Ok(v),
+    }
+}
+
 /// Work scale for harness runs: `LAZYDRAM_SCALE` env var or [`BENCH_SCALE`].
+///
+/// # Panics
+///
+/// Panics on a malformed or non-positive `LAZYDRAM_SCALE` instead of
+/// silently falling back to a full-scale (potentially hours-long) run.
 pub fn scale_from_env() -> f64 {
-    std::env::var("LAZYDRAM_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(BENCH_SCALE)
+    match std::env::var("LAZYDRAM_SCALE") {
+        Ok(s) => parse_scale(&s).unwrap_or_else(|e| panic!("{e}")),
+        Err(_) => BENCH_SCALE,
+    }
+}
+
+/// Parses a comma-separated `LAZYDRAM_APPS` list into app specs.
+///
+/// Unknown names produce an error listing every valid name.
+pub fn parse_apps(list: &str) -> Result<Vec<AppSpec>, String> {
+    list.split(',')
+        .map(|n| {
+            let n = n.trim();
+            lazydram_workloads::by_name(n).ok_or_else(|| {
+                let valid: Vec<&str> =
+                    lazydram_workloads::all_apps().iter().map(|a| a.name).collect();
+                format!(
+                    "unknown app {n:?} in LAZYDRAM_APPS; valid names (case-insensitive): {}",
+                    valid.join(", ")
+                )
+            })
+        })
+        .collect()
 }
 
 /// The application list for a harness run: all 20, or the comma-separated
 /// names in `LAZYDRAM_APPS`.
-pub fn apps_from_env() -> Vec<lazydram_workloads::AppSpec> {
+///
+/// # Panics
+///
+/// Panics on an unknown app name, listing the valid names.
+pub fn apps_from_env() -> Vec<AppSpec> {
     match std::env::var("LAZYDRAM_APPS") {
-        Ok(list) if !list.trim().is_empty() => list
-            .split(',')
-            .map(|n| {
-                lazydram_workloads::by_name(n.trim())
-                    .unwrap_or_else(|| panic!("unknown app {n:?} in LAZYDRAM_APPS"))
-            })
-            .collect(),
+        Ok(list) if !list.trim().is_empty() => {
+            parse_apps(&list).unwrap_or_else(|e| panic!("{e}"))
+        }
         _ => lazydram_workloads::all_apps(),
     }
 }
@@ -49,7 +96,7 @@ pub fn bw_util(stats: &SimStats, channels: usize) -> f64 {
 }
 
 /// All metrics the paper reports for one (app, scheme) run.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Measurement {
     /// Application name.
     pub app: String,
@@ -73,10 +120,35 @@ pub struct Measurement {
     pub truncated: bool,
 }
 
+impl Measurement {
+    /// Serializes the measurement as one schema-stable JSON object — the
+    /// record format of the `LAZYDRAM_RESULTS` JSONL file.
+    ///
+    /// Schema (stable; only additive changes allowed):
+    /// `record`, `app`, `scheme`, `ipc`, `activations`, `avg_rbl`,
+    /// `coverage`, `app_error`, `row_energy_pj`, `truncated`, `stats{…}`.
+    pub fn to_json(&self) -> String {
+        let mut o = lazydram_common::json::JsonObject::new();
+        o.str("record", "measurement")
+            .str("app", &self.app)
+            .str("scheme", &self.scheme)
+            .f64("ipc", self.ipc)
+            .u64("activations", self.activations)
+            .f64("avg_rbl", self.avg_rbl)
+            .f64("coverage", self.coverage)
+            .f64("app_error", self.app_error)
+            .f64("row_energy_pj", self.row_energy_pj)
+            .bool("truncated", self.truncated)
+            .raw("stats", &self.stats.to_json());
+        o.finish()
+    }
+}
+
 /// Runs one app under one scheme and collects every reported metric.
 ///
 /// `exact` is the functional reference output (compute it once per app with
-/// [`lazydram_workloads::exact_output`] and share it across schemes).
+/// [`lazydram_workloads::exact_output`] and share it across schemes — the
+/// [`SweepRunner`] baseline cache does this automatically).
 pub fn measure(
     app: &AppSpec,
     cfg: &GpuConfig,
@@ -103,6 +175,10 @@ pub fn measure(
 }
 
 /// Convenience: the baseline measurement plus its exact output.
+///
+/// Sequential helper kept for tests and one-off tools; sweeping harnesses
+/// should use [`SweepRunner::baselines`], which computes each `(app, scale)`
+/// baseline exactly once and shares it across schemes.
 pub fn measure_baseline(app: &AppSpec, cfg: &GpuConfig, scale: f64) -> (Measurement, Vec<f32>) {
     let exact = exact_output(app, scale);
     let m = measure(app, cfg, &SchedConfig::baseline(), scale, "baseline", &exact);
@@ -161,13 +237,10 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}%", 100.0 * x)
 }
 
-/// Serializes measurements to pretty JSON (for downstream plotting).
-///
-/// # Panics
-///
-/// Panics if serialization fails (statically impossible for these types).
+/// Serializes measurements as a JSON array (for downstream plotting).
 pub fn to_json(measurements: &[Measurement]) -> String {
-    serde_json::to_string_pretty(measurements).expect("measurements serialize")
+    let items: Vec<String> = measurements.iter().map(Measurement::to_json).collect();
+    lazydram_common::json::array(&items)
 }
 
 #[cfg(test)]
@@ -191,5 +264,60 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.443), "44.3%");
+    }
+
+    #[test]
+    fn parse_scale_accepts_positive_numbers() {
+        assert_eq!(parse_scale("0.5"), Ok(0.5));
+        assert_eq!(parse_scale(" 2 "), Ok(2.0));
+    }
+
+    #[test]
+    fn parse_scale_rejects_garbage_zero_and_negative() {
+        assert!(parse_scale("O.5").unwrap_err().contains("not a number"));
+        assert!(parse_scale("0").unwrap_err().contains("positive"));
+        assert!(parse_scale("-1").unwrap_err().contains("positive"));
+        assert!(parse_scale("inf").unwrap_err().contains("finite"));
+        assert!(parse_scale("nan").unwrap_err().contains("finite"));
+    }
+
+    #[test]
+    fn parse_apps_lists_valid_names_on_error() {
+        let apps = parse_apps("GEMM, scp").unwrap();
+        assert_eq!(apps.len(), 2);
+        assert_eq!(apps[0].name, "GEMM");
+        assert_eq!(apps[1].name, "SCP");
+        let err = parse_apps("GEMM,telepathy").unwrap_err();
+        assert!(err.contains("telepathy"), "{err}");
+        assert!(err.contains("GEMM") && err.contains("laplacian"), "{err}");
+    }
+
+    #[test]
+    fn measurement_json_is_schema_stable() {
+        let m = Measurement {
+            app: "GEMM".into(),
+            scheme: "baseline".into(),
+            stats: SimStats::new(),
+            ipc: 1.25,
+            activations: 42,
+            avg_rbl: 3.5,
+            coverage: 0.0,
+            app_error: 0.0,
+            row_energy_pj: 1e6,
+            truncated: false,
+        };
+        let j = m.to_json();
+        for key in [
+            "\"record\":\"measurement\"",
+            "\"app\":\"GEMM\"",
+            "\"scheme\":\"baseline\"",
+            "\"ipc\":1.25",
+            "\"activations\":42",
+            "\"stats\":{",
+            "\"dram\":{",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert_eq!(to_json(&[m.clone(), m]).matches("\"record\"").count(), 2);
     }
 }

@@ -1,0 +1,373 @@
+//! Parallel sweep runner with panic isolation.
+//!
+//! The full reproduction sweep runs hundreds of independent, deterministic,
+//! single-threaded `(app × scheme)` simulations. This module fans them
+//! across a [`std::thread::scope`] worker pool:
+//!
+//! * **Worker count** comes from `LAZYDRAM_JOBS` (default:
+//!   [`std::thread::available_parallelism`]). `LAZYDRAM_JOBS=1` reproduces
+//!   the sequential run bit for bit.
+//! * **Determinism** — results are collected in submission order, so harness
+//!   output is byte-identical regardless of worker count or completion
+//!   order.
+//! * **Panic isolation** — each job runs under
+//!   [`std::panic::catch_unwind`]; one panicking simulation becomes a
+//!   [`JobFailure`] (rendered by harnesses as a `FAIL` row) instead of
+//!   killing the whole sweep.
+//! * **Baseline sharing** — `(app, config, scale)` baseline measurements and
+//!   exact functional outputs are computed once in a concurrent cache and
+//!   shared across schemes, instead of once per figure as the sequential
+//!   harnesses used to do.
+//! * **Observability** — per-job wall-clock timing and `[k/n]` progress
+//!   lines on stderr, plus an optional JSONL results file
+//!   (`LAZYDRAM_RESULTS=path`) with one schema-stable [`Measurement`]
+//!   record per line for downstream plotting. Timing never enters the JSONL
+//!   records, so result files from parallel and sequential runs are
+//!   byte-identical.
+
+use crate::{measure, Measurement};
+use lazydram_common::json::JsonObject;
+use lazydram_common::{GpuConfig, SchedConfig};
+use lazydram_workloads::{exact_output, AppSpec};
+use std::collections::HashMap;
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Report for one job that panicked instead of producing a value.
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// The job's display label.
+    pub label: String,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} panicked: {}", self.label, self.message)
+    }
+}
+
+/// Outcome of one isolated job.
+pub type JobResult<T> = Result<T, JobFailure>;
+
+type BoxedWork<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
+/// One unit of work for [`SweepRunner::run`]: a label plus a closure.
+pub struct Job<'a, T> {
+    label: String,
+    work: BoxedWork<'a, T>,
+}
+
+impl<'a, T> Job<'a, T> {
+    /// Wraps a closure with a display label.
+    pub fn new(label: impl Into<String>, work: impl FnOnce() -> T + Send + 'a) -> Self {
+        Self { label: label.into(), work: Box::new(work) }
+    }
+}
+
+/// A cached `(app, config, scale)` baseline: the measurement under
+/// [`SchedConfig::baseline`] plus the exact functional output shared by
+/// every scheme of that app.
+#[derive(Debug)]
+pub struct Baseline {
+    /// Baseline measurement (scheme label `"baseline"`).
+    pub measurement: Measurement,
+    /// Exact functional output (application-error reference).
+    pub exact: Arc<Vec<f32>>,
+}
+
+/// Everything needed to run one `(app, scheme)` measurement job.
+#[derive(Clone)]
+pub struct MeasureSpec {
+    /// Application to run.
+    pub app: AppSpec,
+    /// GPU configuration.
+    pub cfg: GpuConfig,
+    /// Scheduler policy.
+    pub sched: SchedConfig,
+    /// Work scale.
+    pub scale: f64,
+    /// Scheme label (also the JSONL `scheme` field).
+    pub label: String,
+    /// Exact output shared across the app's schemes.
+    pub exact: Arc<Vec<f32>>,
+}
+
+type BaselineKey = (String, u64, String);
+
+/// Parallel sweep runner. See the [module docs](self) for the full design.
+pub struct SweepRunner {
+    workers: usize,
+    quiet: bool,
+    results: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
+    baselines: Mutex<HashMap<BaselineKey, Arc<OnceLock<Arc<Baseline>>>>>,
+}
+
+/// Parses a `LAZYDRAM_JOBS` value: a positive worker count.
+pub fn parse_jobs(s: &str) -> Result<usize, String> {
+    match s.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "LAZYDRAM_JOBS={s:?} is not a positive worker count; expected e.g. 1, 4 or 8"
+        )),
+    }
+}
+
+impl SweepRunner {
+    /// Builds a runner from the environment: worker count from
+    /// `LAZYDRAM_JOBS` (default: available parallelism), JSONL results path
+    /// from `LAZYDRAM_RESULTS` (default: none).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed `LAZYDRAM_JOBS` or an unwritable
+    /// `LAZYDRAM_RESULTS` path.
+    pub fn from_env() -> Self {
+        let workers = match std::env::var("LAZYDRAM_JOBS") {
+            Ok(s) => parse_jobs(&s).unwrap_or_else(|e| panic!("{e}")),
+            Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        };
+        let runner = Self::with_workers(workers);
+        match std::env::var("LAZYDRAM_RESULTS") {
+            Ok(path) if !path.trim().is_empty() => runner.with_results_file(&path),
+            _ => runner,
+        }
+    }
+
+    /// Builds a runner with an explicit worker count (≥ 1).
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            quiet: std::env::var("LAZYDRAM_QUIET").is_ok(),
+            results: None,
+            baselines: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Enables the JSONL results file (truncates `path`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be created.
+    pub fn with_results_file(mut self, path: &str) -> Self {
+        let file = std::fs::File::create(path)
+            .unwrap_or_else(|e| panic!("cannot create LAZYDRAM_RESULTS={path:?}: {e}"));
+        self.results = Some(Mutex::new(std::io::BufWriter::new(file)));
+        self
+    }
+
+    /// Suppresses the stderr progress lines (used by tests).
+    pub fn quiet(mut self) -> Self {
+        self.quiet = true;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `jobs` on the worker pool and returns their outcomes **in
+    /// submission order**. A panicking job yields `Err(JobFailure)`; all
+    /// other jobs are unaffected.
+    pub fn run<T: Send>(&self, jobs: Vec<Job<'_, T>>) -> Vec<JobResult<T>> {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut labels = Vec::with_capacity(n);
+        let mut slots: Vec<Mutex<Option<BoxedWork<'_, T>>>> = Vec::with_capacity(n);
+        for job in jobs {
+            labels.push(job.label);
+            slots.push(Mutex::new(Some(job.work)));
+        }
+        let results: Vec<Mutex<Option<JobResult<T>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let sweep_start = Instant::now();
+        let workers = self.workers.min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let work = slots[i]
+                        .lock()
+                        .expect("job slot lock")
+                        .take()
+                        .expect("job taken once");
+                    let job_start = Instant::now();
+                    let outcome = catch_unwind(AssertUnwindSafe(work));
+                    let elapsed = job_start.elapsed();
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    let (res, status) = match outcome {
+                        Ok(v) => (Ok(v), "ok"),
+                        Err(payload) => (
+                            Err(JobFailure {
+                                label: labels[i].clone(),
+                                message: panic_message(payload.as_ref()),
+                            }),
+                            "FAILED",
+                        ),
+                    };
+                    if !self.quiet {
+                        eprintln!(
+                            "[{finished}/{n}] {label} {status} in {job:.1}s (elapsed {total:.1}s)",
+                            label = labels[i],
+                            job = elapsed.as_secs_f64(),
+                            total = sweep_start.elapsed().as_secs_f64(),
+                        );
+                    }
+                    *results[i].lock().expect("result slot lock") = Some(res);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result lock")
+                    .expect("every job ran")
+            })
+            .collect()
+    }
+
+    /// Computes (or returns the cached) baseline for `(app, cfg, scale)`.
+    ///
+    /// Concurrent callers of the same key block until the single
+    /// computation finishes; different keys compute in parallel.
+    pub fn baseline(&self, app: &AppSpec, cfg: &GpuConfig, scale: f64) -> Arc<Baseline> {
+        let key: BaselineKey = (app.name.to_string(), scale.to_bits(), format!("{cfg:?}"));
+        let cell = self
+            .baselines
+            .lock()
+            .expect("baseline cache lock")
+            .entry(key)
+            .or_insert_with(|| Arc::new(OnceLock::new()))
+            .clone();
+        cell.get_or_init(|| {
+            let exact = Arc::new(exact_output(app, scale));
+            let measurement =
+                measure(app, cfg, &SchedConfig::baseline(), scale, "baseline", &exact);
+            Arc::new(Baseline { measurement, exact })
+        })
+        .clone()
+    }
+
+    /// Computes all apps' baselines **in parallel** (through the cache) and
+    /// records them in the JSONL results file. Returns one outcome per app,
+    /// in order.
+    pub fn baselines(
+        &self,
+        apps: &[AppSpec],
+        cfg: &GpuConfig,
+        scale: f64,
+    ) -> Vec<JobResult<Arc<Baseline>>> {
+        let jobs = apps
+            .iter()
+            .map(|app| {
+                Job::new(format!("{}/baseline", app.name), move || {
+                    self.baseline(app, cfg, scale)
+                })
+            })
+            .collect();
+        let results = self.run(jobs);
+        for res in &results {
+            match res {
+                Ok(b) => self.record_measurement(&b.measurement),
+                Err(f) => self.record_failure(f),
+            }
+        }
+        self.flush_results();
+        results
+    }
+
+    /// Runs every measurement spec on the pool, records the outcomes in the
+    /// JSONL results file (submission order, so files are byte-identical
+    /// across worker counts), and returns the outcomes in submission order.
+    pub fn measure_all(&self, specs: Vec<MeasureSpec>) -> Vec<JobResult<Measurement>> {
+        let jobs = specs
+            .into_iter()
+            .map(|spec| {
+                let label = format!("{}/{}", spec.app.name, spec.label);
+                Job::new(label, move || {
+                    measure(
+                        &spec.app,
+                        &spec.cfg,
+                        &spec.sched,
+                        spec.scale,
+                        &spec.label,
+                        &spec.exact,
+                    )
+                })
+            })
+            .collect();
+        let results = self.run(jobs);
+        for res in &results {
+            match res {
+                Ok(m) => self.record_measurement(m),
+                Err(f) => self.record_failure(f),
+            }
+        }
+        self.flush_results();
+        results
+    }
+
+    fn record_measurement(&self, m: &Measurement) {
+        if let Some(out) = &self.results {
+            let mut out = out.lock().expect("results lock");
+            writeln!(out, "{}", m.to_json()).expect("write LAZYDRAM_RESULTS");
+        }
+    }
+
+    fn record_failure(&self, f: &JobFailure) {
+        if let Some(out) = &self.results {
+            let mut o = JsonObject::new();
+            o.str("record", "failure")
+                .str("label", &f.label)
+                .str("error", &f.message);
+            let mut out = out.lock().expect("results lock");
+            writeln!(out, "{}", o.finish()).expect("write LAZYDRAM_RESULTS");
+        }
+    }
+
+    fn flush_results(&self) {
+        if let Some(out) = &self.results {
+            out.lock().expect("results lock").flush().expect("flush LAZYDRAM_RESULTS");
+        }
+    }
+}
+
+/// Extracts a readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Renders a normalized-value cell, or `FAIL` for a panicked job.
+pub fn norm_cell(result: &JobResult<Measurement>, value: impl Fn(&Measurement) -> f64) -> String {
+    match result {
+        Ok(m) => format!("{:.3}", value(m)),
+        Err(_) => "FAIL".to_string(),
+    }
+}
+
+/// Renders a percentage cell, or `FAIL` for a panicked job.
+pub fn pct_cell(result: &JobResult<Measurement>, value: impl Fn(&Measurement) -> f64) -> String {
+    match result {
+        Ok(m) => format!("{:.1}%", 100.0 * value(m)),
+        Err(_) => "FAIL".to_string(),
+    }
+}

@@ -1,0 +1,103 @@
+//! The sweep runner's contract: parallel execution is observably identical
+//! to sequential execution, panics are isolated per job, and the baseline
+//! cache is transparent.
+
+use lazydram_bench::{measure_baseline, Job, MeasureSpec, SweepRunner};
+use lazydram_common::{DmsMode, GpuConfig, SchedConfig};
+use lazydram_workloads::by_name;
+use std::sync::Arc;
+
+const SCALE: f64 = 0.05;
+
+fn subset() -> Vec<lazydram_workloads::AppSpec> {
+    ["SCP", "GEMM", "MVT"]
+        .iter()
+        .map(|n| by_name(n).expect("app"))
+        .collect()
+}
+
+fn sweep_json(workers: usize, path: &str) -> Vec<String> {
+    let apps = subset();
+    let cfg = GpuConfig::default();
+    let runner = SweepRunner::with_workers(workers)
+        .quiet()
+        .with_results_file(path);
+    let bases = runner.baselines(&apps, &cfg, SCALE);
+    let mut specs = Vec::new();
+    for (app, base) in apps.iter().zip(&bases) {
+        let base = base.as_ref().expect("baseline runs");
+        for delay in [128u32, 512] {
+            specs.push(MeasureSpec {
+                app: app.clone(),
+                cfg: cfg.clone(),
+                sched: SchedConfig { dms: DmsMode::Static(delay), ..SchedConfig::baseline() },
+                scale: SCALE,
+                label: format!("DMS({delay})"),
+                exact: base.exact.clone(),
+            });
+        }
+    }
+    let results = runner.measure_all(specs);
+    results
+        .into_iter()
+        .map(|r| r.expect("no panics in this sweep").to_json())
+        .collect()
+}
+
+#[test]
+fn parallel_results_identical_to_sequential() {
+    let dir = std::env::temp_dir();
+    let seq_path = dir.join("lazydram_runner_test_seq.jsonl");
+    let par_path = dir.join("lazydram_runner_test_par.jsonl");
+    let seq = sweep_json(1, seq_path.to_str().unwrap());
+    let par = sweep_json(4, par_path.to_str().unwrap());
+    assert_eq!(seq, par, "parallel measurements must match sequential ones");
+    // The JSONL results files must be byte-identical too: same records, same
+    // order, no timing data.
+    let seq_file = std::fs::read(&seq_path).expect("sequential results file");
+    let par_file = std::fs::read(&par_path).expect("parallel results file");
+    assert!(!seq_file.is_empty(), "results file has records");
+    assert_eq!(seq_file, par_file, "JSONL files must be byte-identical");
+    let _ = std::fs::remove_file(seq_path);
+    let _ = std::fs::remove_file(par_path);
+}
+
+#[test]
+fn panicking_job_is_isolated_and_reported() {
+    let runner = SweepRunner::with_workers(4).quiet();
+    let results = runner.run(vec![
+        Job::new("ok-1", || 1 + 1),
+        Job::new("boom", || -> i32 { panic!("deliberate test panic") }),
+        Job::new("ok-2", || 40 + 2),
+    ]);
+    assert_eq!(results.len(), 3);
+    assert_eq!(*results[0].as_ref().expect("ok-1 runs"), 2);
+    let failure = results[1].as_ref().expect_err("boom must fail");
+    assert_eq!(failure.label, "boom");
+    assert!(
+        failure.message.contains("deliberate test panic"),
+        "panic payload surfaces: {}",
+        failure.message
+    );
+    assert_eq!(*results[2].as_ref().expect("ok-2 runs"), 42);
+}
+
+#[test]
+fn baseline_cache_returns_same_measurement_as_fresh_computation() {
+    let app = by_name("SCP").expect("app");
+    let cfg = GpuConfig::default();
+    let runner = SweepRunner::with_workers(2).quiet();
+    let cached = runner.baseline(&app, &cfg, SCALE);
+    let again = runner.baseline(&app, &cfg, SCALE);
+    assert!(
+        Arc::ptr_eq(&cached, &again),
+        "second lookup must hit the cache, not recompute"
+    );
+    let (fresh, fresh_exact) = measure_baseline(&app, &cfg, SCALE);
+    assert_eq!(
+        cached.measurement.to_json(),
+        fresh.to_json(),
+        "cached baseline must equal a fresh sequential computation"
+    );
+    assert_eq!(*cached.exact, fresh_exact, "exact outputs must match");
+}

@@ -11,10 +11,9 @@
 //!   parallelism, like GPGPU-Sim's default GDDR5 mapping).
 
 use crate::config::GpuConfig;
-use serde::{Deserialize, Serialize};
 
 /// A fully decomposed DRAM location for one cache line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Location {
     /// Memory channel (memory-controller / L2-slice) index.
     pub channel: u16,
@@ -40,7 +39,7 @@ impl Location {
 /// All sizes except the channel count are powers of two; the channel count
 /// (6 in the baseline) is handled with an explicit div/mod, matching the
 /// "interleaved among partitions in chunks of 256 bytes" rule of Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AddressMap {
     line_bytes: u64,
     chunk_bytes: u64,

@@ -1,12 +1,11 @@
 //! Configuration of the simulated GPU (Table I of the paper) and of the
 //! lazy-memory-scheduler policies (Section IV of the paper).
 
-use serde::{Deserialize, Serialize};
 
 /// GDDR5 DRAM timing parameters, in *memory* cycles (924 MHz domain).
 ///
 /// Defaults follow the Hynix GDDR5 values in Table I of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DramTimings {
     /// CAS (read) latency: cycles between a `RD` command and first data beat.
     pub t_cl: u32,
@@ -82,7 +81,7 @@ impl DramTimings {
 /// The default value reproduces the paper's baseline: 30 SMs at 1400 MHz,
 /// 6 GDDR5 memory controllers at 924 MHz, 16 banks per controller in 4 bank
 /// groups, 128-entry FR-FCFS pending queues, and 256-byte channel interleaving.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {
     /// Number of streaming multiprocessors.
     pub num_sms: usize,
@@ -242,7 +241,7 @@ impl GpuConfig {
 }
 
 /// Delayed-memory-scheduling (DMS) operating mode (Section IV-B).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DmsMode {
     /// No delay: baseline FR-FCFS issue timing.
     Off,
@@ -272,7 +271,7 @@ impl DmsMode {
 }
 
 /// Knobs of the `Dyn-DMS` profiling controller (Section IV-B).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DynDmsConfig {
     /// Profiling-window length in memory cycles (paper: 4096).
     pub window: u32,
@@ -306,7 +305,7 @@ impl Default for DynDmsConfig {
 }
 
 /// Approximate-memory-scheduling (AMS) operating mode (Section IV-C).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AmsMode {
     /// No approximation.
     Off,
@@ -336,7 +335,7 @@ impl AmsMode {
 }
 
 /// Knobs of the `Dyn-AMS` feedback controller (Section IV-C).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DynAmsConfig {
     /// Profiling-window length in memory cycles (paper: 4096).
     pub window: u32,
@@ -357,7 +356,7 @@ impl Default for DynAmsConfig {
 }
 
 /// Request arbiter of the memory controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Arbiter {
     /// First-Row FCFS: row-buffer hits first, then oldest (the baseline,
     /// Rixner et al., paper reference \[15\]).
@@ -368,7 +367,7 @@ pub enum Arbiter {
 }
 
 /// Row-buffer management policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RowPolicy {
     /// Open-page: rows stay open until a conflicting access (the baseline).
     Open,
@@ -378,7 +377,7 @@ pub enum RowPolicy {
 }
 
 /// Full policy configuration of one memory controller.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SchedConfig {
     /// Request arbiter (default: FR-FCFS).
     pub arbiter: Arbiter,

@@ -1,0 +1,163 @@
+//! Minimal JSON emission for harness output.
+//!
+//! The external `serde`/`serde_json` crates are unavailable in the offline
+//! build environment; the simulator only ever *writes* JSON (stats records
+//! for downstream plotting), so this hand-rolled emitter covers the full
+//! need: objects, arrays, strings with escaping, integers, floats and bools.
+//! Non-finite floats serialize as `null` so every emitted document is valid
+//! JSON.
+
+/// Escapes a string for inclusion in a JSON document (without quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (`null` for NaN/±∞).
+pub fn number(x: f64) -> String {
+    if x.is_finite() {
+        // `{}` on f64 always produces a valid JSON number and round-trips.
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental JSON object writer.
+///
+/// ```
+/// use lazydram_common::json::JsonObject;
+/// let mut o = JsonObject::new();
+/// o.str("app", "GEMM").u64("acts", 12).f64("ipc", 1.5).bool("ok", true);
+/// assert_eq!(o.finish(), r#"{"app":"GEMM","acts":12,"ipc":1.5,"ok":true}"#);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(&mut self, k: &str) -> &mut Self {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str("\":");
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&number(v));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-serialized JSON value verbatim (nested object/array).
+    pub fn raw(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Adds an array of unsigned integers.
+    pub fn u64_array(&mut self, k: &str, vs: &[u64]) -> &mut Self {
+        let body: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
+        let arr = format!("[{}]", body.join(","));
+        self.raw(k, &arr)
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Serializes a list of pre-serialized objects as a JSON array.
+pub fn array(items: &[String]) -> String {
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn object_builder_emits_valid_json() {
+        let mut o = JsonObject::new();
+        o.str("s", "x\"y")
+            .u64("n", 7)
+            .f64("f", 0.5)
+            .f64("bad", f64::NAN)
+            .bool("b", false)
+            .u64_array("a", &[1, 2, 3])
+            .raw("o", "{\"k\":1}");
+        assert_eq!(
+            o.finish(),
+            r#"{"s":"x\"y","n":7,"f":0.5,"bad":null,"b":false,"a":[1,2,3],"o":{"k":1}}"#
+        );
+    }
+
+    #[test]
+    fn empty_object_and_array() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+        assert_eq!(array(&[]), "[]");
+        assert_eq!(array(&["{}".into(), "1".into()]), "[{},1]");
+    }
+
+    #[test]
+    fn numbers_roundtrip_floats() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(-0.0), "-0");
+        let x = 0.1 + 0.2;
+        let s = number(x);
+        assert_eq!(s.parse::<f64>().unwrap(), x);
+    }
+}

@@ -9,7 +9,11 @@
 //! * [`stats`] — row-buffer-locality histograms and aggregate simulation
 //!   statistics shared by the DRAM model, the scheduler and the harnesses,
 //! * [`req`] — the memory-request representation exchanged between the GPU
-//!   substrate, the memory controller and the DRAM model.
+//!   substrate, the memory controller and the DRAM model,
+//! * [`rng`] — the deterministic SplitMix64 generator used for workload-input
+//!   synthesis (offline replacement for the `rand` crate),
+//! * [`json`] — a minimal JSON emitter for machine-readable harness output
+//!   (offline replacement for `serde_json`).
 //!
 //! # Example
 //!
@@ -28,11 +32,14 @@
 pub mod addr;
 pub mod config;
 pub mod fasthash;
+pub mod json;
 pub mod req;
+pub mod rng;
 pub mod stats;
 
 pub use addr::{AddressMap, Location};
 pub use fasthash::{FastMap, FastSet};
 pub use config::{AmsMode, Arbiter, DmsMode, DramTimings, GpuConfig, RowPolicy, SchedConfig};
 pub use req::{AccessKind, MemSpace, Request, RequestId};
+pub use rng::SplitMix64;
 pub use stats::{DramStats, RblHistogram, SimStats};

@@ -2,10 +2,9 @@
 //! the memory controller and the DRAM model.
 
 use crate::addr::Location;
-use serde::{Deserialize, Serialize};
 
 /// Globally unique identifier of a DRAM request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RequestId(pub u64);
 
 impl std::fmt::Display for RequestId {
@@ -15,7 +14,7 @@ impl std::fmt::Display for RequestId {
 }
 
 /// Whether a request reads or writes DRAM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// A read (load miss or fetch).
     Read,
@@ -32,7 +31,7 @@ impl AccessKind {
 
 /// The memory space a request originates from. AMS only ever approximates
 /// requests from the global space (Section II-D: "global read requests").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemSpace {
     /// Global device memory (approximable when annotated).
     Global,
@@ -41,7 +40,7 @@ pub enum MemSpace {
 }
 
 /// One DRAM request as seen by a memory controller's pending queue.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Request {
     /// Unique id, used to route the response back to the originator.
     pub id: RequestId,

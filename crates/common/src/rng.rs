@@ -1,0 +1,112 @@
+//! Deterministic pseudo-random generation for workload inputs.
+//!
+//! The workloads need seeded, reproducible input data (DESIGN §7.5); the
+//! external `rand` crate is unavailable in the offline build environment, so
+//! this SplitMix64 generator provides the few primitives the suite uses.
+//! SplitMix64 passes BigCrush for this use (input synthesis), is two
+//! multiplies per draw, and is trivially reproducible across platforms.
+
+/// SplitMix64 pseudo-random generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)` (24 mantissa bits).
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Uniform `u64` in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        // Modulo bias is ≤ bound/2^64 — irrelevant for input synthesis.
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let mut c = SplitMix64::new(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!((0..64).any(|_| c.next_u64() != b.next_u64()));
+    }
+
+    #[test]
+    fn floats_stay_in_unit_interval() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let f = r.next_f32();
+            assert!((0.0..1.0).contains(&f), "{f}");
+            let d = r.next_f64();
+            assert!((0.0..1.0).contains(&d), "{d}");
+        }
+    }
+
+    #[test]
+    fn range_f32_respects_bounds_and_spreads() {
+        let mut r = SplitMix64::new(1);
+        let mut lo_half = 0usize;
+        for _ in 0..10_000 {
+            let v = r.range_f32(-2.0, 6.0);
+            assert!((-2.0..6.0).contains(&v));
+            if v < 2.0 {
+                lo_half += 1;
+            }
+        }
+        // Roughly uniform: each half gets 40–60 %.
+        assert!((4000..6000).contains(&lo_half), "{lo_half}");
+    }
+
+    #[test]
+    fn below_covers_small_bounds() {
+        let mut r = SplitMix64::new(3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[r.below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

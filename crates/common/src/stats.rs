@@ -8,14 +8,13 @@
 //! * **Coverage** — fraction of global read requests dropped (approximated)
 //!   instead of being served by DRAM.
 
-use serde::{Deserialize, Serialize};
 
 /// Histogram of row activations keyed by the RBL they achieved.
 ///
 /// `hist[k]` counts activations that served exactly `k` requests; index 0 is
 /// unused for closed activations (an activation serves ≥ 1 request) but kept
 /// so that `hist[rbl]` indexes naturally.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RblHistogram {
     hist: Vec<u64>,
 }
@@ -129,7 +128,7 @@ impl RblHistogram {
 }
 
 /// Counters maintained by one DRAM channel + its memory controller.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DramStats {
     /// Memory cycles elapsed.
     pub mem_cycles: u64,
@@ -198,6 +197,26 @@ impl DramStats {
         }
     }
 
+    /// Serializes the scalar counters as a JSON object (histograms are
+    /// summarized by `avg_rbl`/`max_rbl`; the full histogram stays in-process).
+    pub fn to_json(&self) -> String {
+        let mut o = crate::json::JsonObject::new();
+        o.u64("mem_cycles", self.mem_cycles)
+            .u64("activations", self.activations)
+            .u64("precharges", self.precharges)
+            .u64("reads", self.reads)
+            .u64("writes", self.writes)
+            .u64("row_hits", self.row_hits)
+            .u64("row_misses", self.row_misses)
+            .u64("bus_busy_cycles", self.bus_busy_cycles)
+            .u64("requests_received", self.requests_received)
+            .u64("global_reads_received", self.global_reads_received)
+            .u64("dropped", self.dropped)
+            .f64("avg_rbl", self.avg_rbl())
+            .u64("max_rbl", u64::from(self.rbl.max_rbl()));
+        o.finish()
+    }
+
     /// Merges per-channel statistics into an aggregate.
     pub fn merge(&mut self, other: &DramStats) {
         self.mem_cycles = self.mem_cycles.max(other.mem_cycles);
@@ -217,7 +236,7 @@ impl DramStats {
 }
 
 /// Whole-simulation statistics, aggregated over all SMs and channels.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Core cycles the simulation ran for.
     pub core_cycles: u64,
@@ -255,6 +274,22 @@ impl SimStats {
         } else {
             self.instructions as f64 / self.core_cycles as f64
         }
+    }
+
+    /// Serializes the whole-simulation statistics as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = crate::json::JsonObject::new();
+        o.u64("core_cycles", self.core_cycles)
+            .u64("instructions", self.instructions)
+            .u64("l1_hits", self.l1_hits)
+            .u64("l1_misses", self.l1_misses)
+            .u64("l2_hits", self.l2_hits)
+            .u64("l2_misses", self.l2_misses)
+            .u64("approximated_loads", self.approximated_loads)
+            .u64("ams_accepts", self.ams_accepts)
+            .u64_array("ams_declines", &self.ams_declines)
+            .raw("dram", &self.dram.to_json());
+        o.finish()
     }
 }
 

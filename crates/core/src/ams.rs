@@ -16,10 +16,9 @@
 use crate::queue::PendingQueue;
 use lazydram_common::config::AmsMode;
 use lazydram_common::Request;
-use serde::{Deserialize, Serialize};
 
 /// Why an AMS drop check declined (diagnostic histogram indices).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AmsDecline {
     /// Unit disabled or halted for Dyn-DMS baseline sampling.
     OffOrHalted = 0,
@@ -38,7 +37,7 @@ pub enum AmsDecline {
 }
 
 /// The AMS unit of one memory controller.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AmsUnit {
     mode: AmsMode,
     /// Threshold currently in force.

@@ -20,10 +20,9 @@ use crate::dms::DmsUnit;
 use crate::queue::{PendingQueue, QueueFull};
 use lazydram_common::{AccessKind, Arbiter, GpuConfig, Request, RequestId, RowPolicy, SchedConfig};
 use lazydram_dram::Channel;
-use serde::{Deserialize, Serialize};
 
 /// A completed memory request returned to the reply network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Response {
     /// Id of the originating request.
     pub id: RequestId,
@@ -780,7 +779,7 @@ mod tests {
         for t in 0..2_000u64 {
             if t % 37 == 0 && mc.can_accept() {
                 id += 1;
-                mc.enqueue(mkreq(&map, id, (id % 4) as u64, (id % 3) as u32, 0, AccessKind::Read))
+                mc.enqueue(mkreq(&map, id, id % 4, (id % 3) as u32, 0, AccessKind::Read))
                     .unwrap();
             }
             out.extend(mc.tick());

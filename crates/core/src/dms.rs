@@ -11,10 +11,9 @@
 //! baseline, backing off one step when it drops.
 
 use lazydram_common::config::{DmsMode, DynDmsConfig};
-use serde::{Deserialize, Serialize};
 
 /// Phase of the `Dyn-DMS` profiling state machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     /// Measuring baseline BWUTIL with delay = 0 (AMS halted).
     Sampling,
@@ -25,7 +24,7 @@ enum Phase {
 }
 
 /// The DMS unit of one memory controller.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DmsUnit {
     mode: DmsMode,
     /// Delay currently enforced, in memory cycles.

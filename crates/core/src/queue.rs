@@ -186,7 +186,7 @@ impl PendingQueue {
     pub fn row_is_all_global_reads(&self, bank: usize, row: u32) -> bool {
         self.row_stats
             .get(&(bank, row))
-            .map_or(true, |s| s.count == s.global_reads)
+            .is_none_or(|s| s.count == s.global_reads)
     }
 
     /// `true` when at least one pending request targets `(bank, row)`.

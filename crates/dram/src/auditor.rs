@@ -8,11 +8,10 @@
 //! fast path.
 
 use lazydram_common::DramTimings;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One DRAM command, as observed on the command bus.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Command {
     /// Activate `row` in `bank` at cycle `at`.
     Act {
@@ -69,7 +68,7 @@ impl Command {
 }
 
 /// A detected violation of the DRAM protocol.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtocolViolation {
     /// The offending command.
     pub command: Command,

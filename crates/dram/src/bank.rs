@@ -1,10 +1,9 @@
 //! Per-bank row-buffer state machine and timing bookkeeping.
 
 use lazydram_common::{AccessKind, DramTimings};
-use serde::{Deserialize, Serialize};
 
 /// The row-buffer state of one DRAM bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BankState {
     /// No row in the row buffer; the bank may accept an `ACT`.
     Closed,
@@ -17,7 +16,7 @@ pub enum BankState {
 
 /// Bookkeeping for the activation currently in progress, used to compute the
 /// RBL of the activation when the row is eventually closed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ActivationRecord {
     /// Row that was activated.
     pub row: u32,
@@ -29,7 +28,7 @@ pub struct ActivationRecord {
 
 /// One DRAM bank: state machine plus the earliest-legal-time bookkeeping for
 /// each command class.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Bank {
     state: BankState,
     /// Activation bookkeeping; `Some` iff `state` is `Open`.

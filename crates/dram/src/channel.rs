@@ -2,13 +2,12 @@
 
 use crate::bank::{Bank, BankState};
 use lazydram_common::{AccessKind, DramStats, DramTimings, GpuConfig};
-use serde::{Deserialize, Serialize};
 
 /// A GDDR5 channel with `banks_per_channel` banks in `bank_groups` groups.
 ///
 /// The channel enforces the *inter*-bank and bus-level constraints; per-bank
 /// constraints live in [`Bank`]. All times are memory cycles.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Channel {
     timings: DramTimings,
     banks: Vec<Bank>,
@@ -107,7 +106,7 @@ impl Channel {
     }
 
     fn cmd_bus_free(&self, now: u64) -> bool {
-        self.last_cmd_cycle.map_or(true, |c| c < now)
+        self.last_cmd_cycle.is_none_or(|c| c < now)
     }
 
     /// Is an `ACT` of any row of `bank` legal at `now`?
@@ -408,9 +407,11 @@ mod tests {
 
     #[test]
     fn tfaw_blocks_fifth_activation_in_window() {
-        let mut g = GpuConfig::default();
         // A tFAW large enough to dominate the tRRD chain (4 × 6 = 24).
-        g.timings = DramTimings { t_faw: 60, ..DramTimings::default() };
+        let g = GpuConfig {
+            timings: DramTimings { t_faw: 60, ..DramTimings::default() },
+            ..GpuConfig::default()
+        };
         let mut c = Channel::new(&g);
         let mut now = 0;
         for bank in 0..4 {
@@ -433,8 +434,10 @@ mod tests {
 
     #[test]
     fn tccdl_separates_same_group_bursts() {
-        let mut g = GpuConfig::default();
-        g.timings = DramTimings { t_ccdl: 4, ..DramTimings::default() };
+        let g = GpuConfig {
+            timings: DramTimings { t_ccdl: 4, ..DramTimings::default() },
+            ..GpuConfig::default()
+        };
         let mut c = Channel::new(&g);
         c.activate(0, 1, 0); // group 0
         c.activate(1, 1, 6); // bank 1 is also group 0 (banks 0-3)
@@ -448,8 +451,10 @@ mod tests {
 
     #[test]
     fn refresh_stalls_and_recurs() {
-        let mut g = GpuConfig::default();
-        g.timings = DramTimings { t_refi: 100, t_rfc: 20, ..DramTimings::default() };
+        let g = GpuConfig {
+            timings: DramTimings { t_refi: 100, t_rfc: 20, ..DramTimings::default() },
+            ..GpuConfig::default()
+        };
         let mut c = Channel::new(&g);
         assert!(!c.refresh_due(99));
         assert!(c.refresh_due(100));
@@ -466,8 +471,10 @@ mod tests {
 
     #[test]
     fn refresh_requires_closed_banks() {
-        let mut g = GpuConfig::default();
-        g.timings = DramTimings { t_refi: 10, t_rfc: 20, ..DramTimings::default() };
+        let g = GpuConfig {
+            timings: DramTimings { t_refi: 10, t_rfc: 20, ..DramTimings::default() },
+            ..GpuConfig::default()
+        };
         let mut c = Channel::new(&g);
         c.activate(0, 1, 0);
         assert!(!c.can_refresh(10), "open bank blocks refresh");

@@ -27,10 +27,9 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 use lazydram_common::DramStats;
-use serde::{Deserialize, Serialize};
 
 /// Memory technology profiles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemoryTech {
     /// The paper's baseline: 6-channel GDDR5 (Hynix timings).
     Gddr5,
@@ -46,7 +45,7 @@ pub enum MemoryTech {
 ///
 /// Absolute values are representative published figures; all of the paper's
 /// results are *normalized*, so only the ratios matter for reproduction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyParams {
     /// Energy of one ACT + restore + PRE round trip, per activation (pJ).
     pub row_pj_per_act: f64,
@@ -89,7 +88,7 @@ impl EnergyParams {
 }
 
 /// An energy breakdown for one run.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyBreakdown {
     /// Activate/restore/precharge energy (the paper's *row energy*), pJ.
     pub row_energy_pj: f64,
@@ -117,7 +116,7 @@ impl EnergyBreakdown {
 }
 
 /// The DRAM energy model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     tech: MemoryTech,
     params: EnergyParams,
@@ -186,7 +185,7 @@ impl EnergyModel {
 /// The paper's absolute-saving projections for a high-end GPU card
 /// (Section V, "Effect on Memory Energy and Peak Bandwidth"): a 60 W memory
 /// power budget at peak bandwidth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CardBudget {
     /// Memory power budget at peak bandwidth, watts (paper: 60 W).
     pub memory_power_w: f64,

@@ -6,10 +6,9 @@
 //! it exposes [`Cache::nearest_resident`], the paper's "search in the nearby
 //! cache sets … use the values from cache lines with nearest addresses".
 
-use serde::{Deserialize, Serialize};
 
 /// Result of a cache access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessResult {
     /// Line present; recency updated (and dirtiness if a write).
     Hit,
@@ -17,7 +16,7 @@ pub enum AccessResult {
     Miss,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Way {
     line: u64,
     dirty: bool,
@@ -26,7 +25,7 @@ struct Way {
 }
 
 /// A set-associative, tag-only cache.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cache {
     sets: Vec<Vec<Way>>,
     ways: usize,
@@ -165,7 +164,7 @@ impl Cache {
                     continue;
                 }
                 let dist = w.line.abs_diff(line);
-                if best.map_or(true, |(bd, bl)| dist < bd || (dist == bd && w.line < bl)) {
+                if best.is_none_or(|(bd, bl)| dist < bd || (dist == bd && w.line < bl)) {
                     best = Some((dist, w.line));
                 }
             }

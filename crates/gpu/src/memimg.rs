@@ -52,7 +52,7 @@ impl MemoryImage {
     ///
     /// Panics if `addr` is not 4-byte aligned.
     pub fn read_f32(&self, addr: u64) -> f32 {
-        assert!(addr % 4 == 0, "unaligned f32 read at {addr:#x}");
+        assert!(addr.is_multiple_of(4), "unaligned f32 read at {addr:#x}");
         let line = addr & !(LINE_BYTES - 1);
         let idx = ((addr % LINE_BYTES) / 4) as usize;
         self.lines.get(&line).map_or(0.0, |l| l[idx])
@@ -64,7 +64,7 @@ impl MemoryImage {
     ///
     /// Panics if `addr` is not 4-byte aligned.
     pub fn write_f32(&mut self, addr: u64, value: f32) {
-        assert!(addr % 4 == 0, "unaligned f32 write at {addr:#x}");
+        assert!(addr.is_multiple_of(4), "unaligned f32 write at {addr:#x}");
         let line = addr & !(LINE_BYTES - 1);
         let idx = ((addr % LINE_BYTES) / 4) as usize;
         self.lines.entry(line).or_insert_with(|| Box::new([0.0; WORDS_PER_LINE]))[idx] = value;

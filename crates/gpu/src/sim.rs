@@ -234,7 +234,7 @@ impl Simulator {
             // 4. Termination.
             if next_warp >= total_warps
                 && sms.iter().all(|s| s.live_warps() == 0)
-                && (core_cycle % 8 == 0)
+                && core_cycle.is_multiple_of(8)
                 && req_noc.iter().all(|q| q.is_empty())
                 && reply_noc.iter().all(|q| q.is_empty())
                 && slices.iter().all(|s| s.is_idle())

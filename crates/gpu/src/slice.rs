@@ -266,6 +266,7 @@ mod tests {
     }
 
     /// Drives the slice + controller until the given SM receives a reply.
+    #[allow(clippy::too_many_arguments)]
     fn run_to_reply(
         slice: &mut Slice,
         mc: &mut MemoryController,

@@ -129,12 +129,6 @@ impl Sm {
         self.slots.iter().any(|s| s.is_none())
     }
 
-    /// `true` when the SM holds no unfinished warp and no outstanding miss.
-    #[cfg(test)]
-    pub fn is_idle(&self) -> bool {
-        self.live_warps == 0 && self.mshr.is_empty()
-    }
-
     /// Places a warp program into a free slot.
     ///
     /// # Panics
@@ -647,7 +641,6 @@ mod tests {
         sm.tick(&mut ctx); // both warps issue their load (issue_width = 2)
         let total: usize = ctx.req_noc.iter().map(|q| q.len()).sum();
         assert_eq!(total, 1, "second warp's identical line must merge");
-        drop(ctx);
         let base = kernel.inner.base;
         sm.on_reply(Reply { line: base, values: None }, &image);
         let mut ctx = SmCtx { now: 2, image: &mut image, map: &map, kernel: &kernel, req_noc: &mut noc };

@@ -10,10 +10,9 @@
 
 use lazydram_common::{GpuConfig, Request, SchedConfig, SimStats};
 use lazydram_core::MemoryController;
-use serde::{Deserialize, Serialize};
 
 /// One recorded DRAM request.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEntry {
     /// Memory cycle at which the request entered its controller.
     pub cycle: u64,
@@ -24,7 +23,7 @@ pub struct TraceEntry {
 }
 
 /// A captured DRAM request trace.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     entries: Vec<TraceEntry>,
 }
@@ -38,7 +37,7 @@ impl Trace {
     /// Appends an entry (must be fed in non-decreasing cycle order).
     pub fn push(&mut self, entry: TraceEntry) {
         debug_assert!(
-            self.entries.last().map_or(true, |e| e.cycle <= entry.cycle),
+            self.entries.last().is_none_or(|e| e.cycle <= entry.cycle),
             "trace entries must be time-ordered"
         );
         self.entries.push(entry);

@@ -53,7 +53,7 @@ pub struct GemmArrays {
 impl Gemm {
     /// Standalone GEMM of dimension `n` (multiple of 32).
     pub fn new(n: usize) -> Self {
-        assert!(n % LANES == 0, "n must be a multiple of 32");
+        assert!(n.is_multiple_of(LANES), "n must be a multiple of 32");
         Self {
             n,
             name: "GEMM",

@@ -1299,7 +1299,7 @@ mod tests {
         }
         // Interior voxel (z=1, y=1, x=16): data[(0*3+1)*32+16] + data[(2*3+1)*32+16] - 2*center.
         let center = data[(3 + 1) * 32 + 16];
-        let below = data[1 * 32 + 16];
+        let below = data[32 + 16];
         let above = data[(6 + 1) * 32 + 16];
         let got = img.read_f32(out + (((3 + 1) * 32 + 16) * 4) as u64);
         assert!((got - (below + above - 2.0 * center)).abs() < 1e-4);
@@ -1344,8 +1344,8 @@ mod tests {
         img.write_slice(inp, &vals);
         exec(&mut ScanProgram::new(0, ScanConfig { input: inp, output: out, segment: seg }), &mut img);
         let mut acc = 0.0;
-        for i in 0..seg {
-            acc += vals[i];
+        for (i, v) in vals.iter().enumerate() {
+            acc += v;
             assert_eq!(img.read_f32(out + (i * 4) as u64), acc, "elt {i}");
         }
     }

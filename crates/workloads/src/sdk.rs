@@ -27,7 +27,7 @@ impl Ray {
     /// Creates a `w × h` render (width a multiple of 32) over an environment
     /// map of `env_words` floats.
     pub fn new(w: usize, h: usize, env_words: usize) -> Self {
-        assert!(w % LANES == 0);
+        assert!(w.is_multiple_of(LANES));
         Self {
             w,
             h,
@@ -332,7 +332,7 @@ impl Sla {
     /// Creates a scan over `words` elements in segments of `segment`
     /// (a multiple of 32).
     pub fn new(words: usize, segment: usize) -> Self {
-        assert!(segment % LANES == 0);
+        assert!(segment.is_multiple_of(LANES));
         let words = words / segment * segment;
         Self {
             words,

@@ -42,7 +42,7 @@ impl Stencil2DApp {
         post: Option<fn(f32, f32) -> f32>,
         init: InitKind,
     ) -> Self {
-        assert!(w % LANES == 0, "width must be a multiple of 32");
+        assert!(w.is_multiple_of(LANES), "width must be a multiple of 32");
         Self {
             name,
             w,

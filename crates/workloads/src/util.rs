@@ -1,8 +1,7 @@
 //! Shared helpers for workload construction.
 
+use lazydram_common::SplitMix64;
 use lazydram_gpu::{Kernel, MemoryImage, WarpOp};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A named, line-aligned array in the memory image.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -25,9 +24,9 @@ impl Region {
     /// Allocates and fills with uniform values in `[lo, hi)`.
     pub fn alloc_random(mem: &mut MemoryImage, words: usize, seed: u64, lo: f32, hi: f32) -> Self {
         let r = Self::alloc(mem, words);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         for i in 0..words {
-            mem.write_f32(r.base + i as u64 * 4, rng.gen_range(lo..hi));
+            mem.write_f32(r.base + i as u64 * 4, rng.range_f32(lo, hi));
         }
         r
     }
@@ -42,11 +41,11 @@ impl Region {
     /// small-but-nonzero error, as in the original workloads.
     pub fn alloc_smooth(mem: &mut MemoryImage, words: usize, seed: u64, lo: f32, hi: f32) -> Self {
         let r = Self::alloc(mem, words);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let p1: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
-        let p2: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
-        let l1: f32 = rng.gen_range(3000.0..6000.0);
-        let l2: f32 = rng.gen_range(400.0..800.0);
+        let mut rng = SplitMix64::new(seed);
+        let p1: f32 = rng.range_f32(0.0, std::f32::consts::TAU);
+        let p2: f32 = rng.range_f32(0.0, std::f32::consts::TAU);
+        let l1: f32 = rng.range_f32(3000.0, 6000.0);
+        let l2: f32 = rng.range_f32(400.0, 800.0);
         let mid = 0.5 * (lo + hi);
         let amp = 0.5 * (hi - lo);
         for i in 0..words {
@@ -55,7 +54,7 @@ impl Region {
                 + amp
                     * (0.68 * (std::f32::consts::TAU * x / l1 + p1).sin()
                         + 0.28 * (std::f32::consts::TAU * x / l2 + p2).sin()
-                        + 0.04 * rng.gen_range(-1.0..1.0f32));
+                        + 0.04 * rng.range_f32(-1.0, 1.0));
             mem.write_f32(r.base + i as u64 * 4, v.clamp(lo, hi));
         }
         r

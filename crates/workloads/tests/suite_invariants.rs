@@ -1,6 +1,6 @@
 //! Per-application invariants over the whole 20-app suite.
 
-use lazydram_gpu::{run_functional, Kernel, WarpOp};
+use lazydram_gpu::{run_functional, WarpOp};
 use lazydram_workloads::{all_apps, util::run_sequence_functional};
 
 const SCALE: f64 = 0.02;

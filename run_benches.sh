@@ -1,17 +1,27 @@
 #!/bin/bash
 # Prioritized reproduction sweep; tee everything into bench_output.txt.
+#
+# The harnesses run on the parallel sweep runner by default (LAZYDRAM_JOBS
+# workers, one per core unless set). Build failures and harness panics are
+# fatal and land in the log — nothing is discarded.
+set -euo pipefail
 cd /root/repo
 export LAZYDRAM_SCALE=${LAZYDRAM_SCALE:-0.5}
+export LAZYDRAM_JOBS=${LAZYDRAM_JOBS:-$(nproc)}
+
+# Fail loudly (and cheaply) on compile errors before the sweep starts.
+cargo build --release -p lazydram-bench --benches
+
 {
-echo "### lazydram reproduction sweep — LAZYDRAM_SCALE=$LAZYDRAM_SCALE"
+echo "### lazydram reproduction sweep — LAZYDRAM_SCALE=$LAZYDRAM_SCALE, LAZYDRAM_JOBS=$LAZYDRAM_JOBS"
 for b in tab01_config fig08_drop_accuracy fig12_main fig04_delay_sweep tab02_classify \
          fig02_queue_size fig13_queue_dms fig05_rbl_shift fig06_cdf fig07_case_studies \
          fig10_bwutil_ipc fig11_thrbl fig14_laplacian fig15_group4 \
          abl_baselines abl_reuse abl_window abl_timing abl_hbm; do
   echo; echo "##### bench: $b"
-  cargo bench -q -p lazydram-bench --bench $b 2>/dev/null
+  cargo bench -q -p lazydram-bench --bench "$b"
 done
-echo; echo "##### bench: micro_structs (criterion)"
-cargo bench -q -p lazydram-bench --bench micro_structs 2>/dev/null | head -60
+echo; echo "##### bench: micro_structs"
+cargo bench -q -p lazydram-bench --bench micro_structs | head -60
 echo "### sweep complete"
 } > /root/repo/bench_output.txt 2>&1

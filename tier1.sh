@@ -1,0 +1,19 @@
+#!/bin/bash
+# Tier-1 gate: everything a clean offline checkout must pass.
+#
+#   ./tier1.sh
+#
+# Runs entirely from vendored/path dependencies — no network access needed.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier1: cargo build --release =="
+cargo build --release --workspace
+
+echo "== tier1: cargo test =="
+cargo test -q --workspace
+
+echo "== tier1: cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier1: OK =="
