@@ -43,14 +43,14 @@ fn run(dms: DmsMode) -> (Vec<u64>, u64, f64) {
     let mut dropped = Vec::new();
     let mut out = Vec::new();
     for _ in 0..20 {
-        out.extend(mc.tick());
+        out.extend(mc.tick_collect());
     }
     for row in 1..=4u32 {
         id += 1;
         mc.enqueue(mkreq(&map, id, row, 1)).unwrap();
     }
     for _ in 0..20_000 {
-        out.extend(mc.tick());
+        out.extend(mc.tick_collect());
         if mc.is_idle() {
             break;
         }

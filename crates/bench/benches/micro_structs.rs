@@ -88,7 +88,7 @@ fn bench_controller_tick(cfg: &GpuConfig, map: &AddressMap) {
                 let _ = mc.enqueue(mkreq(map, next));
             }
         }
-        black_box(mc.tick());
+        black_box(mc.tick_collect());
     });
 }
 

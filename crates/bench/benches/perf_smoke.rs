@@ -1,0 +1,202 @@
+//! Timed smoke sweep for the event-driven fast-forward loop.
+//!
+//! Runs a representative slice of the suite under the baseline and
+//! Static-DMS schemes, once with cycle skipping enabled and once with the
+//! naive loop (`with_cycle_skipping(false)`), and reports per-run wall-clock
+//! time, speedup, and the fraction of core cycles skipped. Each timing is
+//! the minimum of `LAZYDRAM_BENCH_REPS` runs (default 3). Results are also
+//! written as a JSON array to `LAZYDRAM_BENCH_OUT` (default
+//! `BENCH_PR2.json` in the current directory) for regression tracking.
+//!
+//! Two comparisons are recorded per (app, scheme):
+//!
+//! * `noskip_s` vs `skip_s` — the naive loop vs fast-forward *within this
+//!   tree*. This isolates the cycle-skipping contribution, but understates
+//!   the PR: the naive loop shares the scheduler-bitmask, stalled-store-plan
+//!   and controller de-allocation work.
+//! * `pre_pr_s` vs `skip_s` — the recorded pre-PR wall clock (from
+//!   `baselines/pre_pr2.tsv`, measured at the revision before this rework)
+//!   vs the current fast-forward loop. This is the PR's end-to-end speedup
+//!   and the number tracked as the repo's perf trajectory. Override the
+//!   baseline file with `LAZYDRAM_BASELINE`; when the file is missing the
+//!   columns are omitted.
+//!
+//! This is a *smoke* benchmark: single-digit runs, no statistics. It is
+//! meant to catch order-of-magnitude regressions (e.g. fast-forward silently
+//! disengaging), not single-digit-percent drifts.
+
+use lazydram_bench::scale_from_env;
+use lazydram_common::json::{array, JsonObject};
+use lazydram_common::{GpuConfig, SchedConfig};
+use lazydram_gpu::Simulator;
+use lazydram_workloads::by_name;
+use std::time::Instant;
+
+/// Memory-bound streamers (where DMS stalls dominate and fast-forward should
+/// shine) plus cache-friendly compute apps (where it should at least not
+/// hurt).
+const APPS: &[&str] = &["SLA", "CONS", "ATAX", "MVT", "SCP", "GEMM"];
+
+struct Row {
+    app: &'static str,
+    scheme: &'static str,
+    skip_s: f64,
+    noskip_s: f64,
+    pre_pr_s: Option<f64>,
+    skip_pct: f64,
+    core_cycles: u64,
+    cycles_skipped: u64,
+}
+
+fn timed_run(
+    app: &str,
+    sched: &SchedConfig,
+    scale: f64,
+    skip: bool,
+    reps: usize,
+) -> (f64, lazydram_common::SimStats) {
+    let mut best = f64::INFINITY;
+    let mut stats = None;
+    for _ in 0..reps.max(1) {
+        let spec = by_name(app).expect("known app");
+        let mut launches = spec.launches(scale);
+        let t0 = Instant::now();
+        let run = Simulator::new(GpuConfig::default(), sched.clone())
+            .with_cycle_skipping(skip)
+            .run_sequence(&mut launches);
+        best = best.min(t0.elapsed().as_secs_f64());
+        stats = Some(run.stats);
+    }
+    (best, stats.expect("at least one rep"))
+}
+
+/// Loads `app\tscheme\tsecs` lines from the pre-PR baseline file; `#` lines
+/// are comments. Returns `None` when the file is absent (e.g. a stripped
+/// checkout); malformed lines in a *present* file are an error.
+fn load_baseline() -> Option<Vec<(String, String, f64)>> {
+    let path = std::env::var("LAZYDRAM_BASELINE")
+        .unwrap_or_else(|_| format!("{}/baselines/pre_pr2.tsv", env!("CARGO_MANIFEST_DIR")));
+    let text = std::fs::read_to_string(&path).ok()?;
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split('\t');
+        let (Some(app), Some(scheme), Some(secs)) = (it.next(), it.next(), it.next()) else {
+            panic!("malformed baseline line in {path}: {line:?}");
+        };
+        let secs: f64 = secs
+            .parse()
+            .unwrap_or_else(|e| panic!("bad seconds in {path}: {line:?} ({e})"));
+        rows.push((app.to_string(), scheme.to_string(), secs));
+    }
+    Some(rows)
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let reps: usize = std::env::var("LAZYDRAM_BENCH_REPS")
+        .ok()
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|e| panic!("LAZYDRAM_BENCH_REPS={s:?} is not a count: {e}"))
+        })
+        .unwrap_or(3);
+    let baseline = load_baseline();
+    let schemes: [(&str, SchedConfig); 2] = [
+        ("baseline", SchedConfig::baseline()),
+        ("Static-DMS", SchedConfig::static_dms()),
+    ];
+    let mut rows = Vec::new();
+    for (scheme_label, sched) in &schemes {
+        for app in APPS {
+            let (noskip_s, _) = timed_run(app, sched, scale, false, reps);
+            let (skip_s, stats) = timed_run(app, sched, scale, true, reps);
+            let pre_pr_s = baseline.as_ref().and_then(|b| {
+                b.iter()
+                    .find(|(a, s, _)| a == app && s == scheme_label)
+                    .map(|&(_, _, secs)| secs)
+            });
+            eprintln!(
+                "{app}/{scheme_label}: naive {noskip_s:.3}s, fast-forward {skip_s:.3}s \
+                 ({speedup:.1}x, skipped {pct:.1}% of cycles{vs})",
+                speedup = noskip_s / skip_s.max(1e-9),
+                pct = 100.0 * stats.skip_fraction(),
+                vs = match pre_pr_s {
+                    Some(b) => format!(", {:.1}x vs pre-PR", b / skip_s.max(1e-9)),
+                    None => String::new(),
+                },
+            );
+            rows.push(Row {
+                app,
+                scheme: scheme_label,
+                skip_s,
+                noskip_s,
+                pre_pr_s,
+                skip_pct: 100.0 * stats.skip_fraction(),
+                core_cycles: stats.core_cycles,
+                cycles_skipped: stats.cycles_skipped,
+            });
+        }
+    }
+
+    println!();
+    println!(
+        "{:<14} {:<11} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "app", "scheme", "pre_pr_s", "naive_s", "fast_s", "speedup", "skip%"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:<11} {:>9} {:>9.3} {:>9.3} {:>7.1}x {:>7.1}%",
+            r.app,
+            r.scheme,
+            r.pre_pr_s.map_or_else(|| "-".into(), |b| format!("{b:.3}")),
+            r.noskip_s,
+            r.skip_s,
+            r.pre_pr_s.unwrap_or(r.noskip_s) / r.skip_s.max(1e-9),
+            r.skip_pct,
+        );
+    }
+    let best_dms = rows
+        .iter()
+        .filter(|r| r.scheme == "Static-DMS")
+        .filter_map(|r| r.pre_pr_s.map(|b| b / r.skip_s.max(1e-9)))
+        .fold(0.0f64, f64::max);
+    let worst = rows
+        .iter()
+        .filter_map(|r| r.pre_pr_s.map(|b| b / r.skip_s.max(1e-9)))
+        .fold(f64::INFINITY, f64::min);
+    if best_dms > 0.0 {
+        println!(
+            "\nbest Static-DMS speedup vs pre-PR: {best_dms:.1}x (worst any-app: {worst:.2}x)"
+        );
+    }
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let mut o = JsonObject::new();
+            o.str("app", r.app)
+                .str("scheme", r.scheme)
+                .f64("scale", scale)
+                .f64("noskip_s", r.noskip_s)
+                .f64("skip_s", r.skip_s)
+                .f64("speedup_vs_naive", r.noskip_s / r.skip_s.max(1e-9))
+                .f64("skip_pct", r.skip_pct)
+                .u64("core_cycles", r.core_cycles)
+                .u64("cycles_skipped", r.cycles_skipped);
+            if let Some(b) = r.pre_pr_s {
+                o.f64("pre_pr_s", b)
+                    .f64("speedup_vs_pre_pr", b / r.skip_s.max(1e-9));
+            }
+            o.finish()
+        })
+        .collect();
+    let out = std::env::var("LAZYDRAM_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR2.json".to_string());
+    std::fs::write(&out, array(&json_rows) + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    eprintln!("wrote {out}");
+}

@@ -55,17 +55,29 @@ impl std::fmt::Display for JobFailure {
 pub type JobResult<T> = Result<T, JobFailure>;
 
 type BoxedWork<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+type NoteFn<'a, T> = Box<dyn Fn(&T) -> String + Send + 'a>;
+/// A claimable job slot: the work closure plus its optional note formatter,
+/// taken exactly once by whichever worker claims the index.
+type JobSlot<'a, T> = Mutex<Option<(BoxedWork<'a, T>, Option<NoteFn<'a, T>>)>>;
 
 /// One unit of work for [`SweepRunner::run`]: a label plus a closure.
 pub struct Job<'a, T> {
     label: String,
     work: BoxedWork<'a, T>,
+    note: Option<NoteFn<'a, T>>,
 }
 
 impl<'a, T> Job<'a, T> {
     /// Wraps a closure with a display label.
     pub fn new(label: impl Into<String>, work: impl FnOnce() -> T + Send + 'a) -> Self {
-        Self { label: label.into(), work: Box::new(work) }
+        Self { label: label.into(), work: Box::new(work), note: None }
+    }
+
+    /// Adds an annotation rendered on the job's stderr progress line after a
+    /// successful run (e.g. the fraction of cycles fast-forwarded).
+    pub fn with_note(mut self, note: impl Fn(&T) -> String + Send + 'a) -> Self {
+        self.note = Some(Box::new(note));
+        self
     }
 }
 
@@ -180,10 +192,10 @@ impl SweepRunner {
             return Vec::new();
         }
         let mut labels = Vec::with_capacity(n);
-        let mut slots: Vec<Mutex<Option<BoxedWork<'_, T>>>> = Vec::with_capacity(n);
+        let mut slots: Vec<JobSlot<'_, T>> = Vec::with_capacity(n);
         for job in jobs {
             labels.push(job.label);
-            slots.push(Mutex::new(Some(job.work)));
+            slots.push(Mutex::new(Some((job.work, job.note))));
         }
         let results: Vec<Mutex<Option<JobResult<T>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
@@ -198,7 +210,7 @@ impl SweepRunner {
                     if i >= n {
                         break;
                     }
-                    let work = slots[i]
+                    let (work, note) = slots[i]
                         .lock()
                         .expect("job slot lock")
                         .take()
@@ -207,19 +219,23 @@ impl SweepRunner {
                     let outcome = catch_unwind(AssertUnwindSafe(work));
                     let elapsed = job_start.elapsed();
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    let (res, status) = match outcome {
-                        Ok(v) => (Ok(v), "ok"),
+                    let (res, status, annotation) = match outcome {
+                        Ok(v) => {
+                            let a = note.as_ref().map_or_else(String::new, |f| f(&v));
+                            (Ok(v), "ok", a)
+                        }
                         Err(payload) => (
                             Err(JobFailure {
                                 label: labels[i].clone(),
                                 message: panic_message(payload.as_ref()),
                             }),
                             "FAILED",
+                            String::new(),
                         ),
                     };
                     if !self.quiet {
                         eprintln!(
-                            "[{finished}/{n}] {label} {status} in {job:.1}s (elapsed {total:.1}s)",
+                            "[{finished}/{n}] {label} {status} in {job:.1}s (elapsed {total:.1}s){annotation}",
                             label = labels[i],
                             job = elapsed.as_secs_f64(),
                             total = sweep_start.elapsed().as_secs_f64(),
@@ -276,6 +292,7 @@ impl SweepRunner {
                 Job::new(format!("{}/baseline", app.name), move || {
                     self.baseline(app, cfg, scale)
                 })
+                .with_note(|b: &Arc<Baseline>| skip_note(&b.measurement))
             })
             .collect();
         let results = self.run(jobs);
@@ -307,6 +324,7 @@ impl SweepRunner {
                         &spec.exact,
                     )
                 })
+                .with_note(skip_note)
             })
             .collect();
         let results = self.run(jobs);
@@ -342,6 +360,16 @@ impl SweepRunner {
         if let Some(out) = &self.results {
             out.lock().expect("results lock").flush().expect("flush LAZYDRAM_RESULTS");
         }
+    }
+}
+
+/// Renders the fast-forward annotation for a measurement's progress line
+/// (empty when the event-driven loop never skipped, e.g. `LAZYDRAM_NO_SKIP`).
+fn skip_note(m: &Measurement) -> String {
+    if m.stats.cycles_skipped == 0 {
+        String::new()
+    } else {
+        format!(" [skipped {:.1}% of cycles]", 100.0 * m.stats.skip_fraction())
     }
 }
 

@@ -252,6 +252,13 @@ pub struct SimStats {
     pub l2_misses: u64,
     /// Loads whose value was approximated by the VP unit.
     pub approximated_loads: u64,
+    /// Core cycles the event-driven loop fast-forwarded over without
+    /// executing any component (zero when skipping is disabled).
+    pub cycles_skipped: u64,
+    /// Core cycles actually executed by the master loop. With skipping off
+    /// this equals `core_cycles`; with skipping on,
+    /// `ticks_executed + cycles_skipped` covers the simulated span.
+    pub ticks_executed: u64,
     /// Diagnostic: AMS decline-reason histogram summed over controllers
     /// (indexed by the scheduler crate's `AmsDecline`); empty when AMS off.
     pub ams_declines: Vec<u64>,
@@ -265,6 +272,15 @@ impl SimStats {
     /// Creates zeroed statistics.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fraction of simulated core cycles that were fast-forwarded.
+    pub fn skip_fraction(&self) -> f64 {
+        if self.core_cycles == 0 {
+            0.0
+        } else {
+            self.cycles_skipped as f64 / self.core_cycles as f64
+        }
     }
 
     /// Instructions per core cycle.
@@ -286,6 +302,8 @@ impl SimStats {
             .u64("l2_hits", self.l2_hits)
             .u64("l2_misses", self.l2_misses)
             .u64("approximated_loads", self.approximated_loads)
+            .u64("cycles_skipped", self.cycles_skipped)
+            .u64("ticks_executed", self.ticks_executed)
             .u64("ams_accepts", self.ams_accepts)
             .u64_array("ams_declines", &self.ams_declines)
             .raw("dram", &self.dram.to_json());

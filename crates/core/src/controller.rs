@@ -20,6 +20,7 @@ use crate::dms::DmsUnit;
 use crate::queue::{PendingQueue, QueueFull};
 use lazydram_common::{AccessKind, Arbiter, GpuConfig, Request, RequestId, RowPolicy, SchedConfig};
 use lazydram_dram::Channel;
+use std::collections::VecDeque;
 
 /// A completed memory request returned to the reply network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,8 +50,11 @@ pub struct MemoryController {
     row_policy: RowPolicy,
     dms: DmsUnit,
     ams: AmsUnit,
-    /// Read bursts in flight inside DRAM (ready_at, response).
-    inflight: Vec<Inflight>,
+    /// Read bursts in flight inside DRAM (ready_at, response). Data bursts
+    /// serialize on the shared bus, so `ready_at` is strictly increasing in
+    /// insertion order: the front is always the earliest completion, which
+    /// doubles as this controller's next-event source.
+    inflight: VecDeque<Inflight>,
     /// Row currently being drop-sequenced by AMS: (flat bank, row,
     /// remaining requests). Bounded by the pending set at decision time so
     /// newly arriving same-row requests are not swept past the coverage cap.
@@ -73,7 +77,7 @@ impl MemoryController {
             row_policy: sched.row_policy,
             dms: DmsUnit::new(sched.dms),
             ams: AmsUnit::new(sched.ams, sched.coverage_cap, sched.ams_warmup_requests),
-            inflight: Vec::new(),
+            inflight: VecDeque::new(),
             dropping: None,
             now: 0,
         }
@@ -142,8 +146,12 @@ impl MemoryController {
         self.queue.push(req)
     }
 
-    /// Advances one memory cycle; returns the responses that completed.
-    pub fn tick(&mut self) -> Vec<Response> {
+    /// Advances one memory cycle, pushing completed responses into `out`.
+    ///
+    /// The buffer is caller-owned so the hot loop can reuse one allocation
+    /// across all controllers and cycles; `tick` only appends, it never
+    /// clears.
+    pub fn tick(&mut self, out: &mut Vec<Response>) {
         self.now += 1;
         let now = self.now;
         self.channel.advance_to(now);
@@ -157,16 +165,14 @@ impl MemoryController {
         };
         self.ams.tick(now, dropped, reads);
 
-        // Completions.
-        let mut out = Vec::new();
-        self.inflight.retain(|f| {
-            if f.ready_at <= now {
-                out.push(f.resp);
-                false
-            } else {
-                true
+        // Completions: ready_at is monotone, so ready bursts sit at the front.
+        while let Some(f) = self.inflight.front() {
+            if f.ready_at > now {
+                break;
             }
-        });
+            out.push(f.resp);
+            self.inflight.pop_front();
+        }
 
         // Continue an AMS drop sequence: one request per cycle, at most the
         // number that were pending when the decision was made.
@@ -199,19 +205,107 @@ impl MemoryController {
         if self.channel.refresh_due(now) {
             if self.channel.can_refresh(now) {
                 self.channel.refresh(now);
-                return out;
+                return;
             }
             for bank in 0..self.channel.num_banks() {
                 if self.channel.open_row(bank).is_some() && self.channel.can_precharge(bank, now) {
                     self.channel.precharge(bank, now);
-                    return out;
+                    return;
                 }
             }
             // Banks still within tRAS: fall through and keep serving.
         }
 
-        self.schedule(&mut out);
+        self.schedule(out);
+    }
+
+    /// Convenience wrapper around [`MemoryController::tick`] that allocates
+    /// a fresh response buffer per cycle. Fine for tests and cold paths;
+    /// hot loops should reuse a buffer via `tick`.
+    pub fn tick_collect(&mut self) -> Vec<Response> {
+        let mut out = Vec::new();
+        self.tick(&mut out);
         out
+    }
+
+    /// The earliest future memory cycle at which ticking this controller
+    /// could have any effect, or `None` when no tick ever will (idle, no
+    /// refresh pending, no profiler windows). Between `now` and the returned
+    /// cycle (exclusive), every [`MemoryController::tick`] is a pure no-op,
+    /// so the event-driven loop may replace those ticks with one
+    /// [`MemoryController::advance_idle`] call.
+    ///
+    /// Conservative: returns `now + 1` ("busy") whenever the next effect
+    /// depends on short-horizon DRAM timing rather than a computable event.
+    pub fn next_event_cycle(&mut self) -> Option<u64> {
+        let now = self.now;
+        // A drop sequence emits one response per cycle; the refresh
+        // machinery may issue PRE/REF any cycle once the refresh is due.
+        if self.dropping.is_some() || self.channel.refresh_due(now) {
+            return Some(now + 1);
+        }
+        // Closed-page policy precharges open rows as soon as tRAS allows,
+        // even with an empty queue — tick until they are closed.
+        if self.row_policy == RowPolicy::Closed
+            && (0..self.channel.num_banks()).any(|b| self.channel.open_row(b).is_some())
+        {
+            return Some(now + 1);
+        }
+        if !self.queue.is_empty() {
+            // A pending row-buffer hit can legalize on bus/bank timing
+            // alone (never DMS-gated) — treat as imminent.
+            for bank in 0..self.channel.num_banks() {
+                if let Some(row) = self.channel.open_row(bank) {
+                    if self.queue.any_for_row(bank, row) {
+                        return Some(now + 1);
+                    }
+                }
+            }
+            // Row misses only: nothing can issue until the DMS delay
+            // criterion is met (the paper's deliberately created stall
+            // epochs — the dominant skippable span).
+            let arrival = self.queue.oldest().map(|r| r.arrival).expect("non-empty");
+            let gate = arrival + u64::from(self.dms.current_delay());
+            if gate <= now {
+                return Some(now + 1);
+            }
+            let mut next = gate;
+            if let Some(f) = self.inflight.front() {
+                next = next.min(f.ready_at);
+            }
+            next = next.min(self.channel.refresh_due_at());
+            if let Some(b) = self.dms.next_window_boundary() {
+                next = next.min(b);
+            }
+            if let Some(b) = self.ams.next_window_boundary() {
+                next = next.min(b);
+            }
+            return Some(next.max(now + 1));
+        }
+        // Empty queue: wake for in-flight completions, the next refresh,
+        // or a Dyn-DMS / Dyn-AMS window boundary.
+        let mut next = u64::MAX;
+        if let Some(f) = self.inflight.front() {
+            next = next.min(f.ready_at);
+        }
+        next = next.min(self.channel.refresh_due_at());
+        if let Some(b) = self.dms.next_window_boundary() {
+            next = next.min(b);
+        }
+        if let Some(b) = self.ams.next_window_boundary() {
+            next = next.min(b);
+        }
+        (next != u64::MAX).then(|| next.max(now + 1))
+    }
+
+    /// Jumps the controller's clock to `to`, standing in for `to - now`
+    /// consecutive no-op ticks. Only legal when
+    /// [`MemoryController::next_event_cycle`] proved every skipped tick a
+    /// no-op (i.e. `to` is at most the next event cycle).
+    pub fn advance_idle(&mut self, to: u64) {
+        debug_assert!(to >= self.now, "advance_idle must not move backwards");
+        self.now = to;
+        self.channel.advance_to(to);
     }
 
     /// FR-FCFS + DMS + AMS scheduling: issues at most one DRAM command.
@@ -257,7 +351,7 @@ impl MemoryController {
             let req = self.queue.remove(id).expect("candidate still queued");
             let done = self.channel.cas(bank, req.kind, req.is_global_read(), now);
             if req.kind == AccessKind::Read {
-                self.inflight.push(Inflight {
+                self.inflight.push_back(Inflight {
                     ready_at: done,
                     resp: Response {
                         id: req.id,
@@ -290,6 +384,13 @@ impl MemoryController {
             return;
         };
         let oldest_age_ok = self.dms.row_miss_allowed(oldest_age);
+        // The DMS gate holds back every new-row command (and, via criterion
+        // 2, every AMS drop). Checked before the per-candidate work so a
+        // gated cycle is a pure no-op — the property the event-driven loop
+        // relies on to fast-forward stall epochs wholesale.
+        if !oldest_age_ok {
+            return;
+        }
         let halted = self.dms.sampling_baseline();
 
         // Per-bank candidates, FCFS-ordered: the oldest request of a bank
@@ -374,10 +475,6 @@ impl MemoryController {
                     return;
                 }
             }
-            // The DMS gate holds back every new-row command.
-            if !oldest_age_ok {
-                return;
-            }
             if needs_pre {
                 if self.channel.can_precharge(bank, now) {
                     self.channel.precharge(bank, now);
@@ -447,7 +544,7 @@ mod tests {
     fn run_until_idle(mc: &mut MemoryController, max: u64) -> Vec<Response> {
         let mut out = Vec::new();
         for _ in 0..max {
-            out.extend(mc.tick());
+            out.extend(mc.tick_collect());
             if mc.is_idle() {
                 break;
             }
@@ -478,7 +575,7 @@ mod tests {
         // Open row 0 via request 1, then queue a miss (row 1) and a hit (row 0).
         mc.enqueue(mkreq(&map, 1, 0, 0, 0, AccessKind::Read)).unwrap();
         for _ in 0..30 {
-            mc.tick();
+            mc.tick_collect();
         }
         mc.enqueue(mkreq(&map, 2, 0, 1, 0, AccessKind::Read)).unwrap(); // miss, older
         mc.enqueue(mkreq(&map, 3, 0, 0, 1, AccessKind::Read)).unwrap(); // hit, younger
@@ -509,7 +606,7 @@ mod tests {
         let t_nodelay = {
             let mut t = 0;
             for i in 1..500 {
-                if !nodelay.tick().is_empty() {
+                if !nodelay.tick_collect().is_empty() {
                     t = i;
                     break;
                 }
@@ -519,7 +616,7 @@ mod tests {
         let t_delayed = {
             let mut t = 0;
             for i in 1..500 {
-                if !delayed.tick().is_empty() {
+                if !delayed.tick_collect().is_empty() {
                     t = i;
                     break;
                 }
@@ -544,7 +641,7 @@ mod tests {
                 mc.enqueue(mkreq(&map, id, 0, row, 0, AccessKind::Read)).unwrap();
             }
             for _ in 0..gap {
-                mc.tick();
+                mc.tick_collect();
             }
             for row in 0..4u32 {
                 id += 1;
@@ -614,7 +711,7 @@ mod tests {
         for i in 0..30u64 {
             mc.enqueue(mkreq(&map, i + 1, 0, i as u32, 0, AccessKind::Read)).unwrap();
             for _ in 0..60 {
-                mc.tick();
+                mc.tick_collect();
             }
         }
         run_until_idle(&mut mc, 10_000);
@@ -673,7 +770,7 @@ mod tests {
             // still open when the second batch lands (as in Figure 8).
             let mut out = Vec::new();
             for _ in 0..20 {
-                out.extend(mc.tick());
+                out.extend(mc.tick_collect());
             }
             for row in 1..=4u32 {
                 id += 1;
@@ -717,7 +814,7 @@ mod tests {
         // hit (row 0). Strict FCFS must serve the older miss first.
         mc.enqueue(mkreq(&map, 1, 0, 0, 0, AccessKind::Read)).unwrap();
         for _ in 0..30 {
-            mc.tick();
+            mc.tick_collect();
         }
         mc.enqueue(mkreq(&map, 2, 0, 1, 0, AccessKind::Read)).unwrap(); // miss, older
         mc.enqueue(mkreq(&map, 3, 0, 0, 1, AccessKind::Read)).unwrap(); // hit, younger
@@ -736,14 +833,14 @@ mod tests {
         run_until_idle(&mut mc, 500);
         // Give the policy time to close the row.
         for _ in 0..80 {
-            mc.tick();
+            mc.tick_collect();
         }
         // A second request to the same row must re-activate it.
         mc.enqueue(mkreq(&map, 2, 0, 0, 1, AccessKind::Read)).unwrap();
         run_until_idle(&mut mc, 500);
         // Let the policy close the second activation too (tRAS must pass).
         for _ in 0..80 {
-            mc.tick();
+            mc.tick_collect();
         }
         let st = mc.channel().stats();
         assert_eq!(st.activations, 2, "closed-page must have closed the idle row");
@@ -757,7 +854,7 @@ mod tests {
         mc.enqueue(mkreq(&map, 1, 0, 0, 0, AccessKind::Read)).unwrap();
         run_until_idle(&mut mc, 500);
         for _ in 0..80 {
-            mc.tick();
+            mc.tick_collect();
         }
         mc.enqueue(mkreq(&map, 2, 0, 0, 1, AccessKind::Read)).unwrap();
         run_until_idle(&mut mc, 500);
@@ -782,10 +879,10 @@ mod tests {
                 mc.enqueue(mkreq(&map, id, id % 4, (id % 3) as u32, 0, AccessKind::Read))
                     .unwrap();
             }
-            out.extend(mc.tick());
+            out.extend(mc.tick_collect());
         }
         while !mc.is_idle() {
-            out.extend(mc.tick());
+            out.extend(mc.tick_collect());
         }
         assert_eq!(out.len() as u64, id, "all reads answered despite refreshes");
         assert!(mc.channel().refreshes() >= 5, "refreshes kept recurring");

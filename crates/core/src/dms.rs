@@ -133,6 +133,17 @@ impl DmsUnit {
         }
     }
 
+    /// The absolute memory cycle of the next `Dyn-DMS` window boundary
+    /// (where [`DmsUnit::tick`] stops being a no-op), or `None` for the
+    /// static/off modes whose `tick` never does anything. The event-driven
+    /// loop must not fast-forward past this cycle.
+    pub fn next_window_boundary(&self) -> Option<u64> {
+        match self.mode {
+            DmsMode::Dynamic(cfg) => Some(self.window_start + u64::from(cfg.window)),
+            _ => None,
+        }
+    }
+
     /// Dynamic configuration, if the unit is dynamic.
     pub fn dynamic_config(&self) -> Option<DynDmsConfig> {
         match self.mode {

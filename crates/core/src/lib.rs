@@ -37,7 +37,7 @@
 //! })?;
 //! let mut responses = Vec::new();
 //! while !mc.is_idle() {
-//!     responses.extend(mc.tick());
+//!     mc.tick(&mut responses);
 //! }
 //! assert_eq!(responses.len(), 1);
 //! # Ok::<(), lazydram_core::QueueFull>(())

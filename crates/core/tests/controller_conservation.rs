@@ -43,7 +43,7 @@ fn run_conservation(seed_reqs: Vec<(u32, u8, bool)>, sched: SchedConfig) -> Resu
                 mc.enqueue(req).unwrap();
             }
         }
-        for r in mc.tick() {
+        for r in mc.tick_collect() {
             responses.push(r.id.0);
         }
         if pending.is_empty() && mc.is_idle() {

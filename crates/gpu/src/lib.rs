@@ -44,5 +44,6 @@ pub use cache::{AccessResult, Cache};
 pub use kernel::{application_error, lane_item, run_functional, Kernel, WarpOp, WarpProgram};
 pub use memimg::{MemoryImage, LINE_BYTES, WORDS_PER_LINE};
 pub use noc::{DelayQueue, NocFull};
-pub use sim::{run_kernel, RunResult, SimLimits, Simulator};
+pub use sim::{parse_no_skip, run_kernel, RunResult, SimLimits, Simulator};
 pub use trace::{Trace, TraceEntry};
+

@@ -5,19 +5,43 @@
 //! cycle limit), and returns per-run statistics plus the kernel output for
 //! application-error measurement.
 //!
-//! The master loop runs in *core* cycles (1400 MHz); a fractional accumulator
-//! ticks the memory side at the 924 / 1400 clock ratio, so every DRAM timing
-//! parameter and every DMS/AMS window is honored in memory cycles exactly as
-//! in the paper.
+//! The master loop runs in *core* cycles (1400 MHz); an exact integer
+//! accumulator ticks the memory side at the 924 / 1400 clock ratio, so every
+//! DRAM timing parameter and every DMS/AMS window is honored in memory cycles
+//! exactly as in the paper.
+//!
+//! # Event-driven fast-forward
+//!
+//! DMS deliberately *creates* long stall epochs (it delays row activations by
+//! up to 2048 memory cycles), so in the paper's most interesting
+//! configurations the majority of cycles tick every component for no effect.
+//! Instead of executing those, the loop asks each component for its next
+//! event:
+//!
+//! * SMs: [`Sm::has_work`] — conservative "could issue this cycle";
+//! * [`DelayQueue`]s: head ready-time (the head is always the earliest item);
+//! * slices: [`Slice::has_work`] — buffered responses / writebacks / retries;
+//! * controllers: [`MemoryController::next_event_cycle`] — earliest in-flight
+//!   completion, DMS delay expiry, refresh, or Dyn-DMS/Dyn-AMS window
+//!   boundary, in memory cycles.
+//!
+//! When nothing has work *this* cycle, `core_cycle` jumps to the minimum next
+//! event and the clock accumulator advances analytically, so the memory clock
+//! lands on exactly the same cycles as the naive loop. Executed cycles run
+//! the identical phase code, and skips only cover cycles every component has
+//! proven to be no-ops — results are **bit-identical** with skipping on or
+//! off (enforced by the `fast_forward_equivalence` suite test and a
+//! proptest). `LAZYDRAM_NO_SKIP=1` forces the naive loop for debugging.
 
 use crate::kernel::Kernel;
 use crate::memimg::MemoryImage;
 use crate::noc::DelayQueue;
 use crate::slice::Slice;
-use crate::trace::Trace;
+use crate::trace::{Trace, TraceEntry};
 use crate::sm::{Reply, Sm, SmCtx, SliceReq};
 use lazydram_common::{AddressMap, GpuConfig, SchedConfig, SimStats};
-use lazydram_core::MemoryController;
+use lazydram_core::{MemoryController, Response};
+use std::sync::OnceLock;
 
 /// Safety limits for one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +56,35 @@ impl Default for SimLimits {
             max_core_cycles: 50_000_000,
         }
     }
+}
+
+/// Parses a `LAZYDRAM_NO_SKIP` value: `1`/`true` force the naive
+/// cycle-by-cycle loop, `0`/`false` keep event-driven fast-forward.
+///
+/// Kept separate from the env lookup so the validation is unit-testable.
+pub fn parse_no_skip(s: &str) -> Result<bool, String> {
+    match s.trim() {
+        "1" | "true" => Ok(true),
+        "0" | "false" => Ok(false),
+        _ => Err(format!(
+            "LAZYDRAM_NO_SKIP={s:?} is not a boolean; expected 1/true to \
+             disable cycle skipping or 0/false to keep it enabled"
+        )),
+    }
+}
+
+/// Whether `LAZYDRAM_NO_SKIP` disables fast-forward for this process.
+///
+/// # Panics
+///
+/// Panics on a malformed value instead of silently picking a loop mode (the
+/// two modes are result-identical but differ wildly in wall-clock).
+fn no_skip_from_env() -> bool {
+    static NO_SKIP: OnceLock<bool> = OnceLock::new();
+    *NO_SKIP.get_or_init(|| match std::env::var("LAZYDRAM_NO_SKIP") {
+        Ok(s) => parse_no_skip(&s).unwrap_or_else(|e| panic!("{e}")),
+        Err(_) => false,
+    })
 }
 
 /// The result of one kernel run.
@@ -56,16 +109,19 @@ pub struct Simulator {
     sched: SchedConfig,
     limits: SimLimits,
     capture_trace: bool,
+    cycle_skipping: bool,
 }
 
 impl Simulator {
     /// Creates a simulator for a GPU configuration and scheduling policy.
+    /// Event-driven cycle skipping is on unless `LAZYDRAM_NO_SKIP=1`.
     pub fn new(cfg: GpuConfig, sched: SchedConfig) -> Self {
         Self {
             cfg,
             sched,
             limits: SimLimits::default(),
             capture_trace: false,
+            cycle_skipping: !no_skip_from_env(),
         }
     }
 
@@ -79,6 +135,14 @@ impl Simulator {
     /// [`RunResult::trace`] and can be replayed with [`Trace::replay`].
     pub fn with_trace_capture(mut self, capture: bool) -> Self {
         self.capture_trace = capture;
+        self
+    }
+
+    /// Forces event-driven cycle skipping on or off, overriding the
+    /// `LAZYDRAM_NO_SKIP` environment default. Results are bit-identical
+    /// either way; only wall-clock changes.
+    pub fn with_cycle_skipping(mut self, enabled: bool) -> Self {
+        self.cycle_skipping = enabled;
         self
     }
 
@@ -156,10 +220,20 @@ impl Simulator {
         let total_warps = kernel.total_warps();
         let mut next_warp = 0usize;
         let mut next_req_id = 0u64;
-        let ratio = cfg.clock_ratio();
-        let mut mem_acc = 0.0f64;
+        // Exact integer clock divider: each core cycle adds `mem_hz` units
+        // and one memory tick fires per `core_hz` units accumulated. Unlike
+        // a floating accumulator this is drift-free and can be advanced
+        // analytically across skipped spans.
+        let core_hz = u64::from(cfg.core_clock_mhz);
+        let mem_hz = u64::from(cfg.mem_clock_mhz);
+        let mut acc = 0u64;
+        let mut mem_time = 0u64;
         let mut core_cycle = 0u64;
         let mut hit_limit = false;
+        let mut ticks_executed = 0u64;
+        let mut cycles_skipped = 0u64;
+        let mut resp_buf: Vec<Response> = Vec::new();
+        let limit = self.limits.max_core_cycles;
 
         // Initial dispatch: round-robin across SMs (like GPGPU-Sim's block
         // dispatcher), so small launches spread over all cores instead of
@@ -183,16 +257,15 @@ impl Simulator {
 
         loop {
             core_cycle += 1;
-            if core_cycle > self.limits.max_core_cycles {
+            if core_cycle > limit {
                 hit_limit = true;
                 break;
             }
+            ticks_executed += 1;
 
-            // 1. Deliver replies, then issue from each SM.
-            for (i, sm) in sms.iter_mut().enumerate() {
-                while let Some(reply) = reply_noc[i].pop_ready(core_cycle) {
-                    sm.on_reply(reply, image);
-                }
+            // 1. Deliver replies, then issue from each SM. The context is
+            //    built once per cycle; it borrows nothing from the SMs.
+            {
                 let mut ctx = SmCtx {
                     now: core_cycle,
                     image: &mut *image,
@@ -200,10 +273,15 @@ impl Simulator {
                     kernel,
                     req_noc: &mut req_noc,
                 };
-                sm.tick(&mut ctx);
-                while next_warp < total_warps && sm.has_free_slot() {
-                    sm.dispatch(kernel.program(next_warp));
-                    next_warp += 1;
+                for (i, sm) in sms.iter_mut().enumerate() {
+                    while let Some(reply) = reply_noc[i].pop_ready(core_cycle) {
+                        sm.on_reply(reply, ctx.image);
+                    }
+                    sm.tick(&mut ctx);
+                    while next_warp < total_warps && sm.has_free_slot() {
+                        sm.dispatch(ctx.kernel.program(next_warp));
+                        next_warp += 1;
+                    }
                 }
             }
 
@@ -221,26 +299,56 @@ impl Simulator {
             }
 
             // 3. Memory clock domain.
-            mem_acc += ratio;
-            while mem_acc >= 1.0 {
-                mem_acc -= 1.0;
+            acc += mem_hz;
+            while acc >= core_hz {
+                acc -= core_hz;
+                mem_time += 1;
                 for (i, mc) in mcs.iter_mut().enumerate() {
-                    for resp in mc.tick() {
+                    resp_buf.clear();
+                    mc.tick(&mut resp_buf);
+                    for &resp in &resp_buf {
                         slices[i].responses.push_back(resp);
                     }
                 }
             }
 
-            // 4. Termination.
+            // 4. Termination (exact: no alignment gate, so the reported
+            //    cycle count carries no phantom tail cycles).
             if next_warp >= total_warps
                 && sms.iter().all(|s| s.live_warps() == 0)
-                && core_cycle.is_multiple_of(8)
                 && req_noc.iter().all(|q| q.is_empty())
                 && reply_noc.iter().all(|q| q.is_empty())
                 && slices.iter().all(|s| s.is_idle())
                 && mcs.iter().all(|m| m.is_idle())
             {
                 break;
+            }
+
+            // 5. Fast-forward over provably idle cycles.
+            if !self.cycle_skipping {
+                continue;
+            }
+            let target = next_interesting_cycle(
+                core_cycle, limit, acc, core_hz, mem_hz, mem_time,
+                &sms, &slices, &req_noc, &reply_noc, &mut mcs,
+            );
+            if target > core_cycle + 1 {
+                let skipped = target - core_cycle - 1;
+                // Advance the memory clock analytically over the skipped
+                // span; the controllers see the exact same tick count (all
+                // of them no-ops) as the naive loop would have executed.
+                let units =
+                    u128::from(acc) + u128::from(skipped) * u128::from(mem_hz);
+                let mem_ticks = (units / u128::from(core_hz)) as u64;
+                acc = (units % u128::from(core_hz)) as u64;
+                if mem_ticks > 0 {
+                    mem_time += mem_ticks;
+                    for mc in mcs.iter_mut() {
+                        mc.advance_idle(mem_time);
+                    }
+                }
+                cycles_skipped += skipped;
+                core_cycle = target - 1;
             }
         }
 
@@ -250,6 +358,8 @@ impl Simulator {
         }
 
         total.core_cycles += core_cycle;
+        total.ticks_executed += ticks_executed;
+        total.cycles_skipped += cycles_skipped;
         for sm in &sms {
             total.instructions += sm.instructions;
             total.l1_hits += sm.l1().hits();
@@ -262,6 +372,10 @@ impl Simulator {
         }
         if let Some(total_trace) = trace {
             // Merge per-slice traces by arrival cycle (stable across slices).
+            // Each launch's memory clock restarts at zero, so entries are
+            // rebased onto the end of the previous launches' channel time to
+            // keep the accumulated trace time-ordered.
+            let base = total.dram.mem_cycles;
             let mut merged: Vec<_> = slices
                 .iter_mut()
                 .filter_map(|s| s.trace.take())
@@ -269,7 +383,10 @@ impl Simulator {
                 .collect();
             merged.sort_by_key(|e| e.cycle);
             for e in merged {
-                total_trace.push(e);
+                total_trace.push(TraceEntry {
+                    cycle: base + e.cycle,
+                    ..e
+                });
             }
         }
 
@@ -294,6 +411,77 @@ impl Simulator {
     }
 }
 
+/// The next core cycle at which executing the loop body could have any
+/// effect, given that the current cycle's phases just completed and the
+/// termination check failed. Every cycle strictly between `now` and the
+/// returned cycle is a provable no-op for every component. Clamped to
+/// `limit + 1`, where the loop exits without running phases; with no event
+/// at all (a stalled run headed for the cycle limit) the clamp is returned.
+#[allow(clippy::too_many_arguments)]
+fn next_interesting_cycle(
+    now: u64,
+    limit: u64,
+    acc: u64,
+    core_hz: u64,
+    mem_hz: u64,
+    mem_time: u64,
+    sms: &[Sm],
+    slices: &[Slice],
+    req_noc: &[DelayQueue<SliceReq>],
+    reply_noc: &[DelayQueue<Reply>],
+    mcs: &mut [MemoryController],
+) -> u64 {
+    let mut next = limit.saturating_add(1);
+    if next <= now + 1 || sms.iter().any(Sm::has_work) || slices.iter().any(Slice::has_work) {
+        return now + 1;
+    }
+    // Parked store retries are events only when they would succeed; a
+    // failing retry leaves the warp exactly as it found it, and request-NoC
+    // occupancy cannot change during the span (no SM has drainable work, no
+    // slice services a head) so it keeps failing identically.
+    if sms.iter().any(|s| s.stalled_store_ready(req_noc)) {
+        return now + 1;
+    }
+    for (i, q) in req_noc.iter().enumerate() {
+        let Some(ready) = q.next_ready_cycle() else {
+            continue;
+        };
+        if ready > now + 1 {
+            next = next.min(ready);
+        } else if q.peek().is_some_and(|req| slices[i].would_service(req, &mcs[i])) {
+            return now + 1;
+        }
+        // A ready head the slice cannot service (controller backpressure)
+        // is not an event: the slice would pop it and park it right back.
+        // The unblocking condition changes only on a controller event,
+        // which the controller scan below contributes.
+    }
+    for q in reply_noc {
+        if let Some(ready) = q.next_ready_cycle() {
+            next = next.min(ready.max(now + 1));
+        }
+    }
+    if next == now + 1 {
+        return next;
+    }
+    // Memory-side events arrive in memory cycles; map the j-th future
+    // memory tick back to the core cycle whose accumulator step fires it:
+    // the smallest k >= 1 with acc + k * mem_hz >= j * core_hz.
+    for mc in mcs.iter_mut() {
+        if let Some(me) = mc.next_event_cycle() {
+            debug_assert!(me > mem_time, "memory event must lie in the future");
+            let j = u128::from(me - mem_time);
+            let need = j * u128::from(core_hz) - u128::from(acc);
+            let k = need.div_ceil(u128::from(mem_hz));
+            let event = u128::from(now).saturating_add(k);
+            if event < u128::from(next) {
+                next = event as u64;
+            }
+        }
+    }
+    next.max(now + 1)
+}
+
 /// Convenience: runs `kernel` under `sched` on the default GPU and returns
 /// the result.
 ///
@@ -309,4 +497,24 @@ impl Simulator {
 /// ```
 pub fn run_kernel(kernel: &mut dyn Kernel, cfg: &GpuConfig, sched: &SchedConfig) -> RunResult {
     Simulator::new(cfg.clone(), sched.clone()).run(kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_no_skip_accepts_booleans() {
+        assert_eq!(parse_no_skip("1"), Ok(true));
+        assert_eq!(parse_no_skip("true"), Ok(true));
+        assert_eq!(parse_no_skip(" 0 "), Ok(false));
+        assert_eq!(parse_no_skip("false"), Ok(false));
+    }
+
+    #[test]
+    fn parse_no_skip_rejects_garbage() {
+        assert!(parse_no_skip("yes").is_err());
+        assert!(parse_no_skip("").is_err());
+        assert!(parse_no_skip("2").is_err());
+    }
 }

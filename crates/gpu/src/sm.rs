@@ -61,11 +61,23 @@ enum WarpState {
     Done,
 }
 
+/// A store that could not issue due to NoC backpressure, with its line
+/// coalescing and per-slice request counts computed once at first attempt —
+/// a retry only re-checks free space (O(#channels)) instead of re-deriving
+/// the whole plan from the lane writes every cycle.
+struct StalledStore {
+    writes: Vec<(u64, f32)>,
+    /// Distinct line addresses, in first-touch order.
+    lines: Vec<u64>,
+    /// `(channel, requests)` pairs the store needs to place atomically.
+    per_slice: Vec<(usize, usize)>,
+}
+
 struct WarpSlot {
     program: Box<dyn WarpProgram>,
     state: WarpState,
-    /// Operation that could not issue due to a structural hazard.
-    stalled_op: Option<WarpOp>,
+    /// Store that could not issue due to a structural hazard.
+    stalled_op: Option<StalledStore>,
     /// Values delivered by the last load, consumed by the next `next()` call.
     last_loaded: Vec<f32>,
 }
@@ -80,7 +92,31 @@ pub(crate) struct SmCtx<'a> {
     pub req_noc: &'a mut [DelayQueue<SliceReq>],
 }
 
+/// Visits the set bits of `mask` in rotated index order — `start..128`, then
+/// `0..start` — calling `f(idx)` for each; stops early when `f` returns
+/// `false`. This walks exactly the slots a linear scan from `start` would
+/// visit, in the same order, without touching the empty ones.
+fn for_each_bit_rotated(mask: u128, start: usize, mut f: impl FnMut(usize) -> bool) {
+    let split = u128::MAX << start;
+    for mut m in [mask & split, mask & !split] {
+        while m != 0 {
+            let idx = m.trailing_zeros() as usize;
+            if !f(idx) {
+                return;
+            }
+            m &= m - 1;
+        }
+    }
+}
+
 /// One streaming multiprocessor.
+///
+/// The warp scheduler is index-based round-robin, but the per-cycle scan
+/// runs over two slot bitmasks instead of the slot vector: `issueable`
+/// (warps that could issue this cycle) and `unsent` (blocked loads with
+/// backpressured miss lines). On stall-heavy cycles — the common case under
+/// DMS — both masks are zero and [`Sm::tick`] returns without touching any
+/// slot state, which is also what lets [`Sm::has_work`] answer in O(1).
 pub(crate) struct Sm {
     id: usize,
     issue_width: usize,
@@ -91,6 +127,14 @@ pub(crate) struct Sm {
     mshr_capacity: usize,
     /// Round-robin cursor for draining backpressured loads.
     drain_rr: usize,
+    /// Bit `i` set ⇔ slot `i` can attempt issue: Ready, Computing, or
+    /// retrying a structurally stalled op.
+    issueable: u128,
+    /// Bit `i` set ⇔ slot `i` is Waiting with a non-empty `unsent` list.
+    unsent: u128,
+    /// Bit `i` set ⇔ slot `i` holds a parked [`StalledStore`] — issueable,
+    /// but only effectful once the request NoC has room for its plan.
+    stalled: u128,
     /// Warp instructions retired.
     pub instructions: u64,
     /// Loads whose value was (partly) approximated.
@@ -100,6 +144,11 @@ pub(crate) struct Sm {
 
 impl Sm {
     pub fn new(id: usize, cfg: &GpuConfig) -> Self {
+        assert!(
+            cfg.warps_per_sm <= 128,
+            "warps_per_sm = {} exceeds the 128-slot scheduler bitmask",
+            cfg.warps_per_sm
+        );
         Self {
             id,
             issue_width: cfg.issue_width,
@@ -109,10 +158,32 @@ impl Sm {
             mshr: FastMap::default(),
             mshr_capacity: cfg.l1_mshrs,
             drain_rr: 0,
+            issueable: 0,
+            unsent: 0,
+            stalled: 0,
             instructions: 0,
             approximated_loads: 0,
             live_warps: 0,
         }
+    }
+
+    /// Recomputes slot `idx`'s bits in the scheduler masks from its state.
+    /// Must be called after any mutation that can change the slot's
+    /// issueability or its unsent-miss backlog.
+    fn refresh_masks(&mut self, idx: usize) {
+        let bit = 1u128 << idx;
+        let (issueable, unsent, stalled) = match self.slots[idx].as_ref() {
+            None => (false, false, false),
+            Some(slot) => (
+                slot.stalled_op.is_some()
+                    || matches!(slot.state, WarpState::Ready | WarpState::Computing { .. }),
+                matches!(&slot.state, WarpState::Waiting(w) if !w.unsent.is_empty()),
+                slot.stalled_op.is_some(),
+            ),
+        };
+        self.issueable = if issueable { self.issueable | bit } else { self.issueable & !bit };
+        self.unsent = if unsent { self.unsent | bit } else { self.unsent & !bit };
+        self.stalled = if stalled { self.stalled | bit } else { self.stalled & !bit };
     }
 
     pub fn l1(&self) -> &Cache {
@@ -124,9 +195,51 @@ impl Sm {
         self.live_warps
     }
 
-    /// `true` when a new warp can be placed.
+    /// `true` when ticking this SM unconditionally does something this
+    /// cycle: a warp can issue (Ready or Computing) or a blocked load still
+    /// has unsent miss lines *and* a free MSHR to send one through — with
+    /// every MSHR occupied, [`Sm::tick`] never even attempts a drain, so the
+    /// cycle is a provable no-op despite the backlog. Two kinds of blocked
+    /// warps are deliberately excluded: warps waiting purely on replies wake
+    /// via the reply NoC, which the event-driven loop tracks separately, and
+    /// warps holding a parked store retry are covered by
+    /// [`Sm::stalled_store_ready`] — their retry fails identically every
+    /// cycle until the request NoC frees up, which can only happen on a
+    /// tracked event. O(1): answered from the scheduler masks.
+    pub fn has_work(&self) -> bool {
+        (self.issueable & !self.stalled) != 0
+            || (self.unsent != 0 && self.mshr.len() < self.mshr_capacity)
+    }
+
+    /// `true` when some parked store's retry would succeed right now, i.e.
+    /// every `(slice, count)` demand of its plan fits in the request NoC.
+    /// While no SM pushes and no slice pops, `free()` is constant, so a
+    /// retry that fails now fails the same way every cycle of a skipped
+    /// span — only a retry that would succeed constitutes an event.
+    pub fn stalled_store_ready(&self, req_noc: &[DelayQueue<SliceReq>]) -> bool {
+        let mut ready = false;
+        for_each_bit_rotated(self.stalled, 0, |idx| {
+            let fits = self.slots[idx]
+                .as_ref()
+                .and_then(|slot| slot.stalled_op.as_ref())
+                .is_some_and(|store| {
+                    store
+                        .per_slice
+                        .iter()
+                        .all(|&(slice, count)| req_noc[slice].free() >= count)
+                });
+            if fits {
+                ready = true;
+            }
+            !fits
+        });
+        ready
+    }
+
+    /// `true` when a new warp can be placed. Slots empty out the instant a
+    /// warp retires, so occupancy is exactly `live_warps`.
     pub fn has_free_slot(&self) -> bool {
-        self.slots.iter().any(|s| s.is_none())
+        self.live_warps < self.slots.len()
     }
 
     /// Places a warp program into a free slot.
@@ -135,18 +248,19 @@ impl Sm {
     ///
     /// Panics if no slot is free; check [`Sm::has_free_slot`] first.
     pub fn dispatch(&mut self, program: Box<dyn WarpProgram>) {
-        let slot = self
+        let idx = self
             .slots
-            .iter_mut()
-            .find(|s| s.is_none())
+            .iter()
+            .position(|s| s.is_none())
             .expect("dispatch requires a free slot");
-        *slot = Some(WarpSlot {
+        self.slots[idx] = Some(WarpSlot {
             program,
             state: WarpState::Ready,
             stalled_op: None,
             last_loaded: Vec::new(),
         });
         self.live_warps += 1;
+        self.refresh_masks(idx);
     }
 
     /// Handles a fill/approximation reply from the memory side.
@@ -173,6 +287,7 @@ impl Sm {
             }
             if wait.pending.is_empty() {
                 Self::complete_load(slot, image, &mut self.approximated_loads);
+                self.refresh_masks(idx);
             }
         }
     }
@@ -204,50 +319,48 @@ impl Sm {
     }
 
     /// Issues up to `issue_width` warp instructions this cycle.
+    ///
+    /// Both scans iterate a *snapshot* of the relevant mask, so the visit
+    /// order is exactly the linear slot scan's: a slot whose bit flips
+    /// mid-scan is still visited (or not) precisely as the full scan would
+    /// have — within one cycle, slots never wake each other, only
+    /// themselves.
     pub fn tick(&mut self, ctx: &mut SmCtx<'_>) {
         let n = self.slots.len();
-        if n == 0 || self.live_warps == 0 {
+        if self.live_warps == 0 {
             return;
         }
         // Retry backpressured miss requests of blocked warps. Work is
         // bounded: stop at the first slot that stays blocked (resources are
         // exhausted anyway) and resume there next cycle, so a cycle touches
         // only as many warps as the freed MSHR/NoC space can serve.
-        if self.mshr.len() < self.mshr_capacity {
-            let start = self.drain_rr % n;
-            for off in 0..n {
+        if self.unsent != 0 && self.mshr.len() < self.mshr_capacity {
+            for_each_bit_rotated(self.unsent, self.drain_rr % n, |idx| {
                 if self.mshr.len() >= self.mshr_capacity {
-                    break;
+                    return false;
                 }
-                let idx = (start + off) % n;
-                let has_unsent = matches!(
-                    self.slots[idx].as_ref().map(|s| &s.state),
-                    Some(WarpState::Waiting(w)) if !w.unsent.is_empty()
-                );
-                if has_unsent {
-                    self.drain_unsent_for(idx, ctx);
-                    let still_blocked = matches!(
-                        self.slots[idx].as_ref().map(|s| &s.state),
-                        Some(WarpState::Waiting(w)) if !w.unsent.is_empty()
-                    );
-                    if still_blocked {
-                        self.drain_rr = idx;
-                        break;
-                    }
+                self.drain_unsent_for(idx, ctx);
+                self.refresh_masks(idx);
+                if self.unsent & (1u128 << idx) != 0 {
+                    self.drain_rr = idx;
+                    return false;
                 }
-            }
+                true
+            });
         }
-        let mut issued = 0;
-        let mut inspected = 0;
-        let mut cursor = self.rr % n;
-        while issued < self.issue_width && inspected < n {
-            inspected += 1;
-            let idx = cursor;
-            cursor = (cursor + 1) % n;
-            if self.try_issue(idx, ctx) {
-                issued += 1;
-                self.rr = cursor;
-            }
+        if self.issueable != 0 {
+            let mut issued = 0;
+            for_each_bit_rotated(self.issueable, self.rr % n, |idx| {
+                if issued >= self.issue_width {
+                    return false;
+                }
+                if self.try_issue(idx, ctx) {
+                    issued += 1;
+                    self.rr = (idx + 1) % n;
+                }
+                self.refresh_masks(idx);
+                true
+            });
         }
     }
 
@@ -255,6 +368,7 @@ impl Sm {
     fn try_issue(&mut self, idx: usize, ctx: &mut SmCtx<'_>) -> bool {
         enum Plan {
             Compute,
+            Retry(StalledStore),
             Op(WarpOp),
         }
         let plan = {
@@ -271,16 +385,13 @@ impl Sm {
                     }
                     Plan::Compute
                 }
-                WarpState::Ready => {
-                    let op = match slot.stalled_op.take() {
-                        Some(op) => op,
-                        None => {
-                            let loaded = std::mem::take(&mut slot.last_loaded);
-                            slot.program.next(&loaded)
-                        }
-                    };
-                    Plan::Op(op)
-                }
+                WarpState::Ready => match slot.stalled_op.take() {
+                    Some(store) => Plan::Retry(store),
+                    None => {
+                        let loaded = std::mem::take(&mut slot.last_loaded);
+                        Plan::Op(slot.program.next(&loaded))
+                    }
+                },
             }
         };
         match plan {
@@ -288,6 +399,7 @@ impl Sm {
                 self.instructions += 1;
                 true
             }
+            Plan::Retry(store) => self.commit_store(idx, store, ctx),
             Plan::Op(op) => self.execute_op(idx, op, ctx),
         }
     }
@@ -436,21 +548,35 @@ impl Sm {
                 lines.push(l);
             }
         }
-        // Structural check before any side effect.
-        let mut per_slice: HashMap<usize, usize> = HashMap::new();
+        let mut per_slice: Vec<(usize, usize)> = Vec::new();
         for &l in &lines {
-            *per_slice.entry(ctx.map.channel_of(l)).or_default() += 1;
-        }
-        for (&slice, &count) in &per_slice {
-            if ctx.req_noc[slice].free() < count {
-                self.stall(idx, WarpOp::Store(writes));
-                return false;
+            let ch = ctx.map.channel_of(l);
+            match per_slice.iter_mut().find(|&&mut (s, _)| s == ch) {
+                Some(&mut (_, ref mut count)) => *count += 1,
+                None => per_slice.push((ch, 1)),
             }
         }
-        for &(a, v) in &writes {
+        self.commit_store(idx, StalledStore { writes, lines, per_slice }, ctx)
+    }
+
+    /// Issues a (possibly previously stalled) store whose coalescing plan is
+    /// already built. On backpressure the plan parks in the slot for a cheap
+    /// retry next cycle.
+    fn commit_store(&mut self, idx: usize, store: StalledStore, ctx: &mut SmCtx<'_>) -> bool {
+        // Structural check before any side effect.
+        if store
+            .per_slice
+            .iter()
+            .any(|&(slice, count)| ctx.req_noc[slice].free() < count)
+        {
+            let slot = self.slots[idx].as_mut().expect("slot exists");
+            slot.stalled_op = Some(store);
+            return false;
+        }
+        for &(a, v) in &store.writes {
             ctx.image.write_f32(a, v);
         }
-        for &l in &lines {
+        for &l in &store.lines {
             ctx.req_noc[ctx.map.channel_of(l)]
                 .push(
                     ctx.now,
@@ -463,14 +589,9 @@ impl Sm {
                 )
                 .expect("capacity checked above");
         }
-        self.instructions += writes.len().div_ceil(32) as u64;
+        self.instructions += store.writes.len().div_ceil(32) as u64;
         // Write-through: the warp does not wait for stores.
         true
-    }
-
-    fn stall(&mut self, idx: usize, op: WarpOp) {
-        let slot = self.slots[idx].as_mut().expect("slot exists");
-        slot.stalled_op = Some(op);
     }
 }
 

@@ -74,6 +74,7 @@ impl Trace {
             vec![std::collections::VecDeque::new(); cfg.num_channels];
         let mut now = 0u64;
         let horizon: u64 = self.entries.last().map_or(0, |e| e.cycle) + 10_000_000;
+        let mut resp_buf: Vec<lazydram_core::Response> = Vec::new();
         loop {
             now += 1;
             while cursor < self.entries.len() && self.entries[cursor].cycle <= now {
@@ -88,7 +89,8 @@ impl Trace {
                         None => break,
                     }
                 }
-                let _ = mc.tick();
+                resp_buf.clear();
+                mc.tick(&mut resp_buf);
             }
             let drained = cursor >= self.entries.len()
                 && backlog.iter().all(|b| b.is_empty())

@@ -1,0 +1,102 @@
+//! Event-driven fast-forward must be invisible in results: for every
+//! application and scheme, a run with cycle skipping enabled must produce
+//! bit-identical output, statistics, and DRAM trace to the naive
+//! cycle-by-cycle loop. Only `cycles_skipped` / `ticks_executed` (the
+//! instrumentation of the skipping itself) may differ, so those are
+//! normalized before comparison.
+
+use lazydram::common::{GpuConfig, SchedConfig, SimStats};
+use lazydram::gpu::{RunResult, SimLimits, Simulator};
+use lazydram::workloads::{all_apps, AppSpec};
+
+fn run(app: &AppSpec, sched: &SchedConfig, scale: f64, limits: SimLimits, skip: bool) -> RunResult {
+    let mut launches = app.launches(scale);
+    Simulator::new(GpuConfig::default(), sched.clone())
+        .with_limits(limits)
+        .with_trace_capture(true)
+        .with_cycle_skipping(skip)
+        .run_sequence(&mut launches)
+}
+
+/// Strips the loop-instrumentation counters that legitimately differ
+/// between the two loop modes.
+fn normalized(stats: &SimStats) -> SimStats {
+    let mut s = stats.clone();
+    s.cycles_skipped = 0;
+    s.ticks_executed = 0;
+    s
+}
+
+/// Runs `app` both ways and asserts full equivalence; returns the number of
+/// core cycles the fast run skipped.
+fn assert_equivalent(app: &AppSpec, sched: &SchedConfig, scale: f64, limits: SimLimits) -> u64 {
+    let fast = run(app, sched, scale, limits, true);
+    let slow = run(app, sched, scale, limits, false);
+    let name = app.name;
+    assert_eq!(slow.stats.cycles_skipped, 0, "{name}: naive loop must not skip");
+    if !slow.hit_cycle_limit {
+        // On a limit hit the final counted cycle is never executed, so the
+        // exact partition below only holds for completed runs.
+        assert_eq!(
+            slow.stats.ticks_executed, slow.stats.core_cycles,
+            "{name}: naive loop must execute every counted cycle"
+        );
+    }
+    assert_eq!(fast.hit_cycle_limit, slow.hit_cycle_limit, "{name}: limit flag");
+    assert_eq!(fast.output, slow.output, "{name}: outputs differ");
+    assert!(fast.trace == slow.trace, "{name}: DRAM traces differ");
+    assert_eq!(
+        normalized(&fast.stats),
+        normalized(&slow.stats),
+        "{name}: statistics differ"
+    );
+    if !fast.hit_cycle_limit {
+        assert_eq!(
+            fast.stats.ticks_executed + fast.stats.cycles_skipped,
+            fast.stats.core_cycles,
+            "{name}: skip accounting must partition the core cycles"
+        );
+    }
+    fast.stats.cycles_skipped
+}
+
+#[test]
+fn whole_suite_static_dms_is_equivalent() {
+    // Static-DMS creates the longest idle epochs — the adversarial case for
+    // fast-forward correctness and the headline case for its speedup.
+    let mut total_skipped = 0u64;
+    for app in all_apps() {
+        total_skipped +=
+            assert_equivalent(&app, &SchedConfig::static_dms(), 0.02, SimLimits::default());
+    }
+    assert!(total_skipped > 0, "fast-forward never engaged across the suite");
+}
+
+#[test]
+fn scheme_rotation_is_equivalent() {
+    // Rotate every other scheme across the suite so each scheme sees
+    // several apps and each app sees a second scheme.
+    let schemes = [
+        SchedConfig::baseline(),
+        SchedConfig::dyn_dms(),
+        SchedConfig::static_ams(),
+        SchedConfig::dyn_ams(),
+        SchedConfig::static_combo(),
+        SchedConfig::dyn_combo(),
+    ];
+    for (i, app) in all_apps().into_iter().enumerate() {
+        let sched = &schemes[i % schemes.len()];
+        assert_equivalent(&app, sched, 0.02, SimLimits::default());
+    }
+}
+
+#[test]
+fn cycle_limit_hit_is_equivalent() {
+    // A tight limit exercises the skip-past-the-limit clamp: both loops must
+    // report the same truncated statistics and the limit flag.
+    let app = lazydram::workloads::by_name("GEMM").expect("app");
+    let limits = SimLimits { max_core_cycles: 2_000 };
+    let fast = run(&app, &SchedConfig::static_dms(), 0.3, limits, true);
+    assert!(fast.hit_cycle_limit, "limit chosen too high for this check");
+    assert_equivalent(&app, &SchedConfig::static_dms(), 0.3, limits);
+}

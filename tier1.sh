@@ -16,4 +16,12 @@ cargo test -q --workspace
 echo "== tier1: cargo clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== tier1: timed smoke sweep (BENCH_PR2.json) =="
+# Per-app wall clock, fast-forward speedup and skipped-cycle fraction at a
+# small scale; writes the repo's perf-trajectory record. The pre-PR baseline
+# columns come from crates/bench/baselines/pre_pr2.tsv.
+LAZYDRAM_SCALE="${LAZYDRAM_SCALE:-0.1}" \
+LAZYDRAM_BENCH_OUT="${LAZYDRAM_BENCH_OUT:-$PWD/BENCH_PR2.json}" \
+    cargo bench -q -p lazydram-bench --bench perf_smoke
+
 echo "== tier1: OK =="
