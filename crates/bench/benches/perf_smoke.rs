@@ -1,4 +1,4 @@
-//! Timed smoke sweep for the event-driven fast-forward loop.
+//! Timed smoke sweep for the simulator hot paths.
 //!
 //! Runs a representative slice of the suite under the baseline and
 //! Static-DMS schemes, once with cycle skipping enabled and once with the
@@ -6,24 +6,34 @@
 //! time, speedup, and the fraction of core cycles skipped. Each timing is
 //! the minimum of `LAZYDRAM_BENCH_REPS` runs (default 3). Results are also
 //! written as a JSON array to `LAZYDRAM_BENCH_OUT` (default
-//! `BENCH_PR2.json` in the current directory) for regression tracking.
+//! `BENCH_PR3.json` in the current directory) for regression tracking; when
+//! the binary was built with `--features prof`, every JSON row carries the
+//! profiler's wall-clock phase breakdown (`prof` key).
 //!
 //! Two comparisons are recorded per (app, scheme):
 //!
 //! * `noskip_s` vs `skip_s` — the naive loop vs fast-forward *within this
-//!   tree*. This isolates the cycle-skipping contribution, but understates
-//!   the PR: the naive loop shares the scheduler-bitmask, stalled-store-plan
-//!   and controller de-allocation work.
+//!   tree*. This isolates the cycle-skipping contribution.
 //! * `pre_pr_s` vs `skip_s` — the recorded pre-PR wall clock (from
-//!   `baselines/pre_pr2.tsv`, measured at the revision before this rework)
-//!   vs the current fast-forward loop. This is the PR's end-to-end speedup
-//!   and the number tracked as the repo's perf trajectory. Override the
-//!   baseline file with `LAZYDRAM_BASELINE`; when the file is missing the
-//!   columns are omitted.
+//!   `baselines/pre_pr3.tsv`, measured at the revision before the
+//!   flattened-memory rework) vs the current loop. This is the PR's
+//!   end-to-end speedup and the number tracked as the repo's perf
+//!   trajectory. Override the baseline file with `LAZYDRAM_BASELINE`; when
+//!   the file is missing the columns are omitted. **The baseline was
+//!   recorded at `LAZYDRAM_SCALE=0.2`** — comparisons at any other scale
+//!   are apples-to-oranges.
+//!
+//! # Regression gate
+//!
+//! With `LAZYDRAM_MAX_REGRESSION=<ratio>` set (e.g. `1.15`), the benchmark
+//! **exits non-zero** if any (app, scheme) runs slower than `ratio` times
+//! its recorded pre-PR wall clock. `tier1.sh` sets this so a perf
+//! regression fails the suite loudly instead of drifting in silently.
 //!
 //! This is a *smoke* benchmark: single-digit runs, no statistics. It is
 //! meant to catch order-of-magnitude regressions (e.g. fast-forward silently
-//! disengaging), not single-digit-percent drifts.
+//! disengaging, a hash map sneaking back onto the lane path), not
+//! single-digit-percent drifts.
 
 use lazydram_bench::scale_from_env;
 use lazydram_common::json::{array, JsonObject};
@@ -46,6 +56,7 @@ struct Row {
     skip_pct: f64,
     core_cycles: u64,
     cycles_skipped: u64,
+    prof: lazydram_common::ProfReport,
 }
 
 fn timed_run(
@@ -75,7 +86,7 @@ fn timed_run(
 /// checkout); malformed lines in a *present* file are an error.
 fn load_baseline() -> Option<Vec<(String, String, f64)>> {
     let path = std::env::var("LAZYDRAM_BASELINE")
-        .unwrap_or_else(|_| format!("{}/baselines/pre_pr2.tsv", env!("CARGO_MANIFEST_DIR")));
+        .unwrap_or_else(|_| format!("{}/baselines/pre_pr3.tsv", env!("CARGO_MANIFEST_DIR")));
     let text = std::fs::read_to_string(&path).ok()?;
     let mut rows = Vec::new();
     for line in text.lines() {
@@ -95,6 +106,18 @@ fn load_baseline() -> Option<Vec<(String, String, f64)>> {
     Some(rows)
 }
 
+/// Parses a positive-ratio environment variable, panicking on malformed
+/// values (a silently ignored gate is worse than none).
+fn ratio_from_env(name: &str) -> Option<f64> {
+    let s = std::env::var(name).ok()?;
+    let v: f64 = s
+        .trim()
+        .parse()
+        .unwrap_or_else(|e| panic!("{name}={s:?} is not a ratio: {e}"));
+    assert!(v > 0.0, "{name} must be positive, got {v}");
+    Some(v)
+}
+
 fn main() {
     let scale = scale_from_env();
     let reps: usize = std::env::var("LAZYDRAM_BENCH_REPS")
@@ -105,6 +128,7 @@ fn main() {
                 .unwrap_or_else(|e| panic!("LAZYDRAM_BENCH_REPS={s:?} is not a count: {e}"))
         })
         .unwrap_or(3);
+    let max_regression = ratio_from_env("LAZYDRAM_MAX_REGRESSION");
     let baseline = load_baseline();
     let schemes: [(&str, SchedConfig); 2] = [
         ("baseline", SchedConfig::baseline()),
@@ -139,6 +163,7 @@ fn main() {
                 skip_pct: 100.0 * stats.skip_fraction(),
                 core_cycles: stats.core_cycles,
                 cycles_skipped: stats.cycles_skipped,
+                prof: stats.prof.clone(),
             });
         }
     }
@@ -160,19 +185,30 @@ fn main() {
             r.skip_pct,
         );
     }
-    let best_dms = rows
+    let ratios: Vec<(usize, f64)> = rows
         .iter()
-        .filter(|r| r.scheme == "Static-DMS")
-        .filter_map(|r| r.pre_pr_s.map(|b| b / r.skip_s.max(1e-9)))
-        .fold(0.0f64, f64::max);
-    let worst = rows
-        .iter()
-        .filter_map(|r| r.pre_pr_s.map(|b| b / r.skip_s.max(1e-9)))
-        .fold(f64::INFINITY, f64::min);
-    if best_dms > 0.0 {
-        println!(
-            "\nbest Static-DMS speedup vs pre-PR: {best_dms:.1}x (worst any-app: {worst:.2}x)"
-        );
+        .enumerate()
+        .filter_map(|(i, r)| r.pre_pr_s.map(|b| (i, b / r.skip_s.max(1e-9))))
+        .collect();
+    let geomean = if ratios.is_empty() {
+        None
+    } else {
+        let log_sum: f64 = ratios.iter().map(|&(_, s)| s.ln()).sum();
+        Some((log_sum / ratios.len() as f64).exp())
+    };
+    if let Some(g) = geomean {
+        let worst = ratios.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
+        println!("\ngeomean speedup vs pre-PR: {g:.2}x (worst any-app: {worst:.2}x)");
+    }
+    if !rows.is_empty() && !rows[0].prof.is_empty() {
+        println!("\nphase breakdown (exclusive seconds, summed over apps, fast-forward runs):");
+        let mut total = lazydram_common::ProfReport::default();
+        for r in &rows {
+            total.merge(&r.prof);
+        }
+        for p in lazydram_common::prof::Phase::ALL {
+            println!("  {:<13} {:>8.3}s", p.name(), total.get(p));
+        }
     }
 
     let json_rows: Vec<String> = rows
@@ -192,11 +228,39 @@ fn main() {
                 o.f64("pre_pr_s", b)
                     .f64("speedup_vs_pre_pr", b / r.skip_s.max(1e-9));
             }
+            if !r.prof.is_empty() {
+                o.raw("prof", &r.prof.to_json());
+            }
             o.finish()
         })
         .collect();
-    let out = std::env::var("LAZYDRAM_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR2.json".to_string());
+    let out = std::env::var("LAZYDRAM_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR3.json".to_string());
     std::fs::write(&out, array(&json_rows) + "\n")
         .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     eprintln!("wrote {out}");
+
+    if let Some(cap) = max_regression {
+        let regressed: Vec<String> = ratios
+            .iter()
+            .filter(|&&(_, speedup)| speedup < 1.0 / cap)
+            .map(|&(i, speedup)| {
+                format!(
+                    "{}/{}: {:.3}s vs pre-PR {:.3}s ({:.2}x slower)",
+                    rows[i].app,
+                    rows[i].scheme,
+                    rows[i].skip_s,
+                    rows[i].pre_pr_s.expect("ratio implies baseline"),
+                    1.0 / speedup,
+                )
+            })
+            .collect();
+        if !regressed.is_empty() {
+            eprintln!("\nPERF REGRESSION (cap {cap}x vs pre-PR baseline):");
+            for line in &regressed {
+                eprintln!("  {line}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("perf gate passed (no app slower than {cap}x pre-PR)");
+    }
 }

@@ -33,6 +33,7 @@ pub mod addr;
 pub mod config;
 pub mod fasthash;
 pub mod json;
+pub mod prof;
 pub mod req;
 pub mod rng;
 pub mod stats;
@@ -40,6 +41,7 @@ pub mod stats;
 pub use addr::{AddressMap, Location};
 pub use fasthash::{FastMap, FastSet};
 pub use config::{AmsMode, Arbiter, DmsMode, DramTimings, GpuConfig, RowPolicy, SchedConfig};
+pub use prof::ProfReport;
 pub use req::{AccessKind, MemSpace, Request, RequestId};
 pub use rng::SplitMix64;
 pub use stats::{DramStats, RblHistogram, SimStats};

@@ -236,7 +236,12 @@ impl DramStats {
 }
 
 /// Whole-simulation statistics, aggregated over all SMs and channels.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Equality compares every *simulation* field and deliberately ignores
+/// [`SimStats::prof`]: wall-clock attribution is nondeterministic, and the
+/// suite's bit-identity checks (`==` on `SimStats`) must keep holding with
+/// profiling enabled.
+#[derive(Debug, Clone, Default)]
 pub struct SimStats {
     /// Core cycles the simulation ran for.
     pub core_cycles: u64,
@@ -266,6 +271,44 @@ pub struct SimStats {
     pub ams_accepts: u64,
     /// Aggregated DRAM statistics over all channels.
     pub dram: DramStats,
+    /// Wall-clock phase breakdown from the self-profiler; empty unless the
+    /// `prof` feature of this crate is enabled. Excluded from `==`.
+    pub prof: crate::prof::ProfReport,
+}
+
+impl PartialEq for SimStats {
+    fn eq(&self, other: &Self) -> bool {
+        // Exhaustive destructure: adding a field without deciding whether it
+        // participates in equality fails to compile. `prof` is wall-clock
+        // and intentionally ignored.
+        let Self {
+            core_cycles,
+            instructions,
+            l1_hits,
+            l1_misses,
+            l2_hits,
+            l2_misses,
+            approximated_loads,
+            cycles_skipped,
+            ticks_executed,
+            ams_declines,
+            ams_accepts,
+            dram,
+            prof: _,
+        } = self;
+        *core_cycles == other.core_cycles
+            && *instructions == other.instructions
+            && *l1_hits == other.l1_hits
+            && *l1_misses == other.l1_misses
+            && *l2_hits == other.l2_hits
+            && *l2_misses == other.l2_misses
+            && *approximated_loads == other.approximated_loads
+            && *cycles_skipped == other.cycles_skipped
+            && *ticks_executed == other.ticks_executed
+            && *ams_declines == other.ams_declines
+            && *ams_accepts == other.ams_accepts
+            && *dram == other.dram
+    }
 }
 
 impl SimStats {
@@ -307,6 +350,9 @@ impl SimStats {
             .u64("ams_accepts", self.ams_accepts)
             .u64_array("ams_declines", &self.ams_declines)
             .raw("dram", &self.dram.to_json());
+        if !self.prof.is_empty() {
+            o.raw("prof", &self.prof.to_json());
+        }
         o.finish()
     }
 }

@@ -18,6 +18,7 @@
 use crate::ams::AmsUnit;
 use crate::dms::DmsUnit;
 use crate::queue::{PendingQueue, QueueFull};
+use lazydram_common::prof::{self, Phase};
 use lazydram_common::{AccessKind, Arbiter, GpuConfig, Request, RequestId, RowPolicy, SchedConfig};
 use lazydram_dram::Channel;
 use std::collections::VecDeque;
@@ -154,7 +155,10 @@ impl MemoryController {
     pub fn tick(&mut self, out: &mut Vec<Response>) {
         self.now += 1;
         let now = self.now;
-        self.channel.advance_to(now);
+        {
+            let _t = prof::enter(Phase::Dram);
+            self.channel.advance_to(now);
+        }
 
         // Window profilers.
         let busy = self.channel.stats().bus_busy_cycles;
@@ -305,6 +309,7 @@ impl MemoryController {
     pub fn advance_idle(&mut self, to: u64) {
         debug_assert!(to >= self.now, "advance_idle must not move backwards");
         self.now = to;
+        let _t = prof::enter(Phase::Dram);
         self.channel.advance_to(to);
     }
 

@@ -7,13 +7,79 @@
 //! * a per-(bank, row) FIFO + counters — for row-hit selection, *visible
 //!   RBL* and AMS's all-global-reads safety check, all in O(1).
 //!
-//! Orderings hold (seq, id) pairs and are cleaned lazily: entries whose id
-//! is no longer live are discarded when they reach a front. This keeps every
+//! Orderings hold `(seq, request)` pairs and are cleaned lazily: entries
+//! whose sequence number is no longer live are discarded when they reach a
+//! front. Liveness is a **bitset indexed by sequence number** — sequence
+//! numbers are dense and monotone, so validating a front is a bit test, not
+//! a hash probe, and the request itself is read straight out of the FIFO
+//! entry. The id map is consulted exactly twice per request lifetime (push
+//! and remove), never in the per-cycle scheduler queries. This keeps every
 //! scheduler query O(banks) instead of O(queue length), which is what makes
 //! whole-suite simulation tractable.
+//!
+//! Row state lives in an **indexed slab**: each live `(bank, row)` owns a
+//! slot in `rows`, found through the tiny per-bank `bank_rows` index and
+//! recorded per request in the id map, so the row-hit probes the six
+//! controllers execute every busy cycle are pointer-chases rather than hash
+//! probes. A slot is freed — and its FIFO memory reused — the moment its
+//! last request leaves, which also bounds live row state by queue occupancy
+//! instead of by the number of rows ever touched.
 
 use lazydram_common::{FastMap, Request, RequestId};
 use std::collections::VecDeque;
+
+/// Liveness bitset over arrival sequence numbers. Sequence numbers are
+/// handed out densely, marked on push, cleared on remove; the front words
+/// are trimmed as all their bits die, so memory tracks the live seq *span*
+/// (one bit per request, strictly smaller than any of the FIFOs).
+#[derive(Debug, Clone, Default)]
+struct SeqLive {
+    /// Sequence number of bit 0 of `words[0]`.
+    base: u64,
+    words: VecDeque<u64>,
+}
+
+impl SeqLive {
+    /// Marks a freshly issued (monotone) sequence number live.
+    fn mark(&mut self, seq: u64) {
+        let idx = (seq - self.base) as usize;
+        while self.words.len() <= idx / 64 {
+            self.words.push_back(0);
+        }
+        self.words[idx / 64] |= 1 << (idx % 64);
+    }
+
+    /// Clears a sequence number (request removed).
+    fn clear(&mut self, seq: u64) {
+        debug_assert!(seq >= self.base, "live seq below trimmed base");
+        let idx = (seq - self.base) as usize;
+        self.words[idx / 64] &= !(1 << (idx % 64));
+    }
+
+    #[inline]
+    fn is_live(&self, seq: u64) -> bool {
+        if seq < self.base {
+            return false;
+        }
+        let idx = (seq - self.base) as usize;
+        self.words
+            .get(idx / 64)
+            .is_some_and(|w| w & (1 << (idx % 64)) != 0)
+    }
+
+    /// Drops leading all-dead words. Only whole words are trimmed, and only
+    /// words whose sequence range has already been handed out, so `mark`
+    /// (which targets fresh, larger seqs) is never affected.
+    fn trim(&mut self) {
+        while let Some(&w) = self.words.front() {
+            if w != 0 {
+                break;
+            }
+            self.words.pop_front();
+            self.base += 64;
+        }
+    }
+}
 
 /// Error returned when enqueueing into a full pending queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,8 +93,13 @@ impl std::fmt::Display for QueueFull {
 
 impl std::error::Error for QueueFull {}
 
-#[derive(Debug, Clone, Copy, Default)]
-struct RowStat {
+/// Slab slot of one live `(bank, row)`: its FCFS order (lazily cleaned),
+/// live count, and global-read count. Freed slots keep their slot (and the
+/// FIFO's capacity) for reuse via the free list.
+#[derive(Debug, Clone)]
+struct RowEntry {
+    row: u32,
+    fifo: VecDeque<(u64, Request)>,
     count: u32,
     global_reads: u32,
 }
@@ -39,16 +110,22 @@ pub struct PendingQueue {
     capacity: usize,
     banks_per_group: usize,
     next_seq: u64,
-    /// Live requests with their arrival sequence number.
-    reqs: FastMap<RequestId, (u64, Request)>,
+    /// Seq number and row-slab slot per live request id — consulted only on
+    /// push and remove, so removal never searches for the row.
+    reqs: FastMap<RequestId, (u64, u32)>,
+    /// One liveness bit per sequence number: the per-cycle front validation.
+    live: SeqLive,
     /// Global FCFS order (lazily cleaned).
-    arrival: VecDeque<(u64, RequestId)>,
+    arrival: VecDeque<(u64, Request)>,
     /// Per-flat-bank FCFS order (lazily cleaned).
-    bank_fifo: Vec<VecDeque<(u64, RequestId)>>,
-    /// Per-(bank, row) FCFS order (lazily cleaned).
-    row_fifo: FastMap<(usize, u32), VecDeque<(u64, RequestId)>>,
-    /// Per-(bank, row) live counts.
-    row_stats: FastMap<(usize, u32), RowStat>,
+    bank_fifo: Vec<VecDeque<(u64, Request)>>,
+    /// Row slab; live slots are exactly those reachable from `bank_rows`.
+    rows: Vec<RowEntry>,
+    /// Recycled slab slots.
+    free_rows: Vec<u32>,
+    /// Per-flat-bank list of live slab slots — a handful of entries, scanned
+    /// linearly.
+    bank_rows: Vec<Vec<u32>>,
 }
 
 impl PendingQueue {
@@ -66,11 +143,60 @@ impl PendingQueue {
             banks_per_group,
             next_seq: 0,
             reqs: FastMap::default(),
+            live: SeqLive::default(),
             arrival: VecDeque::with_capacity(capacity),
             bank_fifo: vec![VecDeque::new(); banks],
-            row_fifo: FastMap::default(),
-            row_stats: FastMap::default(),
+            rows: Vec::new(),
+            free_rows: Vec::new(),
+            bank_rows: vec![Vec::new(); banks],
         }
+    }
+
+    /// Slab slot of `(bank, row)` if that row has live requests.
+    #[inline]
+    fn find_row(&self, bank: usize, row: u32) -> Option<u32> {
+        self.bank_rows[bank]
+            .iter()
+            .copied()
+            .find(|&s| self.rows[s as usize].row == row)
+    }
+
+    /// Slab slot of `(bank, row)`, allocating (or recycling) one if needed.
+    fn find_or_alloc_row(&mut self, bank: usize, row: u32) -> u32 {
+        if let Some(slot) = self.find_row(bank, row) {
+            return slot;
+        }
+        let slot = match self.free_rows.pop() {
+            Some(s) => {
+                let e = &mut self.rows[s as usize];
+                debug_assert!(e.fifo.is_empty() && e.count == 0);
+                e.row = row;
+                s
+            }
+            None => {
+                self.rows.push(RowEntry {
+                    row,
+                    fifo: VecDeque::new(),
+                    count: 0,
+                    global_reads: 0,
+                });
+                (self.rows.len() - 1) as u32
+            }
+        };
+        self.bank_rows[bank].push(slot);
+        slot
+    }
+
+    /// Number of `(bank, row)` groups currently holding live requests.
+    /// Bounded by queue occupancy — emptied rows free their slot at once.
+    pub fn live_rows(&self) -> usize {
+        self.rows.len() - self.free_rows.len()
+    }
+
+    /// Total slab slots ever allocated (live + recycled). Bounded by the
+    /// peak number of simultaneously live rows, never by rows-ever-touched.
+    pub fn row_slab_len(&self) -> usize {
+        self.rows.len()
     }
 
     /// Maximum number of pending requests.
@@ -111,82 +237,108 @@ impl PendingQueue {
         self.next_seq += 1;
         let bank = self.flat_bank(&req);
         let row = req.loc.row;
-        self.arrival.push_back((seq, req.id));
-        self.bank_fifo[bank].push_back((seq, req.id));
-        self.row_fifo.entry((bank, row)).or_default().push_back((seq, req.id));
-        let stat = self.row_stats.entry((bank, row)).or_default();
-        stat.count += 1;
+        self.live.mark(seq);
+        self.live.trim();
+        self.arrival.push_back((seq, req));
+        self.bank_fifo[bank].push_back((seq, req));
+        let slot = self.find_or_alloc_row(bank, row);
+        let entry = &mut self.rows[slot as usize];
+        entry.fifo.push_back((seq, req));
+        entry.count += 1;
         if req.is_global_read() {
-            stat.global_reads += 1;
+            entry.global_reads += 1;
         }
-        self.reqs.insert(req.id, (seq, req));
+        self.reqs.insert(req.id, (seq, slot));
         Ok(())
     }
 
-    fn clean_front(live: &FastMap<RequestId, (u64, Request)>, q: &mut VecDeque<(u64, RequestId)>) {
-        while let Some(&(seq, id)) = q.front() {
-            match live.get(&id) {
-                Some(&(s, _)) if s == seq => return,
-                _ => {
-                    q.pop_front();
-                }
+    #[inline]
+    fn clean_front(live: &SeqLive, q: &mut VecDeque<(u64, Request)>) {
+        while let Some(&(seq, _)) = q.front() {
+            if live.is_live(seq) {
+                return;
             }
+            q.pop_front();
         }
     }
 
     /// The oldest pending request, if any.
     pub fn oldest(&mut self) -> Option<&Request> {
-        Self::clean_front(&self.reqs, &mut self.arrival);
-        let &(_, id) = self.arrival.front()?;
-        self.reqs.get(&id).map(|(_, r)| r)
+        Self::clean_front(&self.live, &mut self.arrival);
+        self.arrival.front().map(|(_, r)| r)
     }
 
     /// The oldest pending request destined to `bank`, with its sequence
     /// number.
     pub fn oldest_for_bank(&mut self, bank: usize) -> Option<(u64, &Request)> {
-        Self::clean_front(&self.reqs, &mut self.bank_fifo[bank]);
-        let &(seq, id) = self.bank_fifo[bank].front()?;
-        self.reqs.get(&id).map(|(_, r)| (seq, r))
+        Self::clean_front(&self.live, &mut self.bank_fifo[bank]);
+        self.bank_fifo[bank].front().map(|&(seq, ref r)| (seq, r))
     }
 
     /// The oldest pending request destined to `(bank, row)`, with its
     /// sequence number.
     pub fn oldest_for_row(&mut self, bank: usize, row: u32) -> Option<(u64, &Request)> {
-        let q = self.row_fifo.get_mut(&(bank, row))?;
-        Self::clean_front(&self.reqs, q);
-        let &(seq, id) = q.front()?;
-        self.reqs.get(&id).map(|(_, r)| (seq, r))
+        let slot = self.find_row(bank, row)?;
+        let q = &mut self.rows[slot as usize].fifo;
+        Self::clean_front(&self.live, q);
+        q.front().map(|&(seq, ref r)| (seq, r))
     }
 
     /// Removes and returns the request with `id`.
     pub fn remove(&mut self, id: RequestId) -> Option<Request> {
-        let (_, req) = self.reqs.remove(&id)?;
-        let bank = self.flat_bank(&req);
-        let key = (bank, req.loc.row);
-        if let Some(stat) = self.row_stats.get_mut(&key) {
-            stat.count -= 1;
-            if req.is_global_read() {
-                stat.global_reads -= 1;
+        let (seq, slot) = self.reqs.remove(&id)?;
+        self.live.clear(seq);
+        let entry = &mut self.rows[slot as usize];
+        // The scheduler removes row-FIFO fronts (FR-FCFS serves the oldest
+        // of a row), so pop eagerly when possible; otherwise find the entry
+        // to return the request, leaving lazy cleaning to do the removal.
+        let req = match entry.fifo.front() {
+            Some(&(s, r)) if s == seq => {
+                entry.fifo.pop_front();
+                r
             }
-            if stat.count == 0 {
-                self.row_stats.remove(&key);
-                self.row_fifo.remove(&key);
+            _ => {
+                entry
+                    .fifo
+                    .iter()
+                    .find(|&&(s, _)| s == seq)
+                    .expect("live request is in its row FIFO")
+                    .1
             }
+        };
+        entry.count -= 1;
+        if req.is_global_read() {
+            entry.global_reads -= 1;
+        }
+        if entry.count == 0 {
+            // Free the slot immediately: drop the FIFO's stale entries now
+            // (the capacity is kept for reuse) and unlink it from the bank.
+            debug_assert_eq!(entry.global_reads, 0);
+            entry.fifo.clear();
+            let bank = self.flat_bank(&req);
+            let pos = self.bank_rows[bank]
+                .iter()
+                .position(|&s| s == slot)
+                .expect("live slot is linked from its bank");
+            self.bank_rows[bank].swap_remove(pos);
+            self.free_rows.push(slot);
         }
         Some(req)
     }
 
     /// Visible RBL of a row: how many pending requests target `(bank, row)`.
     pub fn visible_rbl(&self, bank: usize, row: u32) -> u32 {
-        self.row_stats.get(&(bank, row)).map_or(0, |s| s.count)
+        self.find_row(bank, row)
+            .map_or(0, |s| self.rows[s as usize].count)
     }
 
     /// `true` when every pending request destined to `(bank, row)` is a
     /// global read (AMS safety criterion). Vacuously true for empty rows.
     pub fn row_is_all_global_reads(&self, bank: usize, row: u32) -> bool {
-        self.row_stats
-            .get(&(bank, row))
-            .is_none_or(|s| s.count == s.global_reads)
+        self.find_row(bank, row).is_none_or(|s| {
+            let e = &self.rows[s as usize];
+            e.count == e.global_reads
+        })
     }
 
     /// `true` when at least one pending request targets `(bank, row)`.
@@ -199,10 +351,8 @@ impl PendingQueue {
     pub fn iter(&self) -> impl Iterator<Item = &Request> {
         self.arrival
             .iter()
-            .filter_map(move |&(seq, id)| match self.reqs.get(&id) {
-                Some(&(s, ref r)) if s == seq => Some(r),
-                _ => None,
-            })
+            .filter(|&&(seq, _)| self.live.is_live(seq))
+            .map(|(_, r)| r)
     }
 }
 
@@ -321,6 +471,56 @@ mod tests {
             assert!(q.is_empty());
             assert!(q.oldest().is_none());
         }
+    }
+
+    #[test]
+    fn row_state_stays_bounded_under_long_runs() {
+        // Regression test for the row-lifecycle leak: streaming through many
+        // distinct rows must not accumulate per-row state. Live row slots
+        // are bounded by queue occupancy and the slab by its peak, not by
+        // the number of rows ever touched.
+        let mut q = PendingQueue::new(32, 16, 4);
+        let mut peak_live = 0;
+        for i in 0..10_000u64 {
+            // A fresh row for (almost) every request: worst-case row churn.
+            q.push(req(i + 1, (i % 16) as u16, i as u32, AccessKind::Read)).unwrap();
+            peak_live = peak_live.max(q.live_rows());
+            if i >= 7 {
+                // Keep 8 requests in flight.
+                assert!(q.remove(RequestId(i - 6)).is_some());
+            }
+        }
+        assert!(q.live_rows() <= q.len(), "live rows bounded by occupancy");
+        assert!(
+            q.row_slab_len() <= q.capacity(),
+            "slab bounded by capacity ({} > {})",
+            q.row_slab_len(),
+            q.capacity()
+        );
+        assert!(peak_live <= q.capacity());
+        // Draining everything frees every slot.
+        let ids: Vec<u64> = q.iter().map(|r| r.id.0).collect();
+        for id in ids {
+            q.remove(RequestId(id)).unwrap();
+        }
+        assert_eq!(q.live_rows(), 0);
+    }
+
+    #[test]
+    fn recycled_row_slot_starts_clean() {
+        let mut q = q();
+        q.push(req(1, 0, 5, AccessKind::Write)).unwrap();
+        q.remove(RequestId(1)).unwrap();
+        assert_eq!(q.live_rows(), 0);
+        // Reuse the slot for a different row of a different bank; the old
+        // row's counters and FIFO must be gone.
+        q.push(req(2, 1, 9, AccessKind::Read)).unwrap();
+        assert_eq!(q.live_rows(), 1);
+        assert_eq!(q.visible_rbl(0, 5), 0);
+        assert!(q.oldest_for_row(0, 5).is_none());
+        assert_eq!(q.visible_rbl(1, 9), 1);
+        assert!(q.row_is_all_global_reads(1, 9));
+        assert_eq!(q.oldest_for_row(1, 9).unwrap().1.id, RequestId(2));
     }
 
     #[test]

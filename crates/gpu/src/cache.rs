@@ -16,6 +16,22 @@ pub enum AccessResult {
     Miss,
 }
 
+/// Position of a line captured by [`Cache::lookup`]: the set scan's result,
+/// held so [`Cache::commit`] can apply the access effects without scanning
+/// again. Only valid until the next mutation of the cache.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheSlot {
+    set: usize,
+    way: Option<usize>,
+}
+
+impl CacheSlot {
+    /// Whether the looked-up line was present.
+    pub fn is_hit(&self) -> bool {
+        self.way.is_some()
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Way {
     line: u64,
@@ -85,13 +101,30 @@ impl Cache {
     /// Looks up `addr`; on a hit updates recency and, for writes, dirtiness.
     /// Does **not** allocate on miss — see [`Cache::fill`].
     pub fn access(&mut self, addr: u64, write: bool) -> AccessResult {
+        let slot = self.lookup(addr);
+        self.commit(slot, write)
+    }
+
+    /// Scans the home set of `addr` without mutating anything; pass the
+    /// result to [`Cache::commit`] to apply the access effects. Splitting
+    /// the scan from the effects lets a caller branch on hit/miss (and do
+    /// fallible work, e.g. acquire a downstream queue slot) with exactly one
+    /// set scan, and only count the access if it proceeds.
+    pub fn lookup(&self, addr: u64) -> CacheSlot {
         let line = self.line_of(addr);
         let set = self.set_of(line);
+        CacheSlot { set, way: self.sets[set].iter().position(|w| w.line == line) }
+    }
+
+    /// Applies the counter/recency effects of an access whose set scan was
+    /// done by [`Cache::lookup`]: identical to [`Cache::access`] minus the
+    /// re-scan. The cache must not have been mutated in between.
+    pub fn commit(&mut self, slot: CacheSlot, write: bool) -> AccessResult {
         self.tick += 1;
-        let tick = self.tick;
-        match self.sets[set].iter_mut().find(|w| w.line == line) {
-            Some(w) => {
-                w.lru = tick;
+        match slot.way {
+            Some(i) => {
+                let w = &mut self.sets[slot.set][i];
+                w.lru = self.tick;
                 if write {
                     w.dirty = true;
                 }
@@ -118,24 +151,30 @@ impl Cache {
         let set = self.set_of(line);
         self.tick += 1;
         let tick = self.tick;
-        if let Some(w) = self.sets[set].iter_mut().find(|w| w.line == line) {
-            // Already present (e.g. racing fills): refresh.
-            w.lru = tick;
-            w.dirty |= dirty;
+        let ways = &mut self.sets[set];
+        // One scan finds the line if present *and* the LRU victim if not;
+        // strict `<` keeps the first-minimum tie behavior of the old
+        // two-pass `min_by_key` form.
+        let mut victim = 0usize;
+        let mut victim_lru = u64::MAX;
+        for (i, w) in ways.iter_mut().enumerate() {
+            if w.line == line {
+                // Already present (e.g. racing fills): refresh.
+                w.lru = tick;
+                w.dirty |= dirty;
+                return None;
+            }
+            if w.lru < victim_lru {
+                victim_lru = w.lru;
+                victim = i;
+            }
+        }
+        if ways.len() < self.ways {
+            ways.push(Way { line, dirty, lru: tick });
             return None;
         }
-        if self.sets[set].len() < self.ways {
-            self.sets[set].push(Way { line, dirty, lru: tick });
-            return None;
-        }
-        let victim = self.sets[set]
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| w.lru)
-            .map(|(i, _)| i)
-            .expect("full set has a victim");
-        let old = self.sets[set][victim];
-        self.sets[set][victim] = Way { line, dirty, lru: tick };
+        let old = ways[victim];
+        ways[victim] = Way { line, dirty, lru: tick };
         Some((old.line, old.dirty))
     }
 

@@ -117,12 +117,10 @@ pub fn run_functional(kernel: &mut dyn Kernel) -> (Vec<f32>, MemoryImage) {
             match prog.next(&loaded) {
                 WarpOp::Compute(_) => loaded.clear(),
                 WarpOp::Load(addrs) => {
-                    loaded = addrs.iter().map(|&a| image.read_f32(a)).collect();
+                    image.read_lanes_into(&addrs, &mut loaded);
                 }
                 WarpOp::Store(writes) => {
-                    for (a, v) in writes {
-                        image.write_f32(a, v);
-                    }
+                    image.write_lanes(&writes);
                     loaded.clear();
                 }
                 WarpOp::Finished => break,

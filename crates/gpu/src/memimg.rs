@@ -9,8 +9,29 @@
 //!
 //! All data is `f32` and 4-byte aligned; a 128-byte line holds
 //! [`WORDS_PER_LINE`] words.
+//!
+//! # Storage layout
+//!
+//! [`MemoryImage::alloc`] is a contiguous bump allocator starting at a fixed
+//! base, so almost every address the simulator ever touches falls in one
+//! dense range. The image exploits that: the allocated range is backed by a
+//! **paged arena** (64 KiB pages, materialized on first write), where
+//! `addr → page → word` is pure arithmetic — no hashing on the per-lane hot
+//! path. Addresses outside the arena (stray pointers fabricated by a kernel,
+//! or writes past the bump cursor) fall back to a sparse per-line spill map;
+//! if a later `alloc` extends the arena over a spilled line, the line
+//! migrates into its page so subsequent accesses take the fast path.
+//!
+//! Footprint: the sparse map stored every touched line behind its own
+//! allocation plus hash-table overhead (~1.6× the data). The arena stores
+//! 64 KiB per page that has seen at least one write, with a 64-byte bitmask
+//! tracking which lines were actually touched — denser for the suite's
+//! contiguous arrays, and reads/writes are branch-plus-index instead of a
+//! hash probe.
 
+use lazydram_common::prof::{self, Phase};
 use lazydram_common::FastMap;
+use std::fmt;
 
 /// `f32` words per 128-byte cache line.
 pub const WORDS_PER_LINE: usize = 32;
@@ -18,12 +39,71 @@ pub const WORDS_PER_LINE: usize = 32;
 /// Byte size of a line in the image (fixed at the baseline's 128 B).
 pub const LINE_BYTES: u64 = 128;
 
-/// Flat sparse memory of `f32` words, organized in 128-byte lines.
-#[derive(Debug, Clone, Default)]
+/// Byte size of one arena page. Must be a multiple of [`LINE_BYTES`] and
+/// divide [`ARENA_BASE`] so lines never straddle pages.
+const PAGE_BYTES: u64 = 64 * 1024;
+
+/// `f32` words per arena page.
+const PAGE_WORDS: usize = (PAGE_BYTES / 4) as usize;
+
+/// Cache lines per arena page.
+const PAGE_LINES: usize = (PAGE_BYTES / LINE_BYTES) as usize;
+
+/// First address handed out by [`MemoryImage::alloc`]; non-zero so that
+/// stray zero addresses stand out. Page-aligned by construction.
+const ARENA_BASE: u64 = 0x10_0000;
+
+/// All-zero line served for reads of untouched memory.
+static ZERO_LINE: [f32; WORDS_PER_LINE] = [0.0; WORDS_PER_LINE];
+
+/// One 64 KiB arena page: a flat word array plus a touched-line bitmask so
+/// [`MemoryImage::resident_lines`] keeps the sparse map's "lines ever
+/// written" semantics.
+#[derive(Clone)]
+struct Page {
+    words: [f32; PAGE_WORDS],
+    touched: [u64; PAGE_LINES / 64],
+}
+
+impl Page {
+    fn new_boxed() -> Box<Self> {
+        Box::new(Page {
+            words: [0.0; PAGE_WORDS],
+            touched: [0; PAGE_LINES / 64],
+        })
+    }
+}
+
+/// Flat memory of `f32` words, organized in 128-byte lines: a paged arena
+/// over the bump-allocated range with a sparse spill map for strays.
+#[derive(Clone)]
 pub struct MemoryImage {
-    lines: FastMap<u64, Box<[f32; WORDS_PER_LINE]>>,
+    /// Arena page directory covering `[ARENA_BASE, next)`; `None` until the
+    /// page sees its first write.
+    pages: Vec<Option<Box<Page>>>,
+    /// Lines at addresses outside the arena, keyed by line base address.
+    spill: FastMap<u64, Box<[f32; WORDS_PER_LINE]>>,
+    /// Count of set bits across all page `touched` masks.
+    arena_touched: usize,
     /// Bump allocator cursor for [`MemoryImage::alloc`].
     next: u64,
+}
+
+impl Default for MemoryImage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for MemoryImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemoryImage")
+            .field("pages", &self.pages.len())
+            .field("spill_lines", &self.spill.len())
+            .field("resident_lines", &self.resident_lines())
+            .field("next", &self.next)
+            .finish()
+    }
 }
 
 impl MemoryImage {
@@ -31,8 +111,10 @@ impl MemoryImage {
     /// stray zero addresses stand out.
     pub fn new() -> Self {
         Self {
-            lines: FastMap::default(),
-            next: 0x10_0000,
+            pages: Vec::new(),
+            spill: FastMap::default(),
+            arena_touched: 0,
+            next: ARENA_BASE,
         }
     }
 
@@ -43,7 +125,76 @@ impl MemoryImage {
         let base = self.next;
         let bytes = (words as u64 * 4).div_ceil(LINE_BYTES) * LINE_BYTES;
         self.next += bytes;
+        if self.next > ARENA_BASE {
+            let npages = ((self.next - ARENA_BASE).div_ceil(PAGE_BYTES)) as usize;
+            if npages > self.pages.len() {
+                self.pages.resize_with(npages, || None);
+            }
+        }
+        // Any stray writes that landed in the newly covered range migrate
+        // from the spill map into their page, so the range check below stays
+        // the single source of truth for where a line lives.
+        if !self.spill.is_empty() {
+            let lo = base.max(ARENA_BASE);
+            let moved: Vec<u64> = self
+                .spill
+                .keys()
+                .copied()
+                .filter(|&l| l >= lo && l < self.next)
+                .collect();
+            for line in moved {
+                let data = self.spill.remove(&line).expect("key just listed");
+                self.line_words_mut(line).copy_from_slice(&data[..]);
+            }
+        }
         base
+    }
+
+    /// True when `line` (a line base address) is backed by the arena.
+    #[inline]
+    fn in_arena(&self, line: u64) -> bool {
+        (ARENA_BASE..self.next).contains(&line)
+    }
+
+    /// The 32 words backing the line at base address `line` (all zeros when
+    /// the line was never written).
+    #[inline]
+    fn line_words(&self, line: u64) -> &[f32] {
+        if self.in_arena(line) {
+            let off = line - ARENA_BASE;
+            match &self.pages[(off / PAGE_BYTES) as usize] {
+                Some(p) => {
+                    let w = (off % PAGE_BYTES / 4) as usize;
+                    &p.words[w..w + WORDS_PER_LINE]
+                }
+                None => &ZERO_LINE,
+            }
+        } else {
+            self.spill.get(&line).map_or(&ZERO_LINE[..], |l| &l[..])
+        }
+    }
+
+    /// Mutable words of the line at base address `line`, materializing the
+    /// page (or spill entry) and marking the line resident.
+    #[inline]
+    fn line_words_mut(&mut self, line: u64) -> &mut [f32] {
+        if self.in_arena(line) {
+            let off = line - ARENA_BASE;
+            let page = self.pages[(off / PAGE_BYTES) as usize].get_or_insert_with(Page::new_boxed);
+            let li = (off % PAGE_BYTES / LINE_BYTES) as usize;
+            let mask = 1u64 << (li % 64);
+            if page.touched[li / 64] & mask == 0 {
+                page.touched[li / 64] |= mask;
+                self.arena_touched += 1;
+            }
+            let w = li * WORDS_PER_LINE;
+            &mut page.words[w..w + WORDS_PER_LINE]
+        } else {
+            &mut self
+                .spill
+                .entry(line)
+                .or_insert_with(|| Box::new([0.0; WORDS_PER_LINE]))[..]
+        }
     }
 
     /// Reads the `f32` at byte address `addr`.
@@ -54,8 +205,7 @@ impl MemoryImage {
     pub fn read_f32(&self, addr: u64) -> f32 {
         assert!(addr.is_multiple_of(4), "unaligned f32 read at {addr:#x}");
         let line = addr & !(LINE_BYTES - 1);
-        let idx = ((addr % LINE_BYTES) / 4) as usize;
-        self.lines.get(&line).map_or(0.0, |l| l[idx])
+        self.line_words(line)[((addr % LINE_BYTES) / 4) as usize]
     }
 
     /// Writes the `f32` at byte address `addr`.
@@ -66,32 +216,119 @@ impl MemoryImage {
     pub fn write_f32(&mut self, addr: u64, value: f32) {
         assert!(addr.is_multiple_of(4), "unaligned f32 write at {addr:#x}");
         let line = addr & !(LINE_BYTES - 1);
-        let idx = ((addr % LINE_BYTES) / 4) as usize;
-        self.lines.entry(line).or_insert_with(|| Box::new([0.0; WORDS_PER_LINE]))[idx] = value;
+        self.line_words_mut(line)[((addr % LINE_BYTES) / 4) as usize] = value;
     }
 
     /// Returns the 32 words of the line containing `addr` (zeroes if the
     /// line was never written).
     pub fn read_line(&self, addr: u64) -> [f32; WORDS_PER_LINE] {
+        let mut out = [0.0; WORDS_PER_LINE];
+        self.read_line_into(addr, &mut out);
+        out
+    }
+
+    /// Copies the 32 words of the line containing `addr` into `out`,
+    /// resolving the backing line exactly once.
+    pub fn read_line_into(&self, addr: u64, out: &mut [f32; WORDS_PER_LINE]) {
         let line = addr & !(LINE_BYTES - 1);
-        self.lines.get(&line).map_or([0.0; WORDS_PER_LINE], |l| **l)
+        out.copy_from_slice(self.line_words(line));
+    }
+
+    /// Reads one `f32` per lane address into `out` (cleared first). The
+    /// backing line is resolved once per run of same-line addresses instead
+    /// of once per lane — the warp-coalescing fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any address is not 4-byte aligned.
+    pub fn read_lanes_into(&self, addrs: &[u64], out: &mut Vec<f32>) {
+        let _t = prof::enter(Phase::FuncMem);
+        out.clear();
+        out.reserve(addrs.len());
+        let mut cur_line = u64::MAX;
+        let mut words: &[f32] = &ZERO_LINE;
+        for &a in addrs {
+            assert!(a.is_multiple_of(4), "unaligned f32 read at {a:#x}");
+            let line = a & !(LINE_BYTES - 1);
+            if line != cur_line {
+                cur_line = line;
+                words = self.line_words(line);
+            }
+            out.push(words[((a % LINE_BYTES) / 4) as usize]);
+        }
+    }
+
+    /// Writes one `(addr, value)` pair per lane, resolving the backing line
+    /// once per run of same-line addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any address is not 4-byte aligned.
+    pub fn write_lanes(&mut self, writes: &[(u64, f32)]) {
+        let _t = prof::enter(Phase::FuncMem);
+        let mut i = 0;
+        while i < writes.len() {
+            let line = writes[i].0 & !(LINE_BYTES - 1);
+            let words = self.line_words_mut(line);
+            while i < writes.len() && writes[i].0 & !(LINE_BYTES - 1) == line {
+                let (a, v) = writes[i];
+                assert!(a.is_multiple_of(4), "unaligned f32 write at {a:#x}");
+                words[((a % LINE_BYTES) / 4) as usize] = v;
+                i += 1;
+            }
+        }
+    }
+
+    /// Reads `n` consecutive `f32`s starting at `base` into `out` (cleared
+    /// first), copying line-at-a-time. Allocation-free once `out` has grown
+    /// to capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 4-byte aligned.
+    pub fn read_slice_into(&self, base: u64, n: usize, out: &mut Vec<f32>) {
+        let _t = prof::enter(Phase::FuncMem);
+        assert!(base.is_multiple_of(4), "unaligned f32 read at {base:#x}");
+        out.clear();
+        out.reserve(n);
+        let mut addr = base;
+        let mut remaining = n;
+        while remaining > 0 {
+            let line = addr & !(LINE_BYTES - 1);
+            let start = ((addr % LINE_BYTES) / 4) as usize;
+            let take = (WORDS_PER_LINE - start).min(remaining);
+            out.extend_from_slice(&self.line_words(line)[start..start + take]);
+            addr += take as u64 * 4;
+            remaining -= take;
+        }
     }
 
     /// Convenience: reads `n` consecutive `f32`s starting at `base`.
     pub fn read_slice(&self, base: u64, n: usize) -> Vec<f32> {
-        (0..n).map(|i| self.read_f32(base + i as u64 * 4)).collect()
+        let mut out = Vec::new();
+        self.read_slice_into(base, n, &mut out);
+        out
     }
 
     /// Convenience: writes a slice of `f32`s starting at `base`.
     pub fn write_slice(&mut self, base: u64, data: &[f32]) {
-        for (i, &v) in data.iter().enumerate() {
-            self.write_f32(base + i as u64 * 4, v);
+        let mut addr = base;
+        let mut rest = data;
+        while !rest.is_empty() {
+            assert!(addr.is_multiple_of(4), "unaligned f32 write at {addr:#x}");
+            let line = addr & !(LINE_BYTES - 1);
+            let start = ((addr % LINE_BYTES) / 4) as usize;
+            let take = (WORDS_PER_LINE - start).min(rest.len());
+            self.line_words_mut(line)[start..start + take].copy_from_slice(&rest[..take]);
+            addr += take as u64 * 4;
+            rest = &rest[take..];
         }
     }
 
-    /// Number of lines materialized in the image.
+    /// Number of lines materialized in the image (lines ever written, arena
+    /// and spill combined — reads never materialize).
     pub fn resident_lines(&self) -> usize {
-        self.lines.len()
+        self.arena_touched + self.spill.len()
     }
 }
 
@@ -142,5 +379,64 @@ mod tests {
     fn unaligned_read_panics() {
         let m = MemoryImage::new();
         let _ = m.read_f32(0x10_0001);
+    }
+
+    #[test]
+    fn stray_out_of_arena_addresses_spill_and_roundtrip() {
+        let mut m = MemoryImage::new();
+        m.write_f32(0x8, 1.25); // below the arena base
+        let far = 0xdead_0000;
+        m.write_f32(far, 2.5); // beyond the bump cursor
+        assert_eq!(m.read_f32(0x8), 1.25);
+        assert_eq!(m.read_f32(far), 2.5);
+        assert_eq!(m.resident_lines(), 2);
+    }
+
+    #[test]
+    fn alloc_over_spilled_line_migrates_it() {
+        let mut m = MemoryImage::new();
+        // Write past the bump cursor: this line lives in the spill map.
+        let stray = ARENA_BASE + 3 * LINE_BYTES + 8;
+        m.write_f32(stray, 7.75);
+        assert_eq!(m.resident_lines(), 1);
+        // Allocating over it moves the line into the arena; the value and
+        // the resident count must survive.
+        let base = m.alloc(WORDS_PER_LINE * 8);
+        assert_eq!(base, ARENA_BASE);
+        assert_eq!(m.read_f32(stray), 7.75);
+        assert_eq!(m.resident_lines(), 1);
+        m.write_f32(stray, 8.5);
+        assert_eq!(m.read_f32(stray), 8.5);
+        assert_eq!(m.resident_lines(), 1);
+    }
+
+    #[test]
+    fn lane_batch_apis_match_scalar_ops() {
+        let mut m = MemoryImage::new();
+        let base = m.alloc(WORDS_PER_LINE * 3);
+        let addrs: Vec<u64> = (0..64u64).map(|i| base + i * 4).collect();
+        let writes: Vec<(u64, f32)> = addrs.iter().map(|&a| (a, a as f32)).collect();
+        m.write_lanes(&writes);
+        let mut got = Vec::new();
+        m.read_lanes_into(&addrs, &mut got);
+        let want: Vec<f32> = addrs.iter().map(|&a| m.read_f32(a)).collect();
+        assert_eq!(got, want);
+        assert_eq!(m.resident_lines(), 2);
+    }
+
+    #[test]
+    fn read_slice_into_reuses_buffer_across_pages() {
+        let mut m = MemoryImage::new();
+        // Two pages' worth so the slice crosses a page boundary.
+        let n = PAGE_WORDS + 100;
+        let base = m.alloc(n);
+        let data: Vec<f32> = (0..n).map(|i| (i % 977) as f32).collect();
+        m.write_slice(base, &data);
+        let mut out = Vec::new();
+        m.read_slice_into(base, n, &mut out);
+        assert_eq!(out, data);
+        // Unaligned start within a line.
+        m.read_slice_into(base + 12, 50, &mut out);
+        assert_eq!(out[..], data[3..53]);
     }
 }

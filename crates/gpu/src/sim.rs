@@ -39,6 +39,7 @@ use crate::noc::DelayQueue;
 use crate::slice::Slice;
 use crate::trace::{Trace, TraceEntry};
 use crate::sm::{Reply, Sm, SmCtx, SliceReq};
+use lazydram_common::prof::{self, Phase};
 use lazydram_common::{AddressMap, GpuConfig, SchedConfig, SimStats};
 use lazydram_core::{MemoryController, Response};
 use std::sync::OnceLock;
@@ -195,6 +196,9 @@ impl Simulator {
     ) -> bool {
         let cfg = &self.cfg;
         let map = AddressMap::new(cfg);
+        // Discard any profiler totals left over from earlier work on this
+        // thread so the launch's report covers exactly this launch.
+        let _ = prof::take();
         kernel.setup(image);
 
         let mut sms: Vec<Sm> = (0..cfg.num_sms).map(|i| Sm::new(i, cfg)).collect();
@@ -266,6 +270,7 @@ impl Simulator {
             // 1. Deliver replies, then issue from each SM. The context is
             //    built once per cycle; it borrows nothing from the SMs.
             {
+                let _t = prof::enter(Phase::SmIssue);
                 let mut ctx = SmCtx {
                     now: core_cycle,
                     image: &mut *image,
@@ -286,28 +291,34 @@ impl Simulator {
             }
 
             // 2. L2 slices.
-            for (i, slice) in slices.iter_mut().enumerate() {
-                slice.tick(
-                    core_cycle,
-                    &mut req_noc[i],
-                    &mut reply_noc,
-                    &mut mcs[i],
-                    image,
-                    &map,
-                    &mut next_req_id,
-                );
+            {
+                let _t = prof::enter(Phase::Slice);
+                for (i, slice) in slices.iter_mut().enumerate() {
+                    slice.tick(
+                        core_cycle,
+                        &mut req_noc[i],
+                        &mut reply_noc,
+                        &mut mcs[i],
+                        image,
+                        &map,
+                        &mut next_req_id,
+                    );
+                }
             }
 
             // 3. Memory clock domain.
-            acc += mem_hz;
-            while acc >= core_hz {
-                acc -= core_hz;
-                mem_time += 1;
-                for (i, mc) in mcs.iter_mut().enumerate() {
-                    resp_buf.clear();
-                    mc.tick(&mut resp_buf);
-                    for &resp in &resp_buf {
-                        slices[i].responses.push_back(resp);
+            {
+                let _t = prof::enter(Phase::Controller);
+                acc += mem_hz;
+                while acc >= core_hz {
+                    acc -= core_hz;
+                    mem_time += 1;
+                    for (i, mc) in mcs.iter_mut().enumerate() {
+                        resp_buf.clear();
+                        mc.tick(&mut resp_buf);
+                        for &resp in &resp_buf {
+                            slices[i].responses.push_back(resp);
+                        }
                     }
                 }
             }
@@ -328,6 +339,7 @@ impl Simulator {
             if !self.cycle_skipping {
                 continue;
             }
+            let _t_ff = prof::enter(Phase::FastForward);
             let target = next_interesting_cycle(
                 core_cycle, limit, acc, core_hz, mem_hz, mem_time,
                 &sms, &slices, &req_noc, &reply_noc, &mut mcs,
@@ -406,6 +418,10 @@ impl Simulator {
         let prior_cycles = total.dram.mem_cycles;
         total.dram.merge(&launch_dram);
         total.dram.mem_cycles = prior_cycles + launch_dram.mem_cycles;
+
+        // Fold this launch's wall-clock phase breakdown into the run stats
+        // (empty unless the `prof` feature is enabled).
+        total.prof.merge(&prof::take());
 
         hit_limit
     }

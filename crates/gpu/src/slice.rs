@@ -108,13 +108,14 @@ impl Slice {
     /// The VP prediction for a dropped line: values of the nearest-address
     /// line resident in this slice's L2, or zeroes when none is in range.
     fn predict(&self, line: u64, image: &MemoryImage) -> [f32; 32] {
-        match self.l2.nearest_resident(line, self.vp_radius) {
-            Some(neighbor) => match self.approx_store.get(&neighbor) {
-                Some(vals) => *vals,
-                None => image.read_line(neighbor),
-            },
-            None => [0.0; 32],
+        let mut vals = [0.0; 32];
+        if let Some(neighbor) = self.l2.nearest_resident(line, self.vp_radius) {
+            match self.approx_store.get(&neighbor) {
+                Some(v) => vals = *v,
+                None => image.read_line_into(neighbor, &mut vals),
+            }
         }
+        vals
     }
 
     fn send_reply(
@@ -217,14 +218,17 @@ impl Slice {
             }
         }
 
-        // 2. Service incoming requests.
+        // 2. Service incoming requests. One set scan per request: `lookup`
+        // answers hit/miss, `commit` applies the recency/counter effects at
+        // exactly the points the old probe-then-access pair counted them.
         for _ in 0..self.throughput {
             let Some(req) = incoming.pop_ready(now) else {
                 break;
             };
+            let slot = self.l2.lookup(req.line);
             if req.write {
-                if self.l2.probe(req.line) {
-                    let r = self.l2.access(req.line, true);
+                if slot.is_hit() {
+                    let r = self.l2.commit(slot, true);
                     debug_assert_eq!(r, AccessResult::Hit);
                     // The store overwrote (part of) the line; if it was an
                     // approximation, the written words are now exact — we
@@ -238,11 +242,11 @@ impl Slice {
                         incoming.push_front(now, req);
                         break;
                     }
-                    let r = self.l2.access(req.line, true);
+                    let r = self.l2.commit(slot, true);
                     debug_assert_eq!(r, AccessResult::Miss);
                 }
-            } else if self.l2.probe(req.line) {
-                let r = self.l2.access(req.line, false);
+            } else if slot.is_hit() {
+                let r = self.l2.commit(slot, false);
                 debug_assert_eq!(r, AccessResult::Hit);
                 let values = self.approx_store.get(&req.line).copied();
                 if values.is_some() {
@@ -252,10 +256,10 @@ impl Slice {
                 self.send_reply(now, req.sm, reply, reply_noc);
             } else if let Some(waiters) = self.mshr.get_mut(&req.line) {
                 waiters.push(req.sm);
-                let r = self.l2.access(req.line, false); // merged miss
+                let r = self.l2.commit(slot, false); // merged miss
                 debug_assert_eq!(r, AccessResult::Miss);
             } else if self.mshr.len() < self.mshr_capacity && mc.can_accept() {
-                let r = self.l2.access(req.line, false);
+                let r = self.l2.commit(slot, false);
                 debug_assert_eq!(r, AccessResult::Miss);
                 *next_id += 1;
                 let dram_req = Request {

@@ -13,9 +13,8 @@ use crate::cache::{AccessResult, Cache};
 use crate::kernel::{Kernel, WarpOp, WarpProgram};
 use crate::memimg::MemoryImage;
 use crate::noc::DelayQueue;
+use lazydram_common::FastMap;
 use lazydram_common::{AddressMap, GpuConfig};
-use lazydram_common::{FastMap, FastSet};
-use std::collections::HashMap;
 
 /// A request from an SM to an L2 slice (line granularity).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,11 +42,15 @@ pub(crate) struct Reply {
 #[derive(Debug)]
 struct LoadWait {
     lane_addrs: Vec<u64>,
-    pending: FastSet<u64>,
+    /// Outstanding miss lines; a load coalesces to a handful of lines, so a
+    /// flat vector with `swap_remove` beats a hash set.
+    pending: Vec<u64>,
     /// Missing lines whose request has not been sent yet (MSHR / NoC
     /// backpressure); drained opportunistically each cycle.
     unsent: Vec<u64>,
-    approx: HashMap<u64, [f32; 32]>,
+    /// Value-predictor data per approximated line, linearly searched — at
+    /// most one entry per coalesced line.
+    approx: Vec<(u64, [f32; 32])>,
 }
 
 enum WarpState {
@@ -140,6 +143,10 @@ pub(crate) struct Sm {
     /// Loads whose value was (partly) approximated.
     pub approximated_loads: u64,
     live_warps: usize,
+    /// Reusable buffer for miss lines that arrived while unsent (drain path).
+    scratch_arrived: Vec<u64>,
+    /// Reusable buffer for coalescing lane addresses to distinct lines.
+    scratch_lines: Vec<u64>,
 }
 
 impl Sm {
@@ -164,6 +171,8 @@ impl Sm {
             instructions: 0,
             approximated_loads: 0,
             live_warps: 0,
+            scratch_arrived: Vec::new(),
+            scratch_lines: Vec::new(),
         }
     }
 
@@ -279,11 +288,12 @@ impl Sm {
             let WarpState::Waiting(wait) = &mut slot.state else {
                 continue;
             };
-            if !wait.pending.remove(&reply.line) {
+            let Some(p) = wait.pending.iter().position(|&l| l == reply.line) else {
                 continue;
-            }
+            };
+            wait.pending.swap_remove(p);
             if let Some(vals) = reply.values {
-                wait.approx.insert(reply.line, vals);
+                wait.approx.push((reply.line, vals));
             }
             if wait.pending.is_empty() {
                 Self::complete_load(slot, image, &mut self.approximated_loads);
@@ -293,29 +303,30 @@ impl Sm {
     }
 
     fn complete_load(slot: &mut WarpSlot, image: &MemoryImage, approx_ctr: &mut u64) {
-        let WarpState::Waiting(wait) = &mut slot.state else {
+        let WarpSlot { state, last_loaded, .. } = slot;
+        let WarpState::Waiting(wait) = state else {
             unreachable!("complete_load on non-waiting warp");
         };
-        let mut used_approx = false;
-        let values: Vec<f32> = wait
-            .lane_addrs
-            .iter()
-            .map(|&addr| {
+        if wait.approx.is_empty() {
+            // Exact load: one line resolution per coalesced line, refilling
+            // the slot's buffer in place.
+            image.read_lanes_into(&wait.lane_addrs, last_loaded);
+        } else {
+            // Every approximated line covers at least one lane (pending
+            // lines come from the lane coalescing), so reaching this branch
+            // means the load used predicted values.
+            last_loaded.clear();
+            last_loaded.reserve(wait.lane_addrs.len());
+            for &addr in &wait.lane_addrs {
                 let line = addr & !127;
-                match wait.approx.get(&line) {
-                    Some(vals) => {
-                        used_approx = true;
-                        vals[((addr % 128) / 4) as usize]
-                    }
-                    None => image.read_f32(addr),
+                match wait.approx.iter().find(|(l, _)| *l == line) {
+                    Some((_, vals)) => last_loaded.push(vals[((addr % 128) / 4) as usize]),
+                    None => last_loaded.push(image.read_f32(addr)),
                 }
-            })
-            .collect();
-        if used_approx {
+            }
             *approx_ctr += 1;
         }
-        slot.last_loaded = values;
-        slot.state = WarpState::Ready;
+        *state = WarpState::Ready;
     }
 
     /// Issues up to `issue_width` warp instructions this cycle.
@@ -388,8 +399,11 @@ impl Sm {
                 WarpState::Ready => match slot.stalled_op.take() {
                     Some(store) => Plan::Retry(store),
                     None => {
-                        let loaded = std::mem::take(&mut slot.last_loaded);
-                        Plan::Op(slot.program.next(&loaded))
+                        // Disjoint-field borrow keeps the slot's buffer (and
+                        // its capacity) alive for the next load to refill.
+                        let op = slot.program.next(&slot.last_loaded);
+                        slot.last_loaded.clear();
+                        Plan::Op(op)
                     }
                 },
             }
@@ -443,7 +457,8 @@ impl Sm {
     fn issue_load(&mut self, idx: usize, addrs: Vec<u64>, ctx: &mut SmCtx<'_>) -> bool {
         debug_assert!(!addrs.is_empty(), "empty load");
         // Coalesce to distinct lines, preserving first-touch order.
-        let mut lines: Vec<u64> = Vec::new();
+        let mut lines = std::mem::take(&mut self.scratch_lines);
+        lines.clear();
         for &a in &addrs {
             let l = a & !127;
             if !lines.contains(&l) {
@@ -453,13 +468,13 @@ impl Sm {
         // Classify: L1 hits complete immediately; everything else is
         // pending. A load always issues — lines that cannot get an MSHR or
         // a NoC slot right now sit in `unsent` and trickle out.
-        let mut pending: FastSet<u64> = FastSet::default();
+        let mut pending: Vec<u64> = Vec::new();
         let mut unsent: Vec<u64> = Vec::new();
         for &l in &lines {
             match self.l1.access(l, false) {
                 AccessResult::Hit => {}
                 AccessResult::Miss => {
-                    pending.insert(l);
+                    pending.push(l);
                     if let Some(waiters) = self.mshr.get_mut(&l) {
                         waiters.push(idx); // merge with in-flight miss
                     } else {
@@ -468,21 +483,23 @@ impl Sm {
                 }
             }
         }
+        self.scratch_lines = lines;
         // One warp-load instruction covers up to 32 lane addresses; larger
         // batches model several back-to-back load instructions kept in
         // flight by the scoreboard (intra-warp MLP).
         self.instructions += addrs.len().div_ceil(32) as u64;
         let slot = self.slots[idx].as_mut().expect("slot exists");
         if pending.is_empty() {
-            // Pure L1 hit: values available for the next issue of this warp.
-            slot.last_loaded = addrs.iter().map(|&a| ctx.image.read_f32(a)).collect();
+            // Pure L1 hit: values available for the next issue of this warp,
+            // assembled line-at-a-time into the slot's reusable buffer.
+            ctx.image.read_lanes_into(&addrs, &mut slot.last_loaded);
             slot.state = WarpState::Ready;
         } else {
             slot.state = WarpState::Waiting(LoadWait {
                 lane_addrs: addrs,
                 pending,
                 unsent,
-                approx: HashMap::new(),
+                approx: Vec::new(),
             });
             self.drain_unsent_for(idx, ctx);
         }
@@ -499,12 +516,15 @@ impl Sm {
             let WarpState::Waiting(wait) = &mut slot.state else { return };
             std::mem::take(&mut wait.unsent)
         };
-        let mut arrived: Vec<u64> = Vec::new();
-        let mut still: Vec<u64> = Vec::new();
-        for &l in &unsent {
+        // Lines that stay unsent are compacted in place; arrived lines go
+        // to the SM-lifetime scratch buffer — no allocation on this path.
+        self.scratch_arrived.clear();
+        let mut still_len = 0;
+        for i in 0..unsent.len() {
+            let l = unsent[i];
             if self.l1.probe(l) {
                 // Filled by a sibling warp's request while we waited.
-                arrived.push(l);
+                self.scratch_arrived.push(l);
             } else if let Some(waiters) = self.mshr.get_mut(&l) {
                 waiters.push(idx);
             } else if self.mshr.len() < self.mshr_capacity
@@ -523,16 +543,19 @@ impl Sm {
                     .expect("fullness checked");
                 self.mshr.insert(l, vec![idx]);
             } else {
-                still.push(l);
+                unsent[still_len] = l;
+                still_len += 1;
             }
         }
-        unsent.clear();
+        unsent.truncate(still_len);
         let image = &*ctx.image;
         let Some(slot) = self.slots[idx].as_mut() else { return };
         let WarpState::Waiting(wait) = &mut slot.state else { return };
-        wait.unsent = still;
-        for l in arrived {
-            wait.pending.remove(&l);
+        wait.unsent = unsent;
+        for &l in &self.scratch_arrived {
+            if let Some(p) = wait.pending.iter().position(|&x| x == l) {
+                wait.pending.swap_remove(p);
+            }
         }
         if wait.pending.is_empty() {
             Self::complete_load(slot, image, &mut self.approximated_loads);
@@ -573,9 +596,7 @@ impl Sm {
             slot.stalled_op = Some(store);
             return false;
         }
-        for &(a, v) in &store.writes {
-            ctx.image.write_f32(a, v);
-        }
+        ctx.image.write_lanes(&store.writes);
         for &l in &store.lines {
             ctx.req_noc[ctx.map.channel_of(l)]
                 .push(

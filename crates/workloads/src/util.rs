@@ -65,9 +65,18 @@ impl Region {
         addr >= self.base && addr < self.base + self.words as u64 * 4
     }
 
+    /// Reads the whole region into `out` (cleared first), reusing the
+    /// buffer's capacity — the allocation-free path for repeated output
+    /// snapshots.
+    pub fn read_into(&self, mem: &MemoryImage, out: &mut Vec<f32>) {
+        mem.read_slice_into(self.base, self.words, out);
+    }
+
     /// Reads the whole region.
     pub fn read(&self, mem: &MemoryImage) -> Vec<f32> {
-        mem.read_slice(self.base, self.words)
+        let mut out = Vec::new();
+        self.read_into(mem, &mut out);
+        out
     }
 }
 
@@ -110,12 +119,10 @@ pub fn run_sequence_functional(kernels: &mut [Box<dyn Kernel>]) -> Vec<f32> {
                 match prog.next(&loaded) {
                     WarpOp::Compute(_) => loaded.clear(),
                     WarpOp::Load(addrs) => {
-                        loaded = addrs.iter().map(|&a| image.read_f32(a)).collect();
+                        image.read_lanes_into(&addrs, &mut loaded);
                     }
                     WarpOp::Store(writes) => {
-                        for (a, v) in writes {
-                            image.write_f32(a, v);
-                        }
+                        image.write_lanes(&writes);
                         loaded.clear();
                     }
                     WarpOp::Finished => break,

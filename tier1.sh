@@ -16,12 +16,20 @@ cargo test -q --workspace
 echo "== tier1: cargo clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== tier1: timed smoke sweep (BENCH_PR2.json) =="
-# Per-app wall clock, fast-forward speedup and skipped-cycle fraction at a
-# small scale; writes the repo's perf-trajectory record. The pre-PR baseline
-# columns come from crates/bench/baselines/pre_pr2.tsv.
-LAZYDRAM_SCALE="${LAZYDRAM_SCALE:-0.1}" \
-LAZYDRAM_BENCH_OUT="${LAZYDRAM_BENCH_OUT:-$PWD/BENCH_PR2.json}" \
-    cargo bench -q -p lazydram-bench --bench perf_smoke
+echo "== tier1: prof-feature build =="
+# The self-profiler is compiled out by default; build (and unit-test) the
+# gated implementation so it cannot rot unnoticed.
+cargo build --release -p lazydram-bench --benches --features prof
+cargo test -q -p lazydram-common --features prof
+
+echo "== tier1: timed smoke sweep (BENCH_PR3.json) =="
+# Per-app wall clock with profiler phase breakdown, checked against the
+# pre-PR baseline (crates/bench/baselines/pre_pr3.tsv, recorded at
+# LAZYDRAM_SCALE=0.2). Fails loudly when any app runs slower than 1.15x its
+# pre-PR wall clock.
+LAZYDRAM_SCALE="${LAZYDRAM_SCALE:-0.2}" \
+LAZYDRAM_BENCH_OUT="${LAZYDRAM_BENCH_OUT:-$PWD/BENCH_PR3.json}" \
+LAZYDRAM_MAX_REGRESSION="${LAZYDRAM_MAX_REGRESSION:-1.15}" \
+    cargo bench -q -p lazydram-bench --bench perf_smoke --features prof
 
 echo "== tier1: OK =="
