@@ -6,7 +6,7 @@
 //! time, speedup, and the fraction of core cycles skipped. Each timing is
 //! the minimum of `LAZYDRAM_BENCH_REPS` runs (default 3). Results are also
 //! written as a JSON array to `LAZYDRAM_BENCH_OUT` (default
-//! `BENCH_PR3.json` in the current directory) for regression tracking; when
+//! `BENCH_PR4.json` in the current directory) for regression tracking; when
 //! the binary was built with `--features prof`, every JSON row carries the
 //! profiler's wall-clock phase breakdown (`prof` key).
 //!
@@ -15,8 +15,8 @@
 //! * `noskip_s` vs `skip_s` — the naive loop vs fast-forward *within this
 //!   tree*. This isolates the cycle-skipping contribution.
 //! * `pre_pr_s` vs `skip_s` — the recorded pre-PR wall clock (from
-//!   `baselines/pre_pr3.tsv`, measured at the revision before the
-//!   flattened-memory rework) vs the current loop. This is the PR's
+//!   `baselines/pre_pr4.tsv`, measured at the revision before the
+//!   allocation-free emission rework) vs the current loop. This is the PR's
 //!   end-to-end speedup and the number tracked as the repo's perf
 //!   trajectory. Override the baseline file with `LAZYDRAM_BASELINE`; when
 //!   the file is missing the columns are omitted. **The baseline was
@@ -25,7 +25,7 @@
 //!
 //! # Regression gate
 //!
-//! With `LAZYDRAM_MAX_REGRESSION=<ratio>` set (e.g. `1.15`), the benchmark
+//! With `LAZYDRAM_MAX_REGRESSION=<ratio>` set (e.g. `2.0`), the benchmark
 //! **exits non-zero** if any (app, scheme) runs slower than `ratio` times
 //! its recorded pre-PR wall clock. `tier1.sh` sets this so a perf
 //! regression fails the suite loudly instead of drifting in silently.
@@ -86,7 +86,7 @@ fn timed_run(
 /// checkout); malformed lines in a *present* file are an error.
 fn load_baseline() -> Option<Vec<(String, String, f64)>> {
     let path = std::env::var("LAZYDRAM_BASELINE")
-        .unwrap_or_else(|_| format!("{}/baselines/pre_pr3.tsv", env!("CARGO_MANIFEST_DIR")));
+        .unwrap_or_else(|_| format!("{}/baselines/pre_pr4.tsv", env!("CARGO_MANIFEST_DIR")));
     let text = std::fs::read_to_string(&path).ok()?;
     let mut rows = Vec::new();
     for line in text.lines() {
@@ -234,7 +234,7 @@ fn main() {
             o.finish()
         })
         .collect();
-    let out = std::env::var("LAZYDRAM_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR3.json".to_string());
+    let out = std::env::var("LAZYDRAM_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
     std::fs::write(&out, array(&json_rows) + "\n")
         .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     eprintln!("wrote {out}");

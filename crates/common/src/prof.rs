@@ -14,10 +14,13 @@
 //! The whole implementation is gated on the `prof` cargo feature of this
 //! crate. Without it, [`enter`] is an inline empty function returning a
 //! zero-sized guard and [`take`] returns an empty report — call sites need
-//! no `cfg` and the optimizer erases them. With the feature on, timers use
-//! one `Instant::now()` per phase transition and a thread-local accumulator
-//! (the simulator is single-threaded per run; sweeps run one simulation per
-//! worker thread, so thread-local totals are per-run totals).
+//! no `cfg` and the optimizer erases them. With the feature on, a phase
+//! transition is one `RDTSC` read plus a handful of `Cell` load/stores in a
+//! thread-local accumulator (the simulator is single-threaded per run;
+//! sweeps run one simulation per worker thread, so thread-local totals are
+//! per-run totals). Spans shorter than the `RDTSC` measurement floor are
+//! dropped rather than accumulated, so guard overhead is not reported as
+//! phase time; the tick→seconds scale is recovered once per [`take`].
 //!
 //! # Usage
 //!
@@ -128,7 +131,7 @@ impl ProfReport {
 #[cfg(feature = "prof")]
 mod imp {
     use super::{Phase, ProfReport, NUM_PHASES};
-    use std::cell::RefCell;
+    use std::cell::Cell;
     use std::time::Instant;
 
     /// Raw timestamp in abstract "ticks" (TSC cycles on x86_64, nanoseconds
@@ -152,19 +155,42 @@ mod imp {
         EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
     }
 
+    /// Sentinel for "no open phase" in [`State::open_phase`].
+    const NONE: usize = NUM_PHASES;
+
+    /// Spans shorter than this many ticks are dropped instead of
+    /// accumulated: at that size the reading is mostly the `RDTSC`
+    /// serialization cost itself, so charging it would report guard
+    /// overhead as phase time. 32 TSC ticks is ~10 ns on common parts —
+    /// well below anything the hot loops do per guard.
+    const MEASUREMENT_FLOOR_TICKS: u64 = 32;
+
+    /// Per-thread accumulator. All fields are `Cell`s: the simulator is
+    /// single-threaded per run and every access is a straight load/store,
+    /// with none of `RefCell`'s borrow-flag bookkeeping on the hot
+    /// enter/drop path.
     struct State {
         /// Accumulated exclusive ticks per phase.
-        acc: [u64; NUM_PHASES],
-        /// Innermost open phase and the tick its *exclusive* span began.
-        open: Option<(usize, u64)>,
-        /// Wall-clock anchor taken at the first event after a [`take`]:
-        /// `(tick, instant)`. Converts accumulated ticks to seconds.
-        anchor: Option<(u64, Instant)>,
+        acc: [Cell<u64>; NUM_PHASES],
+        /// Innermost open phase ([`NONE`] when idle).
+        open_phase: Cell<usize>,
+        /// Tick at which the open phase's current *exclusive* span began.
+        open_since: Cell<u64>,
+        /// Wall-clock anchor taken at the first outermost [`enter`] after a
+        /// [`take`]: converts accumulated ticks to seconds.
+        anchor_tick: Cell<u64>,
+        anchor_instant: Cell<Option<Instant>>,
     }
 
     thread_local! {
-        static STATE: RefCell<State> = const {
-            RefCell::new(State { acc: [0; NUM_PHASES], open: None, anchor: None })
+        static STATE: State = const {
+            State {
+                acc: [const { Cell::new(0) }; NUM_PHASES],
+                open_phase: Cell::new(NONE),
+                open_since: Cell::new(0),
+                anchor_tick: Cell::new(0),
+                anchor_instant: Cell::new(None),
+            }
         };
     }
 
@@ -172,7 +198,7 @@ mod imp {
     /// drop, charging the elapsed exclusive time to its own phase.
     pub struct Guard {
         phase: usize,
-        prev: Option<usize>,
+        prev: usize,
     }
 
     /// Starts timing `phase` until the returned guard drops. The enclosing
@@ -184,15 +210,20 @@ mod imp {
         let phase = phase as usize;
         let now = now_ticks();
         let prev = STATE.with(|s| {
-            let mut s = s.borrow_mut();
-            if s.anchor.is_none() {
-                s.anchor = Some((now, Instant::now()));
+            let prev = s.open_phase.get();
+            if prev != NONE {
+                let span = now.wrapping_sub(s.open_since.get());
+                if span >= MEASUREMENT_FLOOR_TICKS {
+                    s.acc[prev].set(s.acc[prev].get().wrapping_add(span));
+                }
+            } else if s.anchor_instant.get().is_none() {
+                // Only an *outermost* enter can be the first event after a
+                // take(), so nested guards skip the anchor check entirely.
+                s.anchor_tick.set(now);
+                s.anchor_instant.set(Some(Instant::now()));
             }
-            let prev = s.open.map(|(p, since)| {
-                s.acc[p] += now.wrapping_sub(since);
-                p
-            });
-            s.open = Some((phase, now));
+            s.open_phase.set(phase);
+            s.open_since.set(now);
             prev
         });
         Guard { phase, prev }
@@ -202,12 +233,14 @@ mod imp {
         fn drop(&mut self) {
             let now = now_ticks();
             STATE.with(|s| {
-                let mut s = s.borrow_mut();
-                if let Some((p, since)) = s.open {
-                    debug_assert_eq!(p, self.phase, "prof guards must nest");
-                    s.acc[p] += now.wrapping_sub(since);
+                let p = s.open_phase.get();
+                debug_assert_eq!(p, self.phase, "prof guards must nest");
+                let span = now.wrapping_sub(s.open_since.get());
+                if span >= MEASUREMENT_FLOOR_TICKS {
+                    s.acc[p].set(s.acc[p].get().wrapping_add(span));
                 }
-                s.open = self.prev.map(|p| (p, now));
+                s.open_phase.set(self.prev);
+                s.open_since.set(now);
             });
         }
     }
@@ -216,22 +249,20 @@ mod imp {
     /// them. Call at run boundaries (no phase should be open).
     pub fn take() -> ProfReport {
         STATE.with(|s| {
-            let mut s = s.borrow_mut();
             // Seconds per tick, recovered from the span since the anchor.
             // Assumes an invariant TSC (standard on every x86_64 this
             // simulator targets); the non-x86 fallback ticks in nanoseconds
             // so the measured scale lands on 1e-9 by construction.
-            let scale = match s.anchor.take() {
-                Some((t0, i0)) => {
-                    let dt = now_ticks().wrapping_sub(t0);
+            let scale = match s.anchor_instant.take() {
+                Some(i0) => {
+                    let dt = now_ticks().wrapping_sub(s.anchor_tick.get());
                     if dt == 0 { 0.0 } else { i0.elapsed().as_secs_f64() / dt as f64 }
                 }
                 None => 0.0,
             };
             let mut report = ProfReport::default();
-            for (out, acc) in report.secs.iter_mut().zip(s.acc.iter_mut()) {
-                *out = *acc as f64 * scale;
-                *acc = 0;
+            for (out, acc) in report.secs.iter_mut().zip(&s.acc) {
+                *out = acc.replace(0) as f64 * scale;
             }
             report
         })

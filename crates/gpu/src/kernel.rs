@@ -10,14 +10,20 @@
 use crate::memimg::MemoryImage;
 
 
-/// One operation issued by a warp.
+/// One operation issued by a warp — the *owned* reference representation.
+///
+/// The hot path never materializes this enum: programs emit into a caller
+/// owned [`OpBuf`] instead (allocation-free once the buffers are warm).
+/// `WarpOp` survives as the value-semantics form used by tests and by
+/// adapters that pin the sink-based emission against the historical
+/// contract (see [`OpBuf::to_warp_op`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum WarpOp {
     /// `n` single-cycle ALU warp instructions.
     Compute(u32),
-    /// A global load: one address per active lane (≤ 32 entries). The warp
-    /// blocks until all covered cache lines arrive; the loaded values are
-    /// passed to the next [`WarpProgram::next`] call in lane order.
+    /// A global load: one address per active lane. The warp blocks until all
+    /// covered cache lines arrive; the loaded values are passed to the next
+    /// [`WarpProgram::next`] call in lane order.
     Load(Vec<u64>),
     /// A global store: `(address, value)` per active lane. The warp does not
     /// wait for completion (write-through, fire-and-forget).
@@ -26,13 +32,124 @@ pub enum WarpOp {
     Finished,
 }
 
+/// Tag of the operation currently held in an [`OpBuf`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// `n` single-cycle ALU warp instructions.
+    Compute(u32),
+    /// A load; the addresses are in [`OpBuf::addrs`].
+    Load,
+    /// A store; the writes are in [`OpBuf::writes`].
+    Store,
+    /// The warp has retired.
+    Finished,
+}
+
+/// A reusable warp-op emission buffer, owned by the caller of
+/// [`WarpProgram::next`].
+///
+/// One warp-load *instruction* covers up to 32 lane addresses; programs may
+/// emit larger batches to model several back-to-back instructions kept in
+/// flight by the scoreboard, so the lane buffers are capacity-retaining
+/// `Vec`s rather than fixed 32-slot arrays. Because the same buffer is
+/// reused for every op, steady-state emission performs **zero heap
+/// allocations** once the buffers have grown to the program's batch size
+/// (enforced by the `alloc_gate` integration test).
+///
+/// Lane ordering is the program's contract with itself: the values handed to
+/// the next `next()` call after a load appear in exactly the order the
+/// addresses were pushed.
+#[derive(Debug)]
+pub struct OpBuf {
+    kind: OpKind,
+    addrs: Vec<u64>,
+    writes: Vec<(u64, f32)>,
+}
+
+impl Default for OpBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OpBuf {
+    /// Creates an empty buffer (kind [`OpKind::Finished`]).
+    pub fn new() -> Self {
+        Self {
+            kind: OpKind::Finished,
+            addrs: Vec::new(),
+            writes: Vec::new(),
+        }
+    }
+
+    /// The operation currently held.
+    pub fn kind(&self) -> OpKind {
+        self.kind
+    }
+
+    /// Lane addresses of the held load.
+    ///
+    /// Meaningful only when [`OpBuf::kind`] is [`OpKind::Load`].
+    pub fn addrs(&self) -> &[u64] {
+        debug_assert_eq!(self.kind, OpKind::Load, "addrs() on a non-load op");
+        &self.addrs
+    }
+
+    /// Lane `(address, value)` writes of the held store.
+    ///
+    /// Meaningful only when [`OpBuf::kind`] is [`OpKind::Store`].
+    pub fn writes(&self) -> &[(u64, f32)] {
+        debug_assert_eq!(self.kind, OpKind::Store, "writes() on a non-store op");
+        &self.writes
+    }
+
+    /// Emits a compute op.
+    pub fn set_compute(&mut self, n: u32) {
+        self.kind = OpKind::Compute(n);
+    }
+
+    /// Emits warp retirement.
+    pub fn set_finished(&mut self) {
+        self.kind = OpKind::Finished;
+    }
+
+    /// Starts a load: clears and returns the address buffer (capacity kept).
+    pub fn begin_load(&mut self) -> &mut Vec<u64> {
+        self.kind = OpKind::Load;
+        self.addrs.clear();
+        &mut self.addrs
+    }
+
+    /// Starts a store: clears and returns the write buffer (capacity kept).
+    pub fn begin_store(&mut self) -> &mut Vec<(u64, f32)> {
+        self.kind = OpKind::Store;
+        self.writes.clear();
+        &mut self.writes
+    }
+
+    /// Reconstructs the owned [`WarpOp`] this buffer holds (allocates; for
+    /// tests and reference adapters, never the hot path).
+    pub fn to_warp_op(&self) -> WarpOp {
+        match self.kind {
+            OpKind::Compute(n) => WarpOp::Compute(n),
+            OpKind::Load => WarpOp::Load(self.addrs.clone()),
+            OpKind::Store => WarpOp::Store(self.writes.clone()),
+            OpKind::Finished => WarpOp::Finished,
+        }
+    }
+}
+
 /// The per-warp state machine of a kernel.
 pub trait WarpProgram {
-    /// Produces the warp's next operation.
+    /// Produces the warp's next operation by filling `out` in place.
     ///
-    /// `loaded` holds the values of the most recent [`WarpOp::Load`] in lane
-    /// order (empty on the first call and after non-load operations).
-    fn next(&mut self, loaded: &[f32]) -> WarpOp;
+    /// `loaded` holds the values of the most recent load in lane order
+    /// (empty on the first call and after non-load operations). The
+    /// implementation must set `out` exactly once per call (via
+    /// [`OpBuf::set_compute`], [`OpBuf::begin_load`], [`OpBuf::begin_store`]
+    /// or [`OpBuf::set_finished`]); any previous contents of the buffer are
+    /// unspecified garbage and must not be read.
+    fn next(&mut self, loaded: &[f32], out: &mut OpBuf);
 }
 
 /// A GPU kernel launch.
@@ -107,23 +224,26 @@ pub fn lane_item(warp_id: usize, lane: usize, lanes: usize) -> usize {
 pub fn run_functional(kernel: &mut dyn Kernel) -> (Vec<f32>, MemoryImage) {
     let mut image = MemoryImage::new();
     kernel.setup(&mut image);
+    let mut buf = OpBuf::new();
+    let mut loaded: Vec<f32> = Vec::new();
     for w in 0..kernel.total_warps() {
         let mut prog = kernel.program(w);
-        let mut loaded: Vec<f32> = Vec::new();
+        loaded.clear();
         let mut ops = 0u64;
         loop {
             ops += 1;
             assert!(ops < 100_000_000, "runaway warp program in {}", kernel.name());
-            match prog.next(&loaded) {
-                WarpOp::Compute(_) => loaded.clear(),
-                WarpOp::Load(addrs) => {
-                    image.read_lanes_into(&addrs, &mut loaded);
+            prog.next(&loaded, &mut buf);
+            match buf.kind() {
+                OpKind::Compute(_) => loaded.clear(),
+                OpKind::Load => {
+                    image.read_lanes_into(buf.addrs(), &mut loaded);
                 }
-                WarpOp::Store(writes) => {
-                    image.write_lanes(&writes);
+                OpKind::Store => {
+                    image.write_lanes(buf.writes());
                     loaded.clear();
                 }
-                WarpOp::Finished => break,
+                OpKind::Finished => break,
             }
         }
     }

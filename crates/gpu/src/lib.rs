@@ -41,7 +41,9 @@ mod sm;
 mod trace;
 
 pub use cache::{AccessResult, Cache};
-pub use kernel::{application_error, lane_item, run_functional, Kernel, WarpOp, WarpProgram};
+pub use kernel::{
+    application_error, lane_item, run_functional, Kernel, OpBuf, OpKind, WarpOp, WarpProgram,
+};
 pub use memimg::{MemoryImage, LINE_BYTES, WORDS_PER_LINE};
 pub use noc::{DelayQueue, NocFull};
 pub use sim::{parse_no_skip, run_kernel, RunResult, SimLimits, Simulator};

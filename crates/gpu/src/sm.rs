@@ -8,9 +8,14 @@
 //! load has arrived; values are assembled from the functional memory image —
 //! or from value-predictor output for lines whose DRAM request was dropped
 //! by AMS.
+//!
+//! The issue path is allocation-free in steady state: programs emit into the
+//! SM's reusable [`OpBuf`], and all per-load / per-store bookkeeping lives in
+//! slot-persistent buffers whose capacity survives across ops *and* across
+//! the warps that occupy the slot.
 
 use crate::cache::{AccessResult, Cache};
-use crate::kernel::{Kernel, WarpOp, WarpProgram};
+use crate::kernel::{Kernel, OpBuf, OpKind, WarpProgram};
 use crate::memimg::MemoryImage;
 use crate::noc::DelayQueue;
 use lazydram_common::FastMap;
@@ -39,6 +44,9 @@ pub(crate) struct Reply {
     pub values: Option<[f32; 32]>,
 }
 
+/// Blocked-load bookkeeping. Lives permanently in the slot (meaningful only
+/// while the warp is `Waiting`) so its buffers are refilled in place instead
+/// of reallocated per load.
 #[derive(Debug)]
 struct LoadWait {
     lane_addrs: Vec<u64>,
@@ -53,22 +61,34 @@ struct LoadWait {
     approx: Vec<(u64, [f32; 32])>,
 }
 
+impl LoadWait {
+    const fn new() -> Self {
+        Self {
+            lane_addrs: Vec::new(),
+            pending: Vec::new(),
+            unsent: Vec::new(),
+            approx: Vec::new(),
+        }
+    }
+}
+
 enum WarpState {
     /// Can issue its next operation.
     Ready,
     /// Burning through a `Compute(n)` op.
     Computing { left: u32 },
-    /// Blocked on an outstanding load.
-    Waiting(LoadWait),
+    /// Blocked on an outstanding load (details in the slot's `wait`).
+    Waiting,
     /// Retired.
     Done,
 }
 
-/// A store that could not issue due to NoC backpressure, with its line
-/// coalescing and per-slice request counts computed once at first attempt —
-/// a retry only re-checks free space (O(#channels)) instead of re-deriving
-/// the whole plan from the lane writes every cycle.
-struct StalledStore {
+/// A store's line coalescing and per-slice request counts, computed once at
+/// first attempt. On NoC backpressure the plan parks in the slot
+/// (`store_parked`) and a retry only re-checks free space (O(#channels))
+/// instead of re-deriving the whole plan from the lane writes every cycle.
+/// Lives permanently in the slot so its buffers are reused across stores.
+struct StorePlan {
     writes: Vec<(u64, f32)>,
     /// Distinct line addresses, in first-touch order.
     lines: Vec<u64>,
@@ -76,13 +96,41 @@ struct StalledStore {
     per_slice: Vec<(usize, usize)>,
 }
 
+impl StorePlan {
+    const fn new() -> Self {
+        Self { writes: Vec::new(), lines: Vec::new(), per_slice: Vec::new() }
+    }
+}
+
+/// One warp slot. `program.is_none()` ⇔ the slot is empty; the scratch
+/// buffers (`wait`, `store`, `last_loaded`) persist for the SM's lifetime,
+/// so successive warps occupying the slot inherit warmed capacity.
 struct WarpSlot {
-    program: Box<dyn WarpProgram>,
+    program: Option<Box<dyn WarpProgram>>,
     state: WarpState,
-    /// Store that could not issue due to a structural hazard.
-    stalled_op: Option<StalledStore>,
+    /// Blocked-load bookkeeping; valid only while `state` is `Waiting`.
+    wait: LoadWait,
+    /// The current store's coalescing plan; valid while a store is being
+    /// issued or is parked on backpressure.
+    store: StorePlan,
+    /// `true` while `store` holds a plan that hit a structural hazard and
+    /// must be retried before the warp can advance.
+    store_parked: bool,
     /// Values delivered by the last load, consumed by the next `next()` call.
     last_loaded: Vec<f32>,
+}
+
+impl WarpSlot {
+    fn empty() -> Self {
+        Self {
+            program: None,
+            state: WarpState::Done,
+            wait: LoadWait::new(),
+            store: StorePlan::new(),
+            store_parked: false,
+            last_loaded: Vec::new(),
+        }
+    }
 }
 
 /// Mutable context an SM needs while ticking.
@@ -124,7 +172,7 @@ pub(crate) struct Sm {
     id: usize,
     issue_width: usize,
     l1: Cache,
-    slots: Vec<Option<WarpSlot>>,
+    slots: Vec<WarpSlot>,
     rr: usize,
     mshr: FastMap<u64, Vec<usize>>,
     mshr_capacity: usize,
@@ -135,8 +183,8 @@ pub(crate) struct Sm {
     issueable: u128,
     /// Bit `i` set ⇔ slot `i` is Waiting with a non-empty `unsent` list.
     unsent: u128,
-    /// Bit `i` set ⇔ slot `i` holds a parked [`StalledStore`] — issueable,
-    /// but only effectful once the request NoC has room for its plan.
+    /// Bit `i` set ⇔ slot `i` holds a parked store plan — issueable, but
+    /// only effectful once the request NoC has room for it.
     stalled: u128,
     /// Warp instructions retired.
     pub instructions: u64,
@@ -147,6 +195,11 @@ pub(crate) struct Sm {
     scratch_arrived: Vec<u64>,
     /// Reusable buffer for coalescing lane addresses to distinct lines.
     scratch_lines: Vec<u64>,
+    /// The SM's reusable warp-op emission buffer ([`WarpProgram::next`] sink).
+    opbuf: OpBuf,
+    /// Retired MSHR waiter lists, recycled so a new miss entry does not
+    /// allocate.
+    waiter_pool: Vec<Vec<usize>>,
 }
 
 impl Sm {
@@ -160,7 +213,7 @@ impl Sm {
             id,
             issue_width: cfg.issue_width,
             l1: Cache::new(cfg.l1_bytes, cfg.l1_ways, cfg.line_bytes),
-            slots: (0..cfg.warps_per_sm).map(|_| None).collect(),
+            slots: (0..cfg.warps_per_sm).map(|_| WarpSlot::empty()).collect(),
             rr: 0,
             mshr: FastMap::default(),
             mshr_capacity: cfg.l1_mshrs,
@@ -173,6 +226,8 @@ impl Sm {
             live_warps: 0,
             scratch_arrived: Vec::new(),
             scratch_lines: Vec::new(),
+            opbuf: OpBuf::new(),
+            waiter_pool: Vec::new(),
         }
     }
 
@@ -181,14 +236,16 @@ impl Sm {
     /// issueability or its unsent-miss backlog.
     fn refresh_masks(&mut self, idx: usize) {
         let bit = 1u128 << idx;
-        let (issueable, unsent, stalled) = match self.slots[idx].as_ref() {
-            None => (false, false, false),
-            Some(slot) => (
-                slot.stalled_op.is_some()
+        let slot = &self.slots[idx];
+        let (issueable, unsent, stalled) = if slot.program.is_none() {
+            (false, false, false)
+        } else {
+            (
+                slot.store_parked
                     || matches!(slot.state, WarpState::Ready | WarpState::Computing { .. }),
-                matches!(&slot.state, WarpState::Waiting(w) if !w.unsent.is_empty()),
-                slot.stalled_op.is_some(),
-            ),
+                matches!(slot.state, WarpState::Waiting) && !slot.wait.unsent.is_empty(),
+                slot.store_parked,
+            )
         };
         self.issueable = if issueable { self.issueable | bit } else { self.issueable & !bit };
         self.unsent = if unsent { self.unsent | bit } else { self.unsent & !bit };
@@ -228,15 +285,13 @@ impl Sm {
     pub fn stalled_store_ready(&self, req_noc: &[DelayQueue<SliceReq>]) -> bool {
         let mut ready = false;
         for_each_bit_rotated(self.stalled, 0, |idx| {
-            let fits = self.slots[idx]
-                .as_ref()
-                .and_then(|slot| slot.stalled_op.as_ref())
-                .is_some_and(|store| {
-                    store
-                        .per_slice
-                        .iter()
-                        .all(|&(slice, count)| req_noc[slice].free() >= count)
-                });
+            let slot = &self.slots[idx];
+            let fits = slot.store_parked
+                && slot
+                    .store
+                    .per_slice
+                    .iter()
+                    .all(|&(slice, count)| req_noc[slice].free() >= count);
             if fits {
                 ready = true;
             }
@@ -260,14 +315,13 @@ impl Sm {
         let idx = self
             .slots
             .iter()
-            .position(|s| s.is_none())
+            .position(|s| s.program.is_none())
             .expect("dispatch requires a free slot");
-        self.slots[idx] = Some(WarpSlot {
-            program,
-            state: WarpState::Ready,
-            stalled_op: None,
-            last_loaded: Vec::new(),
-        });
+        let slot = &mut self.slots[idx];
+        slot.program = Some(program);
+        slot.state = WarpState::Ready;
+        slot.store_parked = false;
+        slot.last_loaded.clear();
         self.live_warps += 1;
         self.refresh_masks(idx);
     }
@@ -278,35 +332,36 @@ impl Sm {
             // Exact data: cache it in L1 (clean).
             self.l1.fill(reply.line, false);
         }
-        let Some(waiters) = self.mshr.remove(&reply.line) else {
+        let Some(mut waiters) = self.mshr.remove(&reply.line) else {
             return;
         };
-        for idx in waiters {
-            let Some(slot) = self.slots[idx].as_mut() else {
+        for &idx in &waiters {
+            let slot = &mut self.slots[idx];
+            if slot.program.is_none() || !matches!(slot.state, WarpState::Waiting) {
                 continue;
-            };
-            let WarpState::Waiting(wait) = &mut slot.state else {
-                continue;
-            };
-            let Some(p) = wait.pending.iter().position(|&l| l == reply.line) else {
-                continue;
-            };
-            wait.pending.swap_remove(p);
-            if let Some(vals) = reply.values {
-                wait.approx.push((reply.line, vals));
             }
-            if wait.pending.is_empty() {
+            let Some(p) = slot.wait.pending.iter().position(|&l| l == reply.line) else {
+                continue;
+            };
+            slot.wait.pending.swap_remove(p);
+            if let Some(vals) = reply.values {
+                slot.wait.approx.push((reply.line, vals));
+            }
+            if slot.wait.pending.is_empty() {
                 Self::complete_load(slot, image, &mut self.approximated_loads);
                 self.refresh_masks(idx);
             }
         }
+        waiters.clear();
+        self.waiter_pool.push(waiters);
     }
 
     fn complete_load(slot: &mut WarpSlot, image: &MemoryImage, approx_ctr: &mut u64) {
-        let WarpSlot { state, last_loaded, .. } = slot;
-        let WarpState::Waiting(wait) = state else {
-            unreachable!("complete_load on non-waiting warp");
-        };
+        debug_assert!(
+            matches!(slot.state, WarpState::Waiting),
+            "complete_load on non-waiting warp"
+        );
+        let WarpSlot { state, last_loaded, wait, .. } = slot;
         if wait.approx.is_empty() {
             // Exact load: one line resolution per coalesced line, refilling
             // the slot's buffer in place.
@@ -379,15 +434,16 @@ impl Sm {
     fn try_issue(&mut self, idx: usize, ctx: &mut SmCtx<'_>) -> bool {
         enum Plan {
             Compute,
-            Retry(StalledStore),
-            Op(WarpOp),
+            Retry,
+            Op,
         }
         let plan = {
-            let Some(slot) = self.slots[idx].as_mut() else {
+            let slot = &mut self.slots[idx];
+            if slot.program.is_none() {
                 return false;
-            };
+            }
             match &mut slot.state {
-                WarpState::Done | WarpState::Waiting(_) => return false,
+                WarpState::Done | WarpState::Waiting => return false,
                 WarpState::Computing { left } => {
                     *left -= 1;
                     let finished = *left == 0;
@@ -396,16 +452,13 @@ impl Sm {
                     }
                     Plan::Compute
                 }
-                WarpState::Ready => match slot.stalled_op.take() {
-                    Some(store) => Plan::Retry(store),
-                    None => {
-                        // Disjoint-field borrow keeps the slot's buffer (and
-                        // its capacity) alive for the next load to refill.
-                        let op = slot.program.next(&slot.last_loaded);
-                        slot.last_loaded.clear();
-                        Plan::Op(op)
+                WarpState::Ready => {
+                    if slot.store_parked {
+                        Plan::Retry
+                    } else {
+                        Plan::Op
                     }
-                },
+                }
             }
         };
         match plan {
@@ -413,53 +466,62 @@ impl Sm {
                 self.instructions += 1;
                 true
             }
-            Plan::Retry(store) => self.commit_store(idx, store, ctx),
-            Plan::Op(op) => self.execute_op(idx, op, ctx),
+            Plan::Retry => self.commit_store(idx, ctx),
+            Plan::Op => {
+                // Move the SM's op buffer out to sidestep aliasing with the
+                // slot — a `mem::take` of Vec-backed buffers allocates
+                // nothing and keeps their capacity.
+                let mut buf = std::mem::take(&mut self.opbuf);
+                {
+                    let slot = &mut self.slots[idx];
+                    let program = slot.program.as_mut().expect("occupied slot");
+                    program.next(&slot.last_loaded, &mut buf);
+                    slot.last_loaded.clear();
+                }
+                let ok = self.execute_op(idx, &buf, ctx);
+                self.opbuf = buf;
+                ok
+            }
         }
     }
 
-    fn execute_op(&mut self, idx: usize, op: WarpOp, ctx: &mut SmCtx<'_>) -> bool {
-        match op {
-            WarpOp::Compute(0) => {
+    fn execute_op(&mut self, idx: usize, op: &OpBuf, ctx: &mut SmCtx<'_>) -> bool {
+        match op.kind() {
+            OpKind::Compute(0) => {
                 // Degenerate no-op: retire it without consuming a slot so a
                 // buggy kernel cannot stall forever; issue the next op.
-                let slot = self.slots[idx].as_mut().expect("slot exists");
-                slot.state = WarpState::Ready;
+                self.slots[idx].state = WarpState::Ready;
                 self.instructions += 1;
                 true
             }
-            WarpOp::Compute(n) => {
-                let slot = self.slots[idx].as_mut().expect("slot exists");
-                slot.state = WarpState::Computing { left: n };
+            OpKind::Compute(n) => {
                 // The first of the n instructions issues this cycle.
-                let WarpState::Computing { left } = &mut slot.state else {
-                    unreachable!()
+                self.slots[idx].state = if n == 1 {
+                    WarpState::Ready
+                } else {
+                    WarpState::Computing { left: n - 1 }
                 };
-                *left -= 1;
-                if *left == 0 {
-                    slot.state = WarpState::Ready;
-                }
                 self.instructions += 1;
                 true
             }
-            WarpOp::Load(addrs) => self.issue_load(idx, addrs, ctx),
-            WarpOp::Store(writes) => self.issue_store(idx, writes, ctx),
-            WarpOp::Finished => {
-                let slot = self.slots[idx].as_mut().expect("slot exists");
+            OpKind::Load => self.issue_load(idx, op.addrs(), ctx),
+            OpKind::Store => self.issue_store(idx, op.writes(), ctx),
+            OpKind::Finished => {
+                let slot = &mut self.slots[idx];
                 slot.state = WarpState::Done;
-                self.slots[idx] = None;
+                slot.program = None;
                 self.live_warps -= 1;
                 true
             }
         }
     }
 
-    fn issue_load(&mut self, idx: usize, addrs: Vec<u64>, ctx: &mut SmCtx<'_>) -> bool {
+    fn issue_load(&mut self, idx: usize, addrs: &[u64], ctx: &mut SmCtx<'_>) -> bool {
         debug_assert!(!addrs.is_empty(), "empty load");
         // Coalesce to distinct lines, preserving first-touch order.
         let mut lines = std::mem::take(&mut self.scratch_lines);
         lines.clear();
-        for &a in &addrs {
+        for &a in addrs {
             let l = a & !127;
             if !lines.contains(&l) {
                 lines.push(l);
@@ -467,18 +529,23 @@ impl Sm {
         }
         // Classify: L1 hits complete immediately; everything else is
         // pending. A load always issues — lines that cannot get an MSHR or
-        // a NoC slot right now sit in `unsent` and trickle out.
-        let mut pending: Vec<u64> = Vec::new();
-        let mut unsent: Vec<u64> = Vec::new();
+        // a NoC slot right now sit in `unsent` and trickle out. The pending
+        // and unsent lists refill the slot's persistent buffers.
+        {
+            let wait = &mut self.slots[idx].wait;
+            wait.pending.clear();
+            wait.unsent.clear();
+            wait.approx.clear();
+        }
         for &l in &lines {
             match self.l1.access(l, false) {
                 AccessResult::Hit => {}
                 AccessResult::Miss => {
-                    pending.push(l);
+                    self.slots[idx].wait.pending.push(l);
                     if let Some(waiters) = self.mshr.get_mut(&l) {
                         waiters.push(idx); // merge with in-flight miss
                     } else {
-                        unsent.push(l);
+                        self.slots[idx].wait.unsent.push(l);
                     }
                 }
             }
@@ -488,19 +555,16 @@ impl Sm {
         // batches model several back-to-back load instructions kept in
         // flight by the scoreboard (intra-warp MLP).
         self.instructions += addrs.len().div_ceil(32) as u64;
-        let slot = self.slots[idx].as_mut().expect("slot exists");
-        if pending.is_empty() {
+        let WarpSlot { state, wait, last_loaded, .. } = &mut self.slots[idx];
+        if wait.pending.is_empty() {
             // Pure L1 hit: values available for the next issue of this warp,
             // assembled line-at-a-time into the slot's reusable buffer.
-            ctx.image.read_lanes_into(&addrs, &mut slot.last_loaded);
-            slot.state = WarpState::Ready;
+            ctx.image.read_lanes_into(addrs, last_loaded);
+            *state = WarpState::Ready;
         } else {
-            slot.state = WarpState::Waiting(LoadWait {
-                lane_addrs: addrs,
-                pending,
-                unsent,
-                approx: Vec::new(),
-            });
+            wait.lane_addrs.clear();
+            wait.lane_addrs.extend_from_slice(addrs);
+            *state = WarpState::Waiting;
             self.drain_unsent_for(idx, ctx);
         }
         true
@@ -510,11 +574,14 @@ impl Sm {
     /// NoC space allow. Lines that became present in L1 meanwhile complete
     /// immediately.
     fn drain_unsent_for(&mut self, idx: usize, ctx: &mut SmCtx<'_>) {
-        // Take the unsent list out to sidestep aliasing with self.mshr/l1.
+        // Take the unsent list out to sidestep aliasing with self.mshr/l1;
+        // it returns to the slot below, so its capacity is never dropped.
         let mut unsent = {
-            let Some(slot) = self.slots[idx].as_mut() else { return };
-            let WarpState::Waiting(wait) = &mut slot.state else { return };
-            std::mem::take(&mut wait.unsent)
+            let slot = &mut self.slots[idx];
+            if !matches!(slot.state, WarpState::Waiting) {
+                return;
+            }
+            std::mem::take(&mut slot.wait.unsent)
         };
         // Lines that stay unsent are compacted in place; arrived lines go
         // to the SM-lifetime scratch buffer — no allocation on this path.
@@ -541,7 +608,9 @@ impl Sm {
                         },
                     )
                     .expect("fullness checked");
-                self.mshr.insert(l, vec![idx]);
+                let mut waiters = self.waiter_pool.pop().unwrap_or_default();
+                waiters.push(idx);
+                self.mshr.insert(l, waiters);
             } else {
                 unsent[still_len] = l;
                 still_len += 1;
@@ -549,8 +618,8 @@ impl Sm {
         }
         unsent.truncate(still_len);
         let image = &*ctx.image;
-        let Some(slot) = self.slots[idx].as_mut() else { return };
-        let WarpState::Waiting(wait) = &mut slot.state else { return };
+        let slot = &mut self.slots[idx];
+        let wait = &mut slot.wait;
         wait.unsent = unsent;
         for &l in &self.scratch_arrived {
             if let Some(p) = wait.pending.iter().position(|&x| x == l) {
@@ -562,47 +631,55 @@ impl Sm {
         }
     }
 
-    fn issue_store(&mut self, idx: usize, writes: Vec<(u64, f32)>, ctx: &mut SmCtx<'_>) -> bool {
+    fn issue_store(&mut self, idx: usize, writes: &[(u64, f32)], ctx: &mut SmCtx<'_>) -> bool {
         debug_assert!(!writes.is_empty(), "empty store");
-        let mut lines: Vec<u64> = Vec::new();
-        for &(a, _) in &writes {
+        // Build the coalescing plan into the slot's persistent buffers.
+        let store = &mut self.slots[idx].store;
+        store.writes.clear();
+        store.writes.extend_from_slice(writes);
+        store.lines.clear();
+        for &(a, _) in writes {
             let l = a & !127;
-            if !lines.contains(&l) {
-                lines.push(l);
+            if !store.lines.contains(&l) {
+                store.lines.push(l);
             }
         }
-        let mut per_slice: Vec<(usize, usize)> = Vec::new();
-        for &l in &lines {
+        store.per_slice.clear();
+        for &l in &store.lines {
             let ch = ctx.map.channel_of(l);
-            match per_slice.iter_mut().find(|&&mut (s, _)| s == ch) {
+            match store.per_slice.iter_mut().find(|&&mut (s, _)| s == ch) {
                 Some(&mut (_, ref mut count)) => *count += 1,
-                None => per_slice.push((ch, 1)),
+                None => store.per_slice.push((ch, 1)),
             }
         }
-        self.commit_store(idx, StalledStore { writes, lines, per_slice }, ctx)
+        self.commit_store(idx, ctx)
     }
 
-    /// Issues a (possibly previously stalled) store whose coalescing plan is
-    /// already built. On backpressure the plan parks in the slot for a cheap
-    /// retry next cycle.
-    fn commit_store(&mut self, idx: usize, store: StalledStore, ctx: &mut SmCtx<'_>) -> bool {
+    /// Issues the store whose coalescing plan sits in slot `idx`'s `store`
+    /// buffers. On backpressure the plan parks in place for a cheap retry
+    /// next cycle.
+    fn commit_store(&mut self, idx: usize, ctx: &mut SmCtx<'_>) -> bool {
+        let sm_id = self.id;
+        let slot = &mut self.slots[idx];
         // Structural check before any side effect.
-        if store
+        if slot
+            .store
             .per_slice
             .iter()
             .any(|&(slice, count)| ctx.req_noc[slice].free() < count)
         {
-            let slot = self.slots[idx].as_mut().expect("slot exists");
-            slot.stalled_op = Some(store);
+            slot.store_parked = true;
             return false;
         }
+        slot.store_parked = false;
+        let store = &slot.store;
         ctx.image.write_lanes(&store.writes);
         for &l in &store.lines {
             ctx.req_noc[ctx.map.channel_of(l)]
                 .push(
                     ctx.now,
                     SliceReq {
-                        sm: self.id,
+                        sm: sm_id,
                         line: l,
                         write: true,
                         approximable: false,
@@ -657,18 +734,17 @@ mod tests {
     }
 
     impl WarpProgram for MiniProgram {
-        fn next(&mut self, loaded: &[f32]) -> WarpOp {
+        fn next(&mut self, loaded: &[f32], out: &mut OpBuf) {
             self.step += 1;
             match self.step {
-                1 => WarpOp::Load((0..32u64).map(|i| self.base + i * 4).collect()),
-                2 => WarpOp::Store(
+                1 => out.begin_load().extend((0..32u64).map(|i| self.base + i * 4)),
+                2 => out.begin_store().extend(
                     loaded
                         .iter()
                         .enumerate()
-                        .map(|(i, &v)| (self.base + 128 + i as u64 * 4, v * 2.0))
-                        .collect(),
+                        .map(|(i, &v)| (self.base + 128 + i as u64 * 4, v * 2.0)),
                 ),
-                _ => WarpOp::Finished,
+                _ => out.set_finished(),
             }
         }
     }

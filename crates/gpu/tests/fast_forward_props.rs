@@ -8,7 +8,7 @@
 //! tight cycle limits, pathological DMS delays.
 
 use lazydram_common::{AmsMode, DmsMode, GpuConfig, SchedConfig};
-use lazydram_gpu::{Kernel, MemoryImage, SimLimits, Simulator, WarpOp, WarpProgram};
+use lazydram_gpu::{Kernel, MemoryImage, OpBuf, SimLimits, Simulator, WarpProgram};
 use proptest::prelude::*;
 
 /// One warp of the synthetic kernel: `rounds` iterations of
@@ -33,29 +33,32 @@ impl SynthProgram {
 }
 
 impl WarpProgram for SynthProgram {
-    fn next(&mut self, loaded: &[f32]) -> WarpOp {
+    fn next(&mut self, loaded: &[f32], out: &mut OpBuf) {
         self.acc += loaded.iter().sum::<f32>();
         if self.round >= self.rounds {
-            return WarpOp::Finished;
+            out.set_finished();
+            return;
         }
         match self.phase {
             0 => {
                 self.phase = 1;
                 if self.compute == 0 {
-                    return self.next(&[]);
+                    self.next(&[], out);
+                    return;
                 }
-                WarpOp::Compute(self.compute)
+                out.set_compute(self.compute);
             }
             1 => {
                 self.phase = 2;
-                WarpOp::Load((0..8).map(|lane| self.lane_addr(lane)).collect())
+                out.begin_load()
+                    .extend((0..8).map(|lane| self.lane_addr(lane)));
             }
             _ => {
                 self.phase = 0;
                 let round = u64::from(self.round);
                 self.round += 1;
                 let addr = self.base + ((self.warp_id * 17 + round) % self.words) * 4;
-                WarpOp::Store(vec![(addr, self.acc + round as f32)])
+                out.begin_store().push((addr, self.acc + round as f32));
             }
         }
     }

@@ -17,7 +17,7 @@
 //! * [`ScanProgram`] — sequential block scan (SLA),
 //! * [`ScpProgram`] — per-thread dot products over long vectors (SCP).
 
-use lazydram_gpu::{WarpOp, WarpProgram};
+use lazydram_gpu::{OpBuf, WarpProgram};
 
 /// Threads per warp; fixed across the suite.
 pub const LANES: usize = 32;
@@ -75,6 +75,11 @@ pub struct MapProgram {
     in_vals: Vec<Vec<f32>>,
     /// Computed output words, `[batch slot][word]`.
     out_vals: Vec<Vec<f32>>,
+    /// Active `(slot, lane, item)` triples of the current batch, rebuilt in
+    /// place only when the batch advances.
+    active: Vec<(usize, usize, usize)>,
+    /// `iter` value `active` was computed for (`usize::MAX` = never).
+    active_iter: usize,
 }
 
 impl MapProgram {
@@ -90,6 +95,8 @@ impl MapProgram {
             awaiting: false,
             in_vals: vec![Vec::new(); slots],
             out_vals: vec![Vec::new(); slots],
+            active: Vec::new(),
+            active_iter: usize::MAX,
         }
     }
 
@@ -99,52 +106,59 @@ impl MapProgram {
         self.iter..(self.iter + b).min(self.cfg.iters_per_warp)
     }
 
-    /// Active `(slot, lane, item)` triples of the current batch, where
-    /// `slot` numbers the batch-local position.
-    fn active_items(&self) -> Vec<(usize, usize, usize)> {
-        let mut v = Vec::new();
+    /// Rebuilds `active` — the `(slot, lane, item)` triples of the current
+    /// batch, where `slot` numbers the batch-local position — unless it is
+    /// already valid for the current `iter`.
+    fn refresh_active(&mut self) {
+        if self.active_iter == self.iter {
+            return;
+        }
+        self.active_iter = self.iter;
+        self.active.clear();
         for (bi, it) in self.batch().enumerate() {
             let base = self.first_item + it * LANES;
             for lane in 0..LANES {
                 let item = base + lane;
                 if item < self.cfg.items {
-                    v.push((bi * LANES + lane, lane, item));
+                    self.active.push((bi * LANES + lane, lane, item));
                 }
             }
         }
-        v
     }
 }
 
 impl WarpProgram for MapProgram {
-    fn next(&mut self, loaded: &[f32]) -> WarpOp {
+    fn next(&mut self, loaded: &[f32], out: &mut OpBuf) {
         if self.awaiting {
             self.awaiting = false;
             // Values arrive in (input, word, slot) order.
-            let active = self.active_items();
+            self.refresh_active();
+            let Self { cfg, active, in_vals, .. } = self;
             let mut it = loaded.iter();
-            for (_, words) in &self.cfg.inputs {
+            for (_, words) in &cfg.inputs {
                 for _w in 0..*words {
-                    for &(slot, _, _) in &active {
-                        self.in_vals[slot].push(*it.next().expect("value per address"));
+                    for &(slot, _, _) in active.iter() {
+                        in_vals[slot].push(*it.next().expect("value per address"));
                     }
                 }
             }
         }
         loop {
             if self.iter >= self.cfg.iters_per_warp {
-                return WarpOp::Finished;
+                out.set_finished();
+                return;
             }
-            let active = self.active_items();
-            if active.is_empty() {
-                return WarpOp::Finished;
+            self.refresh_active();
+            if self.active.is_empty() {
+                out.set_finished();
+                return;
             }
             match self.phase {
                 MapPhase::Load => {
-                    let mut addrs = Vec::new();
+                    let addrs = out.begin_load();
                     for &(base, words) in &self.cfg.inputs {
                         for w in 0..words {
-                            for &(_, _, item) in &active {
+                            for &(_, _, item) in &self.active {
                                 let idx = (self.cfg.index)(item, self.cfg.items);
                                 addrs.push(f32_addr(base, idx * words + w));
                             }
@@ -152,19 +166,20 @@ impl WarpProgram for MapProgram {
                     }
                     self.phase = MapPhase::Compute;
                     self.awaiting = true;
-                    return WarpOp::Load(addrs);
+                    return;
                 }
                 MapPhase::Compute => {
                     let iters = self.batch().len() as u32;
-                    for &(slot, _, _) in &active {
-                        let mut out = Vec::new();
-                        (self.cfg.func)(&self.in_vals[slot], &mut out);
-                        self.out_vals[slot] = out;
-                        self.in_vals[slot].clear();
+                    let Self { cfg, active, in_vals, out_vals, .. } = self;
+                    for &(slot, _, _) in active.iter() {
+                        out_vals[slot].clear();
+                        (cfg.func)(&in_vals[slot], &mut out_vals[slot]);
+                        in_vals[slot].clear();
                     }
                     self.phase = MapPhase::Store { output: 0, word: 0 };
                     if self.cfg.compute > 0 {
-                        return WarpOp::Compute(self.cfg.compute * iters);
+                        out.set_compute(self.cfg.compute * iters);
+                        return;
                     }
                     continue;
                 }
@@ -179,21 +194,19 @@ impl WarpProgram for MapProgram {
                     }
                     let (base, words) = self.cfg.outputs[output];
                     let word_off: usize = self.cfg.outputs[..output].iter().map(|o| o.1).sum();
-                    let writes: Vec<(u64, f32)> = active
-                        .iter()
-                        .map(|&(slot, _, item)| {
-                            (
-                                f32_addr(base, item * words + word),
-                                self.out_vals[slot][word_off + word],
-                            )
-                        })
-                        .collect();
+                    let writes = out.begin_store();
+                    for &(slot, _, item) in &self.active {
+                        writes.push((
+                            f32_addr(base, item * words + word),
+                            self.out_vals[slot][word_off + word],
+                        ));
+                    }
                     self.phase = if word + 1 < words {
                         MapPhase::Store { output, word: word + 1 }
                     } else {
                         MapPhase::Store { output: output + 1, word: 0 }
                     };
-                    return WarpOp::Store(writes);
+                    return;
                 }
             }
         }
@@ -286,10 +299,11 @@ impl MatVecProgram {
 }
 
 impl WarpProgram for MatVecProgram {
-    fn next(&mut self, loaded: &[f32]) -> WarpOp {
+    fn next(&mut self, loaded: &[f32], out: &mut OpBuf) {
         let active = self.active();
         if active == 0 {
-            return WarpOp::Finished;
+            out.set_finished();
+            return;
         }
         match self.state {
             MatVecState::Inner => {
@@ -308,7 +322,8 @@ impl WarpProgram for MatVecProgram {
                 if self.pending_compute > 0 {
                     let c = self.pending_compute;
                     self.pending_compute = 0;
-                    return WarpOp::Compute(c);
+                    out.set_compute(c);
+                    return;
                 }
                 if self.j >= self.cfg.n {
                     self.state = if self.cfg.accumulate {
@@ -316,13 +331,14 @@ impl WarpProgram for MatVecProgram {
                     } else {
                         MatVecState::Store
                     };
-                    return WarpOp::Compute(1);
+                    out.set_compute(1);
+                    return;
                 }
                 let j0 = self.j;
                 let b = MV_BATCH.min(self.cfg.n - j0);
                 self.j += b;
                 let n = self.cfg.n;
-                let mut addrs = Vec::with_capacity(b * (active + 1));
+                let addrs = out.begin_load();
                 for jj in 0..b {
                     addrs.push(f32_addr(self.cfg.x, j0 + jj));
                 }
@@ -336,25 +352,22 @@ impl WarpProgram for MatVecProgram {
                         addrs.push(f32_addr(self.cfg.a, idx));
                     }
                 }
-                WarpOp::Load(addrs)
             }
             MatVecState::LoadOld => {
                 self.state = MatVecState::Store;
-                let addrs: Vec<u64> = (0..active)
-                    .map(|lane| f32_addr(self.cfg.y, self.first + lane))
-                    .collect();
-                WarpOp::Load(addrs)
+                let addrs = out.begin_load();
+                for lane in 0..active {
+                    addrs.push(f32_addr(self.cfg.y, self.first + lane));
+                }
             }
             MatVecState::Store => {
-                let writes: Vec<(u64, f32)> = (0..active)
-                    .map(|lane| {
-                        let old = if self.cfg.accumulate { loaded[lane] } else { 0.0 };
-                        (f32_addr(self.cfg.y, self.first + lane), old + self.acc[lane])
-                    })
-                    .collect();
+                let writes = out.begin_store();
+                for (lane, &acc) in self.acc.iter().enumerate().take(active) {
+                    let old = if self.cfg.accumulate { loaded[lane] } else { 0.0 };
+                    writes.push((f32_addr(self.cfg.y, self.first + lane), old + acc));
+                }
                 self.first = usize::MAX; // retire after this store
                 self.j = 0;
-                WarpOp::Store(writes)
             }
         }
     }
@@ -414,9 +427,10 @@ impl MatmulProgram {
 }
 
 impl WarpProgram for MatmulProgram {
-    fn next(&mut self, loaded: &[f32]) -> WarpOp {
+    fn next(&mut self, loaded: &[f32], out: &mut OpBuf) {
         if self.done {
-            return WarpOp::Finished;
+            out.set_finished();
+            return;
         }
         if !loaded.is_empty() {
             // loaded = [A[i, k..k+b], B (k-major, lane-minor)].
@@ -433,26 +447,26 @@ impl WarpProgram for MatmulProgram {
         if self.pending_compute > 0 {
             let c = self.pending_compute;
             self.pending_compute = 0;
-            return WarpOp::Compute(c);
+            out.set_compute(c);
+            return;
         }
         let n = self.cfg.n;
         if self.k >= n {
             self.done = true;
             let alpha = self.cfg.alpha;
-            let writes: Vec<(u64, f32)> = (0..LANES)
-                .map(|lane| {
-                    (
-                        f32_addr(self.cfg.c, self.row * n + self.col0 + lane),
-                        alpha * self.acc[lane],
-                    )
-                })
-                .collect();
-            return WarpOp::Store(writes);
+            let writes = out.begin_store();
+            for lane in 0..LANES {
+                writes.push((
+                    f32_addr(self.cfg.c, self.row * n + self.col0 + lane),
+                    alpha * self.acc[lane],
+                ));
+            }
+            return;
         }
         let k0 = self.k;
         let b = MM_BATCH.min(n - k0);
         self.k += b;
-        let mut addrs = Vec::with_capacity(b * (LANES + 1));
+        let addrs = out.begin_load();
         for kk in 0..b {
             addrs.push(f32_addr(self.cfg.a, self.row * n + k0 + kk));
         }
@@ -461,7 +475,6 @@ impl WarpProgram for MatmulProgram {
                 addrs.push(f32_addr(self.cfg.b, (k0 + kk) * n + self.col0 + lane));
             }
         }
-        WarpOp::Load(addrs)
     }
 }
 
@@ -496,11 +509,12 @@ pub struct Stencil2DConfig {
 /// kernels. Neighbor coordinates are clamped at image borders.
 pub struct Stencil2DProgram {
     cfg: Stencil2DConfig,
-    first_strip: usize,
     /// 0 = issue load, 1 = absorb + compute, 2 = store.
     stage: u8,
     sums: Vec<f32>,
     centers: Vec<f32>,
+    /// In-bounds `(slot, y, x0)` strips; constant for the warp's lifetime.
+    strips: Vec<(usize, usize, usize)>,
 }
 
 impl Stencil2DProgram {
@@ -508,46 +522,35 @@ impl Stencil2DProgram {
     pub fn new(warp_id: usize, cfg: Stencil2DConfig) -> Self {
         let first_strip = warp_id * cfg.strips_per_warp;
         let n = cfg.strips_per_warp * LANES;
+        let strips_per_row = cfg.w / LANES;
+        let strips = (0..cfg.strips_per_warp)
+            .filter_map(|i| {
+                let s = first_strip + i;
+                let y = s / strips_per_row;
+                (y < cfg.h).then(|| (i, y, (s % strips_per_row) * LANES))
+            })
+            .collect();
         Self {
             cfg,
-            first_strip,
             stage: 0,
             sums: vec![0.0; n],
             centers: vec![0.0; n],
+            strips,
         }
-    }
-
-    fn strip_coords(&self, s: usize) -> Option<(usize, usize)> {
-        let strips_per_row = self.cfg.w / LANES;
-        let y = s / strips_per_row;
-        if y >= self.cfg.h {
-            return None;
-        }
-        Some((y, (s % strips_per_row) * LANES))
-    }
-
-    fn strips(&self) -> Vec<(usize, usize, usize)> {
-        (0..self.cfg.strips_per_warp)
-            .filter_map(|i| {
-                self.strip_coords(self.first_strip + i)
-                    .map(|(y, x0)| (i, y, x0))
-            })
-            .collect()
     }
 }
 
 impl WarpProgram for Stencil2DProgram {
-    fn next(&mut self, loaded: &[f32]) -> WarpOp {
-        let strips = self.strips();
-        if strips.is_empty() || self.stage > 2 {
-            return WarpOp::Finished;
+    fn next(&mut self, loaded: &[f32], out: &mut OpBuf) {
+        if self.strips.is_empty() || self.stage > 2 {
+            out.set_finished();
+            return;
         }
         match self.stage {
             0 => {
-                let taps = self.cfg.taps.clone();
-                let mut addrs = Vec::with_capacity(strips.len() * taps.len() * LANES);
-                for &(_, y, x0) in &strips {
-                    for &(dy, dx, _) in &taps {
+                let addrs = out.begin_load();
+                for &(_, y, x0) in &self.strips {
+                    for &(dy, dx, _) in &self.cfg.taps {
                         for lane in 0..LANES {
                             let yy = (y as i64 + i64::from(dy)).clamp(0, self.cfg.h as i64 - 1)
                                 as usize;
@@ -559,14 +562,13 @@ impl WarpProgram for Stencil2DProgram {
                     }
                 }
                 self.stage = 1;
-                WarpOp::Load(addrs)
             }
             1 => {
                 let ntaps = self.cfg.taps.len();
                 for v in &mut self.sums {
                     *v = 0.0;
                 }
-                for (si, &(i, _, _)) in strips.iter().enumerate() {
+                for (si, &(i, _, _)) in self.strips.iter().enumerate() {
                     for (t, &(dy, dx, wgt)) in self.cfg.taps.iter().enumerate() {
                         for lane in 0..LANES {
                             let v = loaded[(si * ntaps + t) * LANES + lane];
@@ -579,14 +581,15 @@ impl WarpProgram for Stencil2DProgram {
                 }
                 self.stage = 2;
                 if self.cfg.compute > 0 {
-                    return WarpOp::Compute(self.cfg.compute * strips.len() as u32);
+                    out.set_compute(self.cfg.compute * self.strips.len() as u32);
+                    return;
                 }
-                self.next(&[])
+                self.next(&[], out);
             }
             _ => {
                 // Stage 2: emit all strips' results and retire.
-                let mut writes = Vec::with_capacity(strips.len() * LANES);
-                for &(i, y, x0) in &strips {
+                let writes = out.begin_store();
+                for &(i, y, x0) in &self.strips {
                     for lane in 0..LANES {
                         let v = match self.cfg.post {
                             Some(post) => {
@@ -598,7 +601,6 @@ impl WarpProgram for Stencil2DProgram {
                     }
                 }
                 self.stage = 3;
-                WarpOp::Store(writes)
             }
         }
     }
@@ -628,9 +630,10 @@ pub struct Stencil3DConfig {
 /// tap-major, lane-minor).
 pub struct Stencil3DProgram {
     cfg: Stencil3DConfig,
-    first_strip: usize,
     stage: u8,
     sums: Vec<f32>,
+    /// In-bounds `(slot, z, y, x0)` strips; constant for the warp's lifetime.
+    strips: Vec<(usize, usize, usize, usize)>,
 }
 
 impl Stencil3DProgram {
@@ -638,47 +641,36 @@ impl Stencil3DProgram {
     pub fn new(warp_id: usize, cfg: Stencil3DConfig) -> Self {
         let first_strip = warp_id * cfg.strips_per_warp;
         let n = cfg.strips_per_warp * LANES;
+        let per_row = cfg.w / LANES;
+        let per_plane = per_row * cfg.h;
+        let strips = (0..cfg.strips_per_warp)
+            .filter_map(|i| {
+                let s = first_strip + i;
+                let z = s / per_plane;
+                let rem = s % per_plane;
+                (z < cfg.d).then(|| (i, z, rem / per_row, (rem % per_row) * LANES))
+            })
+            .collect();
         Self {
             cfg,
-            first_strip,
             stage: 0,
             sums: vec![0.0; n],
+            strips,
         }
-    }
-
-    fn strip_coords(&self, s: usize) -> Option<(usize, usize, usize)> {
-        let per_row = self.cfg.w / LANES;
-        let per_plane = per_row * self.cfg.h;
-        let z = s / per_plane;
-        if z >= self.cfg.d {
-            return None;
-        }
-        let rem = s % per_plane;
-        Some((z, rem / per_row, (rem % per_row) * LANES))
-    }
-
-    fn strips(&self) -> Vec<(usize, usize, usize, usize)> {
-        (0..self.cfg.strips_per_warp)
-            .filter_map(|i| {
-                self.strip_coords(self.first_strip + i)
-                    .map(|(z, y, x0)| (i, z, y, x0))
-            })
-            .collect()
     }
 }
 
 impl WarpProgram for Stencil3DProgram {
-    fn next(&mut self, loaded: &[f32]) -> WarpOp {
-        let strips = self.strips();
-        if strips.is_empty() || self.stage > 2 {
-            return WarpOp::Finished;
+    fn next(&mut self, loaded: &[f32], out: &mut OpBuf) {
+        if self.strips.is_empty() || self.stage > 2 {
+            out.set_finished();
+            return;
         }
         match self.stage {
             0 => {
                 let (w, h, d) = (self.cfg.w, self.cfg.h, self.cfg.d);
-                let mut addrs =
-                    Vec::with_capacity(strips.len() * self.cfg.taps.len() * LANES);
-                for &(_, z, y, x0) in &strips {
+                let addrs = out.begin_load();
+                for &(_, z, y, x0) in &self.strips {
                     for &(dz, dy, dx, _) in &self.cfg.taps {
                         for lane in 0..LANES {
                             let zz = (z as i64 + i64::from(dz)).clamp(0, d as i64 - 1) as usize;
@@ -690,14 +682,13 @@ impl WarpProgram for Stencil3DProgram {
                     }
                 }
                 self.stage = 1;
-                WarpOp::Load(addrs)
             }
             1 => {
                 let ntaps = self.cfg.taps.len();
                 for v in &mut self.sums {
                     *v = 0.0;
                 }
-                for (si, &(i, _, _, _)) in strips.iter().enumerate() {
+                for (si, &(i, _, _, _)) in self.strips.iter().enumerate() {
                     for (t, &(_, _, _, wgt)) in self.cfg.taps.iter().enumerate() {
                         for lane in 0..LANES {
                             self.sums[i * LANES + lane] +=
@@ -706,11 +697,11 @@ impl WarpProgram for Stencil3DProgram {
                     }
                 }
                 self.stage = 2;
-                WarpOp::Compute(36 * strips.len() as u32)
+                out.set_compute(36 * self.strips.len() as u32);
             }
             _ => {
-                let mut writes = Vec::with_capacity(strips.len() * LANES);
-                for &(i, z, y, x0) in &strips {
+                let writes = out.begin_store();
+                for &(i, z, y, x0) in &self.strips {
                     for lane in 0..LANES {
                         writes.push((
                             f32_addr(
@@ -722,7 +713,6 @@ impl WarpProgram for Stencil3DProgram {
                     }
                 }
                 self.stage = 3;
-                WarpOp::Store(writes)
             }
         }
     }
@@ -748,7 +738,10 @@ pub struct FwtProgram {
     seg_base: usize,
     stride: usize,
     chunk: usize,
-    pending: Option<Vec<usize>>, // indices (a then b) of the in-flight load
+    /// `true` while a butterfly's load is in flight / being processed.
+    pending: bool,
+    /// Indices (a then b) of the in-flight load; refilled per butterfly.
+    idx: Vec<usize>,
     vals: Vec<f32>,
     computing: bool,
 }
@@ -766,71 +759,75 @@ impl FwtProgram {
             seg_base: warp_id * cfg.segment,
             stride: 1,
             chunk: 0,
-            pending: None,
+            pending: false,
+            idx: Vec::new(),
             vals: Vec::new(),
             computing: false,
         }
     }
 
-    fn pair_indices(&self) -> Vec<usize> {
+    fn fill_pair_indices(&mut self) {
         // Pairs p in [chunk*32, chunk*32+32): element index
         // i = 2*stride*(p / stride) + (p % stride); partner = i + stride.
         let h = self.stride;
-        let mut idx = Vec::with_capacity(2 * LANES);
+        self.idx.clear();
         for lane in 0..LANES {
             let p = self.chunk * LANES + lane;
             let i = 2 * h * (p / h) + (p % h);
-            idx.push(self.seg_base + i);
+            self.idx.push(self.seg_base + i);
         }
         for lane in 0..LANES {
             let p = self.chunk * LANES + lane;
             let i = 2 * h * (p / h) + (p % h);
-            idx.push(self.seg_base + i + h);
+            self.idx.push(self.seg_base + i + h);
         }
-        idx
     }
 }
 
 impl WarpProgram for FwtProgram {
-    fn next(&mut self, loaded: &[f32]) -> WarpOp {
-        if self.pending.is_some() && !self.computing {
+    fn next(&mut self, loaded: &[f32], out: &mut OpBuf) {
+        if self.pending && !self.computing {
             // Values just arrived: stash them and charge the butterfly ALU
             // work before the stores go out.
-            self.vals = loaded.to_vec();
+            self.vals.clear();
+            self.vals.extend_from_slice(loaded);
             self.computing = true;
-            return WarpOp::Compute(8);
+            out.set_compute(8);
+            return;
         }
-        if let Some(idx) = self.pending.take() {
+        if self.pending {
+            self.pending = false;
             self.computing = false;
-            let loaded = std::mem::take(&mut self.vals);
             // Butterfly: a' = a + b, b' = a - b.
-            let writes: Vec<(u64, f32)> = (0..LANES)
-                .map(|lane| {
-                    let a = loaded[lane];
-                    let b = loaded[LANES + lane];
-                    (f32_addr(self.cfg.data, idx[lane]), a + b)
-                })
-                .chain((0..LANES).map(|lane| {
-                    let a = loaded[lane];
-                    let b = loaded[LANES + lane];
-                    (f32_addr(self.cfg.data, idx[LANES + lane]), a - b)
-                }))
-                .collect();
+            let writes = out.begin_store();
+            for lane in 0..LANES {
+                let a = self.vals[lane];
+                let b = self.vals[LANES + lane];
+                writes.push((f32_addr(self.cfg.data, self.idx[lane]), a + b));
+            }
+            for lane in 0..LANES {
+                let a = self.vals[lane];
+                let b = self.vals[LANES + lane];
+                writes.push((f32_addr(self.cfg.data, self.idx[LANES + lane]), a - b));
+            }
             // Advance to the next chunk / stage.
             self.chunk += 1;
             if self.chunk * LANES >= self.cfg.segment / 2 {
                 self.chunk = 0;
                 self.stride *= 2;
             }
-            return WarpOp::Store(writes);
+            return;
         }
         if self.stride >= self.cfg.segment {
-            return WarpOp::Finished;
+            out.set_finished();
+            return;
         }
-        let idx = self.pair_indices();
-        let addrs: Vec<u64> = idx.iter().map(|&i| f32_addr(self.cfg.data, i)).collect();
-        self.pending = Some(idx);
-        WarpOp::Load(addrs)
+        self.fill_pair_indices();
+        let addrs = out.begin_load();
+        for &i in &self.idx {
+            addrs.push(f32_addr(self.cfg.data, i));
+        }
+        self.pending = true;
     }
 }
 
@@ -882,30 +879,31 @@ impl ScanProgram {
 }
 
 impl WarpProgram for ScanProgram {
-    fn next(&mut self, loaded: &[f32]) -> WarpOp {
+    fn next(&mut self, loaded: &[f32], out: &mut OpBuf) {
         if self.pending {
             self.pending = false;
             let mut acc = self.carry;
             let start = self.base + self.chunk * LANES;
-            let writes: Vec<(u64, f32)> = loaded
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| {
-                    acc += v;
-                    (f32_addr(self.cfg.output, start + i), acc)
-                })
-                .collect();
+            let writes = out.begin_store();
+            for (i, &v) in loaded.iter().enumerate() {
+                acc += v;
+                writes.push((f32_addr(self.cfg.output, start + i), acc));
+            }
             self.carry = acc;
             self.chunk += loaded.len().div_ceil(LANES);
-            return WarpOp::Store(writes);
+            return;
         }
         let n = self.batch_elems();
         if n == 0 {
-            return WarpOp::Finished;
+            out.set_finished();
+            return;
         }
         let start = self.base + self.chunk * LANES;
         self.pending = true;
-        WarpOp::Load((0..n).map(|i| f32_addr(self.cfg.input, start + i)).collect())
+        let addrs = out.begin_load();
+        for i in 0..n {
+            addrs.push(f32_addr(self.cfg.input, start + i));
+        }
     }
 }
 
@@ -956,17 +954,18 @@ impl ScpProgram {
 }
 
 impl WarpProgram for ScpProgram {
-    fn next(&mut self, loaded: &[f32]) -> WarpOp {
+    fn next(&mut self, loaded: &[f32], out: &mut OpBuf) {
         let active = self.active();
         if active == 0 {
-            return WarpOp::Finished;
+            out.set_finished();
+            return;
         }
         match self.state {
             0 => {
                 // Load a then b, lane-major (each lane's vector contiguous).
                 self.state = 1;
                 let v = self.cfg.veclen;
-                let mut addrs = Vec::with_capacity(2 * active * v);
+                let addrs = out.begin_load();
                 for base in [self.cfg.a, self.cfg.b] {
                     for lane in 0..active {
                         for j in 0..v {
@@ -974,7 +973,6 @@ impl WarpProgram for ScpProgram {
                         }
                     }
                 }
-                WarpOp::Load(addrs)
             }
             1 => {
                 // Absorb: loaded = [a lane-major..., b lane-major...].
@@ -987,16 +985,16 @@ impl WarpProgram for ScpProgram {
                     self.acc[lane] = acc;
                 }
                 self.state = 2;
-                WarpOp::Compute(self.cfg.veclen as u32 / 2 + 4)
+                out.set_compute(self.cfg.veclen as u32 / 2 + 4);
             }
             2 => {
                 self.state = 3;
-                let writes: Vec<(u64, f32)> = (0..active)
-                    .map(|lane| (f32_addr(self.cfg.out, self.first_pair + lane), self.acc[lane]))
-                    .collect();
-                WarpOp::Store(writes)
+                let writes = out.begin_store();
+                for lane in 0..active {
+                    writes.push((f32_addr(self.cfg.out, self.first_pair + lane), self.acc[lane]));
+                }
             }
-            _ => WarpOp::Finished,
+            _ => out.set_finished(),
         }
     }
 }
@@ -1004,24 +1002,27 @@ impl WarpProgram for ScpProgram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lazydram_gpu::MemoryImage;
+    use lazydram_gpu::{MemoryImage, OpKind};
 
     /// Runs one program functionally against an image.
     fn exec(prog: &mut dyn WarpProgram, image: &mut MemoryImage) {
+        let mut buf = OpBuf::new();
         let mut loaded: Vec<f32> = Vec::new();
         for _ in 0..10_000_000 {
-            match prog.next(&loaded) {
-                WarpOp::Compute(_) => loaded.clear(),
-                WarpOp::Load(addrs) => {
-                    loaded = addrs.iter().map(|&a| image.read_f32(a)).collect();
+            prog.next(&loaded, &mut buf);
+            match buf.kind() {
+                OpKind::Compute(_) => loaded.clear(),
+                OpKind::Load => {
+                    loaded.clear();
+                    loaded.extend(buf.addrs().iter().map(|&a| image.read_f32(a)));
                 }
-                WarpOp::Store(writes) => {
-                    for (a, v) in writes {
+                OpKind::Store => {
+                    for &(a, v) in buf.writes() {
                         image.write_f32(a, v);
                     }
                     loaded.clear();
                 }
-                WarpOp::Finished => return,
+                OpKind::Finished => return,
             }
         }
         panic!("program did not finish");

@@ -3,7 +3,7 @@
 
 use crate::programs::{FwtConfig, FwtProgram, ScanConfig, ScanProgram, ScpConfig, ScpProgram, LANES};
 use crate::util::{pow2_at_most, Region};
-use lazydram_gpu::{Kernel, MemoryImage, WarpOp, WarpProgram};
+use lazydram_gpu::{Kernel, MemoryImage, OpBuf, WarpProgram};
 
 // ---------------------------------------------------------------------------
 // RAY
@@ -122,15 +122,17 @@ struct RayProgram {
 }
 
 impl WarpProgram for RayProgram {
-    fn next(&mut self, loaded: &[f32]) -> WarpOp {
+    fn next(&mut self, loaded: &[f32], out: &mut OpBuf) {
         match self.stage {
             RayStage::LoadSpheres => {
                 self.stage = RayStage::Intersect;
                 let n = self.k.nspheres * 4;
-                WarpOp::Load((0..n).map(|i| self.k.spheres + (i * 4) as u64).collect())
+                out.begin_load()
+                    .extend((0..n).map(|i| self.k.spheres + (i * 4) as u64));
             }
             RayStage::Intersect => {
-                self.sphere_data = loaded.to_vec();
+                self.sphere_data.clear();
+                self.sphere_data.extend_from_slice(loaded);
                 // Per-lane primary ray through its pixel.
                 let first_pixel = self.warp_id * LANES;
                 for lane in 0..LANES {
@@ -172,28 +174,23 @@ impl WarpProgram for RayProgram {
                     }
                 }
                 self.stage = RayStage::LoadEnv;
-                WarpOp::Compute(64)
+                out.set_compute(64);
             }
             RayStage::LoadEnv => {
                 self.stage = RayStage::Store;
-                WarpOp::Load(
-                    (0..LANES)
-                        .map(|lane| self.k.env + (self.env_idx[lane] * 4) as u64)
-                        .collect(),
-                )
+                out.begin_load()
+                    .extend((0..LANES).map(|lane| self.k.env + (self.env_idx[lane] * 4) as u64));
             }
             RayStage::Store => {
                 let first_pixel = self.warp_id * LANES;
-                let writes: Vec<(u64, f32)> = (0..LANES)
-                    .map(|lane| {
-                        let color = (self.base_shade[lane] + 0.6 * loaded[lane]).min(1.0);
-                        (self.k.img + ((first_pixel + lane) * 4) as u64, color)
-                    })
-                    .collect();
+                let writes = out.begin_store();
+                for (lane, &env) in loaded.iter().enumerate().take(LANES) {
+                    let color = (self.base_shade[lane] + 0.6 * env).min(1.0);
+                    writes.push((self.k.img + ((first_pixel + lane) * 4) as u64, color));
+                }
                 self.stage = RayStage::Done;
-                WarpOp::Store(writes)
             }
-            RayStage::Done => WarpOp::Finished,
+            RayStage::Done => out.set_finished(),
         }
     }
 }

@@ -430,20 +430,23 @@ mod tests {
         }
         for wid in 0..app.total_warps() {
             let mut p = app.program(wid);
+            let mut buf = lazydram_gpu::OpBuf::new();
             let mut loaded: Vec<f32> = Vec::new();
             loop {
-                match p.next(&loaded) {
-                    lazydram_gpu::WarpOp::Compute(_) => loaded.clear(),
-                    lazydram_gpu::WarpOp::Load(a) => {
-                        loaded = a.iter().map(|&x| img.read_f32(x)).collect();
+                p.next(&loaded, &mut buf);
+                match buf.kind() {
+                    lazydram_gpu::OpKind::Compute(_) => loaded.clear(),
+                    lazydram_gpu::OpKind::Load => {
+                        loaded.clear();
+                        loaded.extend(buf.addrs().iter().map(|&x| img.read_f32(x)));
                     }
-                    lazydram_gpu::WarpOp::Store(ws) => {
-                        for (a, v) in ws {
+                    lazydram_gpu::OpKind::Store => {
+                        for &(a, v) in buf.writes() {
                             img.write_f32(a, v);
                         }
                         loaded.clear();
                     }
-                    lazydram_gpu::WarpOp::Finished => break,
+                    lazydram_gpu::OpKind::Finished => break,
                 }
             }
         }

@@ -1,7 +1,7 @@
 //! Shared helpers for workload construction.
 
 use lazydram_common::SplitMix64;
-use lazydram_gpu::{Kernel, MemoryImage, WarpOp};
+use lazydram_gpu::{Kernel, MemoryImage, OpBuf, OpKind};
 
 /// A named, line-aligned array in the memory image.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -107,25 +107,28 @@ pub fn scaled_dim3(base: usize, scale: f64, quantum: usize) -> usize {
 pub fn run_sequence_functional(kernels: &mut [Box<dyn Kernel>]) -> Vec<f32> {
     assert!(!kernels.is_empty(), "need at least one launch");
     let mut image = MemoryImage::new();
+    let mut buf = OpBuf::new();
+    let mut loaded: Vec<f32> = Vec::new();
     for k in kernels.iter_mut() {
         k.setup(&mut image);
         for w in 0..k.total_warps() {
             let mut prog = k.program(w);
-            let mut loaded: Vec<f32> = Vec::new();
+            loaded.clear();
             let mut ops = 0u64;
             loop {
                 ops += 1;
                 assert!(ops < 100_000_000, "runaway warp program in {}", k.name());
-                match prog.next(&loaded) {
-                    WarpOp::Compute(_) => loaded.clear(),
-                    WarpOp::Load(addrs) => {
-                        image.read_lanes_into(&addrs, &mut loaded);
+                prog.next(&loaded, &mut buf);
+                match buf.kind() {
+                    OpKind::Compute(_) => loaded.clear(),
+                    OpKind::Load => {
+                        image.read_lanes_into(buf.addrs(), &mut loaded);
                     }
-                    WarpOp::Store(writes) => {
-                        image.write_lanes(&writes);
+                    OpKind::Store => {
+                        image.write_lanes(buf.writes());
                         loaded.clear();
                     }
-                    WarpOp::Finished => break,
+                    OpKind::Finished => break,
                 }
             }
         }

@@ -1,0 +1,183 @@
+//! Property test: sink-based emission into a dirty, reused [`OpBuf`] is
+//! observationally identical to the old per-call `WarpOp` contract.
+//!
+//! The `OpBuf` contract says a program must overwrite the buffer exactly
+//! once per `next` call and may treat its previous contents as garbage.
+//! This test pins that down: two instances of the same randomly configured
+//! program run in lockstep over one memory image — the *reference* emits
+//! into a freshly constructed buffer every call (reconstructing the old
+//! allocate-per-op `WarpOp` values via [`OpBuf::to_warp_op`]), while the
+//! device-under-test reuses a single buffer that is deliberately left dirty
+//! (and occasionally pre-poisoned with junk) between calls. Every emitted
+//! op must reconstruct to the same `WarpOp`, over random program families
+//! and shapes (map, matvec, stencil, FWT).
+
+use lazydram_gpu::{MemoryImage, OpBuf, OpKind, WarpOp, WarpProgram};
+use lazydram_workloads::programs::{
+    FwtConfig, FwtProgram, MapConfig, MapProgram, MatVecConfig, MatVecOrientation, MatVecProgram,
+    Stencil2DConfig, Stencil2DProgram,
+};
+use proptest::prelude::*;
+
+/// Builds two independent instances of the same program + the image it runs
+/// over, from the drawn family and shape parameters.
+#[allow(clippy::type_complexity)]
+fn build(
+    family: u8,
+    dim: usize,
+    batch: usize,
+    warp: usize,
+) -> (MemoryImage, Box<dyn WarpProgram>, Box<dyn WarpProgram>) {
+    let mut image = MemoryImage::new();
+    match family % 4 {
+        0 => {
+            // Map: `dim` scales iterations, `batch` the load batching.
+            let iters = 2 + dim % 14;
+            let items = 32 * iters * (warp + 1);
+            let input = image.alloc(items);
+            let output = image.alloc(items);
+            let make = move || -> Box<dyn WarpProgram> {
+                Box::new(MapProgram::new(
+                    warp,
+                    MapConfig {
+                        inputs: vec![(input, 1), (input, 1)],
+                        outputs: vec![(output, 1)],
+                        items,
+                        iters_per_warp: iters,
+                        compute: 4,
+                        load_batch: 1 + batch % 8,
+                        index: |item, _| item,
+                        func: |inp, out| out.push(inp[0] * 0.5 + inp[1]),
+                    },
+                ))
+            };
+            (image, make(), make())
+        }
+        1 => {
+            let n = 32 * (1 + dim % 8);
+            let a = image.alloc(n * n);
+            let x = image.alloc(n);
+            let y = image.alloc(n);
+            let orientation = if batch.is_multiple_of(2) {
+                MatVecOrientation::RowPerLane
+            } else {
+                MatVecOrientation::ColPerLane
+            };
+            let make = move || -> Box<dyn WarpProgram> {
+                Box::new(MatVecProgram::new(
+                    warp % (n / 32),
+                    MatVecConfig {
+                        a,
+                        x,
+                        y,
+                        n,
+                        orientation,
+                        accumulate: dim.is_multiple_of(2),
+                    },
+                ))
+            };
+            (image, make(), make())
+        }
+        2 => {
+            let w = 32 * (1 + dim % 4);
+            let h = 4 + batch % 12;
+            let input = image.alloc(w * h);
+            let output = image.alloc(w * h);
+            let strips_per_warp = 1 + batch % 6;
+            let make = move || -> Box<dyn WarpProgram> {
+                Box::new(Stencil2DProgram::new(
+                    warp,
+                    Stencil2DConfig {
+                        input,
+                        output,
+                        w,
+                        h,
+                        taps: vec![(0, 0, 0.6), (-1, 0, 0.1), (1, 0, 0.1), (0, -1, 0.1), (0, 1, 0.1)],
+                        compute: 2,
+                        strips_per_warp,
+                        post: None,
+                    },
+                ))
+            };
+            (image, make(), make())
+        }
+        _ => {
+            let segment = 64 << (dim % 4);
+            let data = image.alloc(segment * (warp + 1));
+            let make = move || -> Box<dyn WarpProgram> {
+                Box::new(FwtProgram::new(warp, FwtConfig { data, segment }))
+            };
+            (image, make(), make())
+        }
+    }
+}
+
+fn check(family: u8, dim: usize, batch: usize, warp: usize, seed: u64) {
+    let (mut image, mut reference, mut dut) = build(family, dim, batch, warp);
+    // Seed the image with a deterministic non-trivial pattern so loads carry
+    // values the programs actually fold into later ops.
+    for i in 0..256u64 {
+        image.write_f32(0x10_0000 + i * 4, ((seed ^ i) % 97) as f32 * 0.25 - 3.0);
+    }
+
+    let mut dirty = OpBuf::new();
+    let mut loaded: Vec<f32> = Vec::new();
+    for step in 0..200_000 {
+        // The contract says previous contents are unspecified garbage —
+        // occasionally make that garbage as misleading as possible.
+        if step % 7 == 3 {
+            let junk = dirty.begin_load();
+            junk.extend([0xDEAD_BEEFu64 * 4, 4, 8]);
+        } else if step % 7 == 5 {
+            dirty.begin_store().push((12, -1.0e9));
+        }
+
+        let mut fresh = OpBuf::new();
+        reference.next(&loaded, &mut fresh);
+        let expect = fresh.to_warp_op();
+        dut.next(&loaded, &mut dirty);
+        let got = dirty.to_warp_op();
+        assert_eq!(got, expect, "step {step}: dirty-buffer emission diverged");
+
+        // Apply the op once so both programs see identical loaded values.
+        match dirty.kind() {
+            OpKind::Compute(_) => loaded.clear(),
+            OpKind::Load => image.read_lanes_into(dirty.addrs(), &mut loaded),
+            OpKind::Store => {
+                image.write_lanes(dirty.writes());
+                loaded.clear();
+            }
+            OpKind::Finished => return,
+        }
+    }
+    panic!("program did not finish");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn dirty_buffer_reuse_matches_fresh_per_call(
+        family in 0u8..4,
+        dim in 0usize..64,
+        batch in 0usize..64,
+        warp in 0usize..4,
+        seed in 0u64..u64::MAX,
+    ) {
+        check(family, dim, batch, warp, seed);
+    }
+}
+
+/// The reconstruction helper itself must round-trip every variant — the
+/// reference side of the property is only as good as `to_warp_op`.
+#[test]
+fn to_warp_op_covers_every_variant() {
+    let mut b = OpBuf::new();
+    b.set_compute(7);
+    assert_eq!(b.to_warp_op(), WarpOp::Compute(7));
+    b.begin_load().extend([4u64, 8, 12]);
+    assert_eq!(b.to_warp_op(), WarpOp::Load(vec![4, 8, 12]));
+    b.begin_store().extend([(16u64, 1.5f32), (20, -2.0)]);
+    assert_eq!(b.to_warp_op(), WarpOp::Store(vec![(16, 1.5), (20, -2.0)]));
+    b.set_finished();
+    assert_eq!(b.to_warp_op(), WarpOp::Finished);
+}

@@ -1,6 +1,6 @@
 //! Per-application invariants over the whole 20-app suite.
 
-use lazydram_gpu::{run_functional, WarpOp};
+use lazydram_gpu::{run_functional, OpBuf, OpKind};
 use lazydram_workloads::{all_apps, util::run_sequence_functional};
 
 const SCALE: f64 = 0.02;
@@ -34,21 +34,24 @@ fn annotations_never_cover_outputs() {
             let mut stores: Vec<u64> = Vec::new();
             for w in 0..k.total_warps() {
                 let mut p = k.program(w);
+                let mut buf = OpBuf::new();
                 let mut loaded: Vec<f32> = Vec::new();
                 loop {
-                    match p.next(&loaded) {
-                        WarpOp::Compute(_) => loaded.clear(),
-                        WarpOp::Load(a) => {
-                            loaded = a.iter().map(|&x| image.read_f32(x)).collect();
+                    p.next(&loaded, &mut buf);
+                    match buf.kind() {
+                        OpKind::Compute(_) => loaded.clear(),
+                        OpKind::Load => {
+                            loaded.clear();
+                            loaded.extend(buf.addrs().iter().map(|&x| image.read_f32(x)));
                         }
-                        WarpOp::Store(ws) => {
-                            for (a, v) in ws {
+                        OpKind::Store => {
+                            for &(a, v) in buf.writes() {
                                 stores.push(a);
                                 image.write_f32(a, v);
                             }
                             loaded.clear();
                         }
-                        WarpOp::Finished => break,
+                        OpKind::Finished => break,
                     }
                 }
             }
@@ -71,27 +74,32 @@ fn programs_issue_nonempty_operations() {
         let mut image = lazydram_gpu::MemoryImage::new();
         k.setup(&mut image);
         let mut p = k.program(0);
+        let mut buf = OpBuf::new();
         let mut loaded: Vec<f32> = Vec::new();
         let mut finished = false;
         for _ in 0..10_000 {
-            match p.next(&loaded) {
-                WarpOp::Compute(c) => {
+            p.next(&loaded, &mut buf);
+            match buf.kind() {
+                OpKind::Compute(c) => {
                     assert!(c > 0, "{}: zero-cycle compute", app.name);
                     loaded.clear();
                 }
-                WarpOp::Load(a) => {
+                OpKind::Load => {
+                    let a = buf.addrs();
                     assert!(!a.is_empty(), "{}: empty load", app.name);
                     assert!(a.iter().all(|&x| x % 4 == 0), "{}: unaligned load", app.name);
-                    loaded = a.iter().map(|&x| image.read_f32(x)).collect();
+                    loaded.clear();
+                    loaded.extend(buf.addrs().iter().map(|&x| image.read_f32(x)));
                 }
-                WarpOp::Store(w) => {
+                OpKind::Store => {
+                    let w = buf.writes();
                     assert!(!w.is_empty(), "{}: empty store", app.name);
-                    for (a, v) in w {
+                    for &(a, v) in buf.writes() {
                         image.write_f32(a, v);
                     }
                     loaded.clear();
                 }
-                WarpOp::Finished => {
+                OpKind::Finished => {
                     finished = true;
                     break;
                 }

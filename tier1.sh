@@ -13,6 +13,11 @@ cargo build --release --workspace
 echo "== tier1: cargo test =="
 cargo test -q --workspace
 
+echo "== tier1: allocation gate (steady-state zero-alloc emission) =="
+# The PR 4 perf claim as a regression gate: a counting global allocator
+# asserts the warm next+issue cycle never touches the heap.
+cargo test -q --release -p lazydram-workloads --test alloc_gate
+
 echo "== tier1: cargo clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -22,14 +27,16 @@ echo "== tier1: prof-feature build =="
 cargo build --release -p lazydram-bench --benches --features prof
 cargo test -q -p lazydram-common --features prof
 
-echo "== tier1: timed smoke sweep (BENCH_PR3.json) =="
+echo "== tier1: timed smoke sweep (BENCH_PR4.json) =="
 # Per-app wall clock with profiler phase breakdown, checked against the
-# pre-PR baseline (crates/bench/baselines/pre_pr3.tsv, recorded at
-# LAZYDRAM_SCALE=0.2). Fails loudly when any app runs slower than 1.15x its
-# pre-PR wall clock.
+# pre-PR baseline (crates/bench/baselines/pre_pr4.tsv, recorded at
+# LAZYDRAM_SCALE=0.2). Fails loudly when any app runs slower than 2x its
+# pre-PR wall clock — an order-of-magnitude-style cap (matching perf_smoke's
+# stated purpose) because host CPU steal on shared 1-vCPU containers can
+# shift even min-of-5 wall clocks by 50% between back-to-back runs.
 LAZYDRAM_SCALE="${LAZYDRAM_SCALE:-0.2}" \
-LAZYDRAM_BENCH_OUT="${LAZYDRAM_BENCH_OUT:-$PWD/BENCH_PR3.json}" \
-LAZYDRAM_MAX_REGRESSION="${LAZYDRAM_MAX_REGRESSION:-1.15}" \
+LAZYDRAM_BENCH_OUT="${LAZYDRAM_BENCH_OUT:-$PWD/BENCH_PR4.json}" \
+LAZYDRAM_MAX_REGRESSION="${LAZYDRAM_MAX_REGRESSION:-2.0}" \
     cargo bench -q -p lazydram-bench --bench perf_smoke --features prof
 
 echo "== tier1: OK =="
