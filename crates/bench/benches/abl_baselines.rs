@@ -2,7 +2,7 @@
 //! open-page baseline already capture vs strict FCFS and closed-page, and
 //! what the lazy scheduler adds on top.
 
-use lazydram_bench::{mean, print_table, scale_from_env, MeasureSpec, SweepRunner};
+use lazydram_bench::{mean, print_table, scale_from_env, MeasureSpec, SimBuilder, SweepRunner};
 use lazydram_common::{Arbiter, GpuConfig, RowPolicy, SchedConfig};
 use lazydram_workloads::by_name;
 
@@ -27,14 +27,10 @@ fn main() {
     for (app, base) in apps.iter().zip(&bases) {
         let Ok(base) = base else { continue };
         for (label, sched) in &sweep {
-            specs.push(MeasureSpec {
-                app: app.clone(),
-                cfg: cfg.clone(),
-                sched: sched.clone(),
-                scale,
-                label: (*label).to_string(),
-                exact: base.exact.clone(),
-            });
+            specs.push(MeasureSpec::new(
+                SimBuilder::new(app).gpu(cfg.clone()).sched(sched.clone(), *label).scale(scale),
+                base.exact.clone(),
+            ));
         }
     }
     let results = runner.measure_all(specs);

@@ -1,8 +1,8 @@
 //! Ablation (Section V): the row-locality benefit is independent of memory
 //! technology — run the headline scheme on HBM1/HBM2-like organizations.
 
-use lazydram_bench::{print_table, scale_from_env, MeasureSpec, SweepRunner};
-use lazydram_common::{GpuConfig, SchedConfig};
+use lazydram_bench::{print_table, scale_from_env, MeasureSpec, Scheme, SimBuilder, SweepRunner};
+use lazydram_common::GpuConfig;
 use lazydram_workloads::by_name;
 
 fn main() {
@@ -27,14 +27,10 @@ fn main() {
     for (t, (_, cfg)) in techs.iter().enumerate() {
         for (app, base) in apps.iter().zip(&bases[t]) {
             let Ok(base) = base else { continue };
-            specs.push(MeasureSpec {
-                app: app.clone(),
-                cfg: cfg.clone(),
-                sched: SchedConfig::dyn_combo(),
-                scale,
-                label: "Dyn-DMS+Dyn-AMS".to_string(),
-                exact: base.exact.clone(),
-            });
+            specs.push(MeasureSpec::new(
+                SimBuilder::new(app).gpu(cfg.clone()).scheme(Scheme::DynCombo).scale(scale),
+                base.exact.clone(),
+            ));
         }
     }
     let results = runner.measure_all(specs);

@@ -2,7 +2,7 @@
 //! model that inserts approximated lines into L2 (error propagates through
 //! reuse).
 
-use lazydram_bench::{print_table, scale_from_env, MeasureSpec, SweepRunner};
+use lazydram_bench::{print_table, scale_from_env, MeasureSpec, SimBuilder, SweepRunner};
 use lazydram_common::{GpuConfig, SchedConfig};
 use lazydram_workloads::group;
 
@@ -19,14 +19,10 @@ fn main() {
             ("simple", SchedConfig::static_ams()),
             ("reuse", SchedConfig { approx_reuse: true, ..SchedConfig::static_ams() }),
         ] {
-            specs.push(MeasureSpec {
-                app: app.clone(),
-                cfg: cfg.clone(),
-                sched,
-                scale,
-                label: label.to_string(),
-                exact: base.exact.clone(),
-            });
+            specs.push(MeasureSpec::new(
+                SimBuilder::new(app).gpu(cfg.clone()).sched(sched, label).scale(scale),
+                base.exact.clone(),
+            ));
         }
     }
     let results = runner.measure_all(specs);

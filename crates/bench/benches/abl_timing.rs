@@ -3,8 +3,8 @@
 //! the lazy scheduler's activation reductions must survive the extra
 //! constraints.
 
-use lazydram_bench::{print_table, scale_from_env, MeasureSpec, SweepRunner};
-use lazydram_common::{DramTimings, GpuConfig, SchedConfig};
+use lazydram_bench::{print_table, scale_from_env, MeasureSpec, Scheme, SimBuilder, SweepRunner};
+use lazydram_common::{DramTimings, GpuConfig};
 use lazydram_workloads::by_name;
 
 fn main() {
@@ -27,14 +27,10 @@ fn main() {
     for (cfg, tech_bases) in &bases {
         for (app, base) in apps.iter().zip(tech_bases) {
             let Ok(base) = base else { continue };
-            specs.push(MeasureSpec {
-                app: app.clone(),
-                cfg: cfg.clone(),
-                sched: SchedConfig::dyn_combo(),
-                scale,
-                label: "Dyn-DMS+Dyn-AMS".to_string(),
-                exact: base.exact.clone(),
-            });
+            specs.push(MeasureSpec::new(
+                SimBuilder::new(app).gpu(cfg.clone()).scheme(Scheme::DynCombo).scale(scale),
+                base.exact.clone(),
+            ));
         }
     }
     let results = runner.measure_all(specs);

@@ -1,7 +1,7 @@
 //! Ablation (paper footnote 1): the 4096-cycle profiling window of the
 //! dynamic schemes vs smaller and larger windows.
 
-use lazydram_bench::{print_table, scale_from_env, MeasureSpec, SweepRunner};
+use lazydram_bench::{print_table, scale_from_env, MeasureSpec, SimBuilder, SweepRunner};
 use lazydram_common::config::{DynAmsConfig, DynDmsConfig};
 use lazydram_common::{AmsMode, DmsMode, GpuConfig, SchedConfig};
 use lazydram_workloads::by_name;
@@ -20,18 +20,18 @@ fn main() {
     for (app, base) in apps.iter().zip(&bases) {
         let Ok(base) = base else { continue };
         for &window in &windows {
-            specs.push(MeasureSpec {
-                app: app.clone(),
-                cfg: cfg.clone(),
-                sched: SchedConfig {
-                    dms: DmsMode::Dynamic(DynDmsConfig { window, ..DynDmsConfig::default() }),
-                    ams: AmsMode::Dynamic(DynAmsConfig { window, ..DynAmsConfig::default() }),
-                    ..SchedConfig::baseline()
-                },
-                scale,
-                label: format!("window={window}"),
-                exact: base.exact.clone(),
-            });
+            let sched = SchedConfig {
+                dms: DmsMode::Dynamic(DynDmsConfig { window, ..DynDmsConfig::default() }),
+                ams: AmsMode::Dynamic(DynAmsConfig { window, ..DynAmsConfig::default() }),
+                ..SchedConfig::baseline()
+            };
+            specs.push(MeasureSpec::new(
+                SimBuilder::new(app)
+                    .gpu(cfg.clone())
+                    .sched(sched, format!("window={window}"))
+                    .scale(scale),
+                base.exact.clone(),
+            ));
         }
     }
     let results = runner.measure_all(specs);

@@ -1,8 +1,9 @@
 //! Figure 2: effect of the FR-FCFS pending-queue size on the number of row
 //! activations, normalized to the baseline size of 128.
 
-use lazydram_bench::{apps_from_env, mean, print_table, scale_from_env, MeasureSpec, SweepRunner};
-use lazydram_common::{GpuConfig, SchedConfig};
+use lazydram_bench::{apps_from_env, mean, print_table, scale_from_env, MeasureSpec, Scheme,
+                     SimBuilder, SweepRunner};
+use lazydram_common::GpuConfig;
 
 fn main() {
     let scale = scale_from_env();
@@ -15,14 +16,13 @@ fn main() {
     for (app, base) in apps.iter().zip(&bases) {
         let Ok(base) = base else { continue };
         for &q in &sweep_sizes {
-            specs.push(MeasureSpec {
-                app: app.clone(),
-                cfg: GpuConfig { pending_queue_size: q, ..GpuConfig::default() },
-                sched: SchedConfig::baseline(),
-                scale,
-                label: format!("q={q}"),
-                exact: base.exact.clone(),
-            });
+            specs.push(MeasureSpec::new(
+                SimBuilder::new(app)
+                    .gpu(GpuConfig { pending_queue_size: q, ..GpuConfig::default() })
+                    .sched(Scheme::Baseline.sched(), format!("q={q}"))
+                    .scale(scale),
+                base.exact.clone(),
+            ));
         }
     }
     let results = runner.measure_all(specs);

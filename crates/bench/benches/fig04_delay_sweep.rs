@@ -1,7 +1,8 @@
 //! Figure 4: effect of the DMS delay on (a) row activations and (b) IPC,
 //! both normalized to the no-delay baseline.
 
-use lazydram_bench::{apps_from_env, mean, print_table, scale_from_env, MeasureSpec, SweepRunner};
+use lazydram_bench::{apps_from_env, mean, print_table, scale_from_env, MeasureSpec, SimBuilder,
+                     SweepRunner};
 use lazydram_common::{DmsMode, GpuConfig, SchedConfig};
 
 fn main() {
@@ -15,14 +16,16 @@ fn main() {
     for (app, base) in apps.iter().zip(&bases) {
         let Ok(base) = base else { continue };
         for &x in &delays {
-            specs.push(MeasureSpec {
-                app: app.clone(),
-                cfg: cfg.clone(),
-                sched: SchedConfig { dms: DmsMode::Static(x), ..SchedConfig::baseline() },
-                scale,
-                label: format!("DMS({x})"),
-                exact: base.exact.clone(),
-            });
+            specs.push(MeasureSpec::new(
+                SimBuilder::new(app)
+                    .gpu(cfg.clone())
+                    .sched(
+                        SchedConfig { dms: DmsMode::Static(x), ..SchedConfig::baseline() },
+                        format!("DMS({x})"),
+                    )
+                    .scale(scale),
+                base.exact.clone(),
+            ));
         }
     }
     let results = runner.measure_all(specs);

@@ -1,7 +1,8 @@
 //! Figure 5: distribution of row activations over RBL buckets as the DMS
 //! delay grows, for two applications.
 
-use lazydram_bench::{print_table, scale_from_env, Measurement, MeasureSpec, SweepRunner};
+use lazydram_bench::{print_table, scale_from_env, Measurement, MeasureSpec, SimBuilder,
+                     SweepRunner};
 use lazydram_common::{DmsMode, GpuConfig, SchedConfig};
 use lazydram_workloads::by_name;
 
@@ -35,14 +36,16 @@ fn main() {
     for (app, base) in apps.iter().zip(&bases) {
         let Ok(base) = base else { continue };
         for &delay in &delays {
-            specs.push(MeasureSpec {
-                app: app.clone(),
-                cfg: cfg.clone(),
-                sched: SchedConfig { dms: DmsMode::Static(delay), ..SchedConfig::baseline() },
-                scale,
-                label: format!("DMS({delay})"),
-                exact: base.exact.clone(),
-            });
+            specs.push(MeasureSpec::new(
+                SimBuilder::new(app)
+                    .gpu(cfg.clone())
+                    .sched(
+                        SchedConfig { dms: DmsMode::Static(delay), ..SchedConfig::baseline() },
+                        format!("DMS({delay})"),
+                    )
+                    .scale(scale),
+                base.exact.clone(),
+            ));
         }
     }
     let results = runner.measure_all(specs);

@@ -1,7 +1,7 @@
 //! Figure 7: how AMS helps DMS — LPS (delay-insensitive activations) and
 //! SCP (performance-limited delay) case studies.
 
-use lazydram_bench::{print_table, scale_from_env, MeasureSpec, SweepRunner};
+use lazydram_bench::{print_table, scale_from_env, MeasureSpec, SimBuilder, SweepRunner};
 use lazydram_common::{AmsMode, DmsMode, GpuConfig, SchedConfig};
 use lazydram_workloads::by_name;
 
@@ -36,14 +36,13 @@ fn main() {
     for ((app, base), (_, cases)) in apps.iter().zip(&bases).zip(&studies) {
         let Ok(base) = base else { continue };
         for (label, dms, ams) in cases {
-            specs.push(MeasureSpec {
-                app: app.clone(),
-                cfg: cfg.clone(),
-                sched: SchedConfig { dms: *dms, ams: *ams, ..SchedConfig::baseline() },
-                scale,
-                label: (*label).to_string(),
-                exact: base.exact.clone(),
-            });
+            specs.push(MeasureSpec::new(
+                SimBuilder::new(app)
+                    .gpu(cfg.clone())
+                    .sched(SchedConfig { dms: *dms, ams: *ams, ..SchedConfig::baseline() }, *label)
+                    .scale(scale),
+                base.exact.clone(),
+            ));
         }
     }
     let results = runner.measure_all(specs);

@@ -42,15 +42,20 @@ fn run(dms: DmsMode) -> (Vec<u64>, u64, f64) {
     }
     let mut dropped = Vec::new();
     let mut out = Vec::new();
+    let mut batch = Vec::new();
     for _ in 0..20 {
-        out.extend(mc.tick_collect());
+        batch.clear();
+        mc.tick(&mut batch);
+        out.append(&mut batch);
     }
     for row in 1..=4u32 {
         id += 1;
         mc.enqueue(mkreq(&map, id, row, 1)).unwrap();
     }
     for _ in 0..20_000 {
-        out.extend(mc.tick_collect());
+        batch.clear();
+        mc.tick(&mut batch);
+        out.append(&mut batch);
         if mc.is_idle() {
             break;
         }

@@ -3,7 +3,8 @@
 //! memory controller.
 
 use lazydram_bench::{
-    apps_from_env, bw_util, print_table, scale_from_env, Measurement, MeasureSpec, SweepRunner,
+    apps_from_env, bw_util, print_table, scale_from_env, Measurement, MeasureSpec, SimBuilder,
+    SweepRunner,
 };
 use lazydram_common::{DmsMode, GpuConfig, SchedConfig};
 
@@ -18,14 +19,16 @@ fn main() {
     for (app, base) in apps.iter().zip(&bases) {
         let Ok(base) = base else { continue };
         for &delay in &delays {
-            specs.push(MeasureSpec {
-                app: app.clone(),
-                cfg: cfg.clone(),
-                sched: SchedConfig { dms: DmsMode::Static(delay), ..SchedConfig::baseline() },
-                scale,
-                label: format!("DMS({delay})"),
-                exact: base.exact.clone(),
-            });
+            specs.push(MeasureSpec::new(
+                SimBuilder::new(app)
+                    .gpu(cfg.clone())
+                    .sched(
+                        SchedConfig { dms: DmsMode::Static(delay), ..SchedConfig::baseline() },
+                        format!("DMS({delay})"),
+                    )
+                    .scale(scale),
+                base.exact.clone(),
+            ));
         }
     }
     let results = runner.measure_all(specs);

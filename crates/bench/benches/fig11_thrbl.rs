@@ -1,7 +1,7 @@
 //! Figure 11: effect of reducing Th_RBL on SCP — lower thresholds focus the
 //! limited coverage on the lowest-RBL rows and remove more activations.
 
-use lazydram_bench::{print_table, scale_from_env, MeasureSpec, SweepRunner};
+use lazydram_bench::{print_table, scale_from_env, MeasureSpec, SimBuilder, SweepRunner};
 use lazydram_common::{AmsMode, GpuConfig, SchedConfig};
 use lazydram_workloads::by_name;
 
@@ -21,13 +21,17 @@ fn main() {
     };
     let specs = thresholds
         .iter()
-        .map(|&th| MeasureSpec {
-            app: app.clone(),
-            cfg: cfg.clone(),
-            sched: SchedConfig { ams: AmsMode::Static(th), ..SchedConfig::baseline() },
-            scale,
-            label: format!("AMS({th})"),
-            exact: base.exact.clone(),
+        .map(|&th| {
+            MeasureSpec::new(
+                SimBuilder::new(&app)
+                    .gpu(cfg.clone())
+                    .sched(
+                        SchedConfig { ams: AmsMode::Static(th), ..SchedConfig::baseline() },
+                        format!("AMS({th})"),
+                    )
+                    .scale(scale),
+                base.exact.clone(),
+            )
         })
         .collect();
     let results = runner.measure_all(specs);

@@ -3,8 +3,9 @@
 //! error-tolerant applications (groups 1-3), plus the HBM1/HBM2
 //! memory-system-energy projection of Section V.
 
-use lazydram_bench::{mean, print_table, scale_from_env, MeasureSpec, SweepRunner};
-use lazydram_common::{GpuConfig, SchedConfig};
+use lazydram_bench::{mean, print_table, scale_from_env, MeasureSpec, Scheme, SimBuilder,
+                     SweepRunner};
+use lazydram_common::GpuConfig;
 use lazydram_energy::{CardBudget, EnergyModel, MemoryTech};
 use lazydram_workloads::all_apps;
 
@@ -12,21 +13,17 @@ fn main() {
     let scale = scale_from_env();
     let cfg = GpuConfig::default();
     let apps: Vec<_> = all_apps().into_iter().filter(|a| a.error_tolerant()).collect();
-    let schemes = SchedConfig::paper_schemes();
+    let schemes = Scheme::PAPER;
     let runner = SweepRunner::from_env();
     let bases = runner.baselines(&apps, &cfg, scale);
     let mut specs = Vec::new();
     for (app, base) in apps.iter().zip(&bases) {
         let Ok(base) = base else { continue };
-        for (label, sched) in &schemes {
-            specs.push(MeasureSpec {
-                app: app.clone(),
-                cfg: cfg.clone(),
-                sched: sched.clone(),
-                scale,
-                label: (*label).to_string(),
-                exact: base.exact.clone(),
-            });
+        for &scheme in &schemes {
+            specs.push(MeasureSpec::new(
+                SimBuilder::new(app).gpu(cfg.clone()).scheme(scheme).scale(scale),
+                base.exact.clone(),
+            ));
         }
     }
     let results = runner.measure_all(specs);
@@ -81,9 +78,8 @@ fn main() {
         err_rows.push(xr);
         cov_rows.push(cr);
     }
-    let labels: Vec<&str> = schemes.iter().map(|(l, _)| *l).collect();
     let header: Vec<String> = std::iter::once("app".to_string())
-        .chain(labels.iter().map(|s| s.to_string()))
+        .chain(schemes.iter().map(|s| s.label().to_string()))
         .collect();
     let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
 

@@ -2,7 +2,8 @@
 //! maximum delay DMS(2048) is applied (normalized to the no-delay baseline
 //! at queue size 128).
 
-use lazydram_bench::{apps_from_env, mean, print_table, scale_from_env, MeasureSpec, SweepRunner};
+use lazydram_bench::{apps_from_env, mean, print_table, scale_from_env, MeasureSpec, SimBuilder,
+                     SweepRunner};
 use lazydram_common::{DmsMode, GpuConfig, SchedConfig};
 
 fn main() {
@@ -15,14 +16,16 @@ fn main() {
     for (app, base) in apps.iter().zip(&bases) {
         let Ok(base) = base else { continue };
         for &q in &sizes {
-            specs.push(MeasureSpec {
-                app: app.clone(),
-                cfg: GpuConfig { pending_queue_size: q, ..GpuConfig::default() },
-                sched: SchedConfig { dms: DmsMode::Static(2048), ..SchedConfig::baseline() },
-                scale,
-                label: format!("DMS(2048)/q={q}"),
-                exact: base.exact.clone(),
-            });
+            specs.push(MeasureSpec::new(
+                SimBuilder::new(app)
+                    .gpu(GpuConfig { pending_queue_size: q, ..GpuConfig::default() })
+                    .sched(
+                        SchedConfig { dms: DmsMode::Static(2048), ..SchedConfig::baseline() },
+                        format!("DMS(2048)/q={q}"),
+                    )
+                    .scale(scale),
+                base.exact.clone(),
+            ));
         }
     }
     let results = runner.measure_all(specs);

@@ -2,10 +2,10 @@
 //! exact and the approximated (Dyn-DMS + Dyn-AMS) output images as PGM
 //! files and reports the application error.
 
-use lazydram_bench::{scale_from_env, Job, SweepRunner};
-use lazydram_common::{GpuConfig, SchedConfig};
+use lazydram_bench::{scale_from_env, Job, Scheme, SimBuilder, SweepRunner};
+use lazydram_common::GpuConfig;
 use lazydram_gpu::application_error;
-use lazydram_workloads::{by_name, exact_output, run_app};
+use lazydram_workloads::{by_name, exact_output};
 
 fn write_pgm(path: &str, pixels: &[f32], w: usize) -> std::io::Result<()> {
     use std::io::Write;
@@ -36,7 +36,7 @@ fn main() {
         let app = app.clone();
         let cfg = cfg.clone();
         Job::new("laplacian/Dyn-DMS+Dyn-AMS", move || {
-            let r = run_app(&app, &cfg, &SchedConfig::dyn_combo(), scale);
+            let r = SimBuilder::new(&app).gpu(cfg).scheme(Scheme::DynCombo).scale(scale).build().run();
             let coverage = r.stats.dram.coverage();
             (r.output, coverage)
         })

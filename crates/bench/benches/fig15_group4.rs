@@ -1,32 +1,26 @@
 //! Figure 15: delay-only mode for the low-error-tolerance applications
 //! (Group 4): normalized row energy and IPC under Static-DMS and Dyn-DMS.
 
-use lazydram_bench::{mean, print_table, scale_from_env, MeasureSpec, SweepRunner};
-use lazydram_common::{GpuConfig, SchedConfig};
+use lazydram_bench::{mean, print_table, scale_from_env, MeasureSpec, Scheme, SimBuilder,
+                     SweepRunner};
+use lazydram_common::GpuConfig;
 use lazydram_workloads::group;
 
 fn main() {
     let scale = scale_from_env();
     let cfg = GpuConfig::default();
-    let schemes = [
-        ("Static-DMS", SchedConfig::static_dms()),
-        ("Dyn-DMS", SchedConfig::dyn_dms()),
-    ];
+    let schemes = [Scheme::StaticDms, Scheme::DynDms];
     let apps = group(4);
     let runner = SweepRunner::from_env();
     let bases = runner.baselines(&apps, &cfg, scale);
     let mut specs = Vec::new();
     for (app, base) in apps.iter().zip(&bases) {
         let Ok(base) = base else { continue };
-        for (label, sched) in &schemes {
-            specs.push(MeasureSpec {
-                app: app.clone(),
-                cfg: cfg.clone(),
-                sched: sched.clone(),
-                scale,
-                label: (*label).to_string(),
-                exact: base.exact.clone(),
-            });
+        for &scheme in &schemes {
+            specs.push(MeasureSpec::new(
+                SimBuilder::new(app).gpu(cfg.clone()).scheme(scheme).scale(scale),
+                base.exact.clone(),
+            ));
         }
     }
     let results = runner.measure_all(specs);

@@ -81,6 +81,7 @@ fn bench_controller_tick(cfg: &GpuConfig, map: &AddressMap) {
         next += 1;
         let _ = mc.enqueue(mkreq(map, next));
     }
+    let mut out = Vec::new();
     bench("controller_tick_loaded", || {
         if mc.pending_len() < 64 {
             for _ in 0..32 {
@@ -88,7 +89,9 @@ fn bench_controller_tick(cfg: &GpuConfig, map: &AddressMap) {
                 let _ = mc.enqueue(mkreq(map, next));
             }
         }
-        black_box(mc.tick_collect());
+        out.clear();
+        mc.tick(&mut out);
+        black_box(&mut out);
     });
 }
 

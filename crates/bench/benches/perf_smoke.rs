@@ -35,10 +35,9 @@
 //! disengaging, a hash map sneaking back onto the lane path), not
 //! single-digit-percent drifts.
 
-use lazydram_bench::scale_from_env;
+use lazydram_bench::{scale_from_env, SimBuilder};
 use lazydram_common::json::{array, JsonObject};
-use lazydram_common::{GpuConfig, SchedConfig};
-use lazydram_gpu::Simulator;
+use lazydram_common::SchedConfig;
 use lazydram_workloads::by_name;
 use std::time::Instant;
 
@@ -68,15 +67,17 @@ fn timed_run(
 ) -> (f64, lazydram_common::SimStats) {
     let mut best = f64::INFINITY;
     let mut stats = None;
+    let spec = by_name(app).expect("known app");
+    let run = SimBuilder::new(&spec)
+        .sched(sched.clone(), "perf")
+        .scale(scale)
+        .cycle_skipping(skip)
+        .build();
     for _ in 0..reps.max(1) {
-        let spec = by_name(app).expect("known app");
-        let mut launches = spec.launches(scale);
         let t0 = Instant::now();
-        let run = Simulator::new(GpuConfig::default(), sched.clone())
-            .with_cycle_skipping(skip)
-            .run_sequence(&mut launches);
+        let r = run.run();
         best = best.min(t0.elapsed().as_secs_f64());
-        stats = Some(run.stats);
+        stats = Some(r.stats);
     }
     (best, stats.expect("at least one rep"))
 }

@@ -3,7 +3,8 @@
 //! sensitivity, and error tolerance, with the paper's thresholds.
 
 use lazydram_bench::{
-    apps_from_env, print_table, scale_from_env, JobResult, Measurement, MeasureSpec, SweepRunner,
+    apps_from_env, print_table, scale_from_env, JobResult, Measurement, MeasureSpec, Scheme,
+    SimBuilder, SweepRunner,
 };
 use lazydram_common::{AmsMode, DmsMode, GpuConfig, SchedConfig};
 
@@ -97,33 +98,33 @@ fn main() {
     for (app, base) in apps.iter().zip(&bases) {
         let Ok(base) = base else { continue };
         for &d in &DELAYS {
-            specs.push(MeasureSpec {
-                app: app.clone(),
-                cfg: cfg.clone(),
-                sched: SchedConfig { dms: DmsMode::Static(d), ..SchedConfig::baseline() },
-                scale,
-                label: format!("DMS({d})"),
-                exact: base.exact.clone(),
-            });
+            specs.push(MeasureSpec::new(
+                SimBuilder::new(app)
+                    .gpu(cfg.clone())
+                    .sched(
+                        SchedConfig { dms: DmsMode::Static(d), ..SchedConfig::baseline() },
+                        format!("DMS({d})"),
+                    )
+                    .scale(scale),
+                base.exact.clone(),
+            ));
         }
         for &th in &THRESHOLDS {
-            specs.push(MeasureSpec {
-                app: app.clone(),
-                cfg: cfg.clone(),
-                sched: SchedConfig { ams: AmsMode::Static(th), ..SchedConfig::baseline() },
-                scale,
-                label: format!("AMS({th})"),
-                exact: base.exact.clone(),
-            });
+            specs.push(MeasureSpec::new(
+                SimBuilder::new(app)
+                    .gpu(cfg.clone())
+                    .sched(
+                        SchedConfig { ams: AmsMode::Static(th), ..SchedConfig::baseline() },
+                        format!("AMS({th})"),
+                    )
+                    .scale(scale),
+                base.exact.clone(),
+            ));
         }
-        specs.push(MeasureSpec {
-            app: app.clone(),
-            cfg: cfg.clone(),
-            sched: SchedConfig::static_ams(),
-            scale,
-            label: "Static-AMS".to_string(),
-            exact: base.exact.clone(),
-        });
+        specs.push(MeasureSpec::new(
+            SimBuilder::new(app).gpu(cfg.clone()).scheme(Scheme::StaticAms).scale(scale),
+            base.exact.clone(),
+        ));
     }
     let results = runner.measure_all(specs);
 

@@ -1,15 +1,14 @@
 //! AMS decline-reason diagnosis per app.
-use lazydram_common::{GpuConfig, SchedConfig};
-use lazydram_workloads::{by_name, run_app};
+use lazydram_bench::{Scheme, SimBuilder};
+use lazydram_workloads::by_name;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
-    let cfg = GpuConfig::default();
     println!("{:>12} | accepts off warm napprox delay cover writes above | cov", "app");
     for name in &args[2..] {
         let app = by_name(name).expect("app");
-        let r = run_app(&app, &cfg, &SchedConfig::static_ams(), scale);
+        let r = SimBuilder::new(&app).scheme(Scheme::StaticAms).scale(scale).build().run();
         let d = &r.stats.ams_declines;
         println!(
             "{:>12} | {:>7} {:?} | {:.1}%",

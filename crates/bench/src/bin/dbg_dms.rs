@@ -1,6 +1,7 @@
 //! DMS diagnosis: activations vs delay for one app, multiple queue sizes.
+use lazydram_bench::SimBuilder;
 use lazydram_common::{DmsMode, GpuConfig, SchedConfig};
-use lazydram_workloads::{by_name, run_app};
+use lazydram_workloads::by_name;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -14,7 +15,12 @@ fn main() {
                 dms: if delay == 0 { DmsMode::Off } else { DmsMode::Static(delay) },
                 ..SchedConfig::baseline()
             };
-            let r = run_app(&app, &cfg, &sched, scale);
+            let r = SimBuilder::new(&app)
+                .gpu(cfg.clone())
+                .sched(sched, format!("DMS({delay})"))
+                .scale(scale)
+                .build()
+                .run();
             println!(
                 "{name} q={qsize} DMS({delay:>4}): acts={:>8} ipc={:>6.3} rbl={:>5.2} hits={:>7} misses={:>7} cycles={}",
                 r.stats.dram.activations,

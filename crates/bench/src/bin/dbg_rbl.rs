@@ -1,6 +1,6 @@
 //! Prints the baseline RBL histogram skew (Figure 6 precursor) per app.
-use lazydram_common::{GpuConfig, SchedConfig};
-use lazydram_workloads::{all_apps, by_name, run_app};
+use lazydram_bench::{Scheme, SimBuilder};
+use lazydram_workloads::{all_apps, by_name};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -10,10 +10,9 @@ fn main() {
     } else {
         all_apps()
     };
-    let cfg = GpuConfig::default();
     println!("{:>12} {:>8} {:>7} | req% in RBL(1-2) -> act% | req% RBL(1-8) -> act%", "app", "acts", "avgRBL");
     for app in apps {
-        let r = run_app(&app, &cfg, &SchedConfig::baseline(), scale);
+        let r = SimBuilder::new(&app).scheme(Scheme::Baseline).scale(scale).build().run();
         let h = &r.stats.dram.rbl;
         let tot_req = h.requests().max(1);
         let tot_act = h.activations().max(1);

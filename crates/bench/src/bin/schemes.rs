@@ -1,7 +1,7 @@
 //! Compares all paper schemes on a handful of apps (quick sanity harness).
 
-use lazydram_bench::{measure, measure_baseline, pct};
-use lazydram_common::{GpuConfig, SchedConfig};
+use lazydram_bench::{measure, measure_baseline, pct, Scheme, SimBuilder};
+use lazydram_common::GpuConfig;
 use lazydram_workloads::by_name;
 use std::time::Instant;
 
@@ -16,9 +16,10 @@ fn main() {
         let (base, exact) = measure_baseline(&app, &cfg, scale);
         println!("\n{name}: baseline acts={} ipc={:.3} avgRBL={:.2} ({:?})",
                  base.activations, base.ipc, base.avg_rbl, t0.elapsed());
-        for (label, sched) in SchedConfig::paper_schemes() {
+        for scheme in Scheme::PAPER {
             let t = Instant::now();
-            let m = measure(&app, &cfg, &sched, scale, label, &exact);
+            let run = SimBuilder::new(&app).gpu(cfg.clone()).scheme(scheme).scale(scale).build();
+            let m = measure(&run, &exact);
             println!(
                 "  {label:>22}: acts {:>8} ({:>6}) ipc {:>6.3} ({:>6}) cov {:>5} err {:>6} avgRBL {:>5.2} [{:?}]",
                 m.activations,
@@ -29,6 +30,7 @@ fn main() {
                 pct(m.app_error),
                 m.avg_rbl,
                 t.elapsed(),
+                label = scheme.label(),
             );
         }
     }

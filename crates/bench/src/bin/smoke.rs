@@ -1,9 +1,9 @@
 //! Quick calibration binary: times one app per program shape at a given
 //! scale and prints the key statistics, so bench scales can be tuned.
 
-use lazydram_common::{GpuConfig, SchedConfig};
-use lazydram_workloads::by_name;
 use lazydram_bench::measure_baseline;
+use lazydram_common::GpuConfig;
+use lazydram_workloads::by_name;
 use std::time::Instant;
 
 fn main() {
@@ -26,6 +26,5 @@ fn main() {
             name, dt, m.stats.core_cycles, m.ipc, m.activations, m.avg_rbl,
             m.stats.dram.reads, m.stats.dram.writes, m.stats.l2_misses, m.truncated
         );
-        let _ = SchedConfig::baseline();
     }
 }

@@ -10,13 +10,17 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
-use lazydram_common::{GpuConfig, SchedConfig, SimStats};
+use lazydram_common::{GpuConfig, SimStats};
 use lazydram_energy::{EnergyModel, MemoryTech};
-use lazydram_gpu::{application_error, SimLimits};
-use lazydram_workloads::{exact_output, run_app_limited, AppSpec};
+use lazydram_gpu::application_error;
+use lazydram_workloads::{exact_output, AppSpec};
 
 pub mod runner;
 
+pub use lazydram_common::Scheme;
+pub use lazydram_workloads::{
+    parse_checkpoint_every, CheckpointPolicy, SimBuilder, SimRun, DEFAULT_CHECKPOINT_EVERY,
+};
 pub use runner::{Baseline, Job, JobFailure, JobResult, MeasureSpec, SweepRunner};
 
 /// Default work scale for the benchmark harnesses. Chosen so the whole
@@ -144,34 +148,35 @@ impl Measurement {
     }
 }
 
-/// Runs one app under one scheme and collects every reported metric.
+/// Runs a configured simulation and collects every reported metric.
 ///
 /// `exact` is the functional reference output (compute it once per app with
 /// [`lazydram_workloads::exact_output`] and share it across schemes — the
-/// [`SweepRunner`] baseline cache does this automatically).
-pub fn measure(
-    app: &AppSpec,
-    cfg: &GpuConfig,
-    sched: &SchedConfig,
-    scale: f64,
-    scheme_label: &str,
-    exact: &[f32],
-) -> Measurement {
-    let run = run_app_limited(app, cfg, sched, scale, SimLimits::default());
+/// [`SweepRunner`] baseline cache does this automatically). Checkpoint-IO
+/// failures on a crash-recoverable run panic; [`try_measure`] surfaces them
+/// as `Err` instead.
+pub fn measure(run: &SimRun, exact: &[f32]) -> Measurement {
+    try_measure(run, exact).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`measure`], surfacing checkpoint-IO failures as `Err` (the sweep runner
+/// records them as [`JobFailure`] rows instead of aborting the sweep).
+pub fn try_measure(run: &SimRun, exact: &[f32]) -> Result<Measurement, String> {
+    let r = run.run_recoverable()?;
     let energy = EnergyModel::new(MemoryTech::Gddr5);
-    let row_energy_pj = energy.breakdown(&run.stats.dram).row_energy_pj;
-    Measurement {
-        app: app.name.to_string(),
-        scheme: scheme_label.to_string(),
-        ipc: run.stats.ipc(),
-        activations: run.stats.dram.activations,
-        avg_rbl: run.stats.dram.avg_rbl(),
-        coverage: run.stats.dram.coverage(),
-        app_error: application_error(exact, &run.output),
+    let row_energy_pj = energy.breakdown(&r.stats.dram).row_energy_pj;
+    Ok(Measurement {
+        app: run.app().name.to_string(),
+        scheme: run.scheme_label().to_string(),
+        ipc: r.stats.ipc(),
+        activations: r.stats.dram.activations,
+        avg_rbl: r.stats.dram.avg_rbl(),
+        coverage: r.stats.dram.coverage(),
+        app_error: application_error(exact, &r.output),
         row_energy_pj,
-        truncated: run.hit_cycle_limit,
-        stats: run.stats,
-    }
+        truncated: r.hit_cycle_limit,
+        stats: r.stats,
+    })
 }
 
 /// Convenience: the baseline measurement plus its exact output.
@@ -181,7 +186,12 @@ pub fn measure(
 /// baseline exactly once and shares it across schemes.
 pub fn measure_baseline(app: &AppSpec, cfg: &GpuConfig, scale: f64) -> (Measurement, Vec<f32>) {
     let exact = exact_output(app, scale);
-    let m = measure(app, cfg, &SchedConfig::baseline(), scale, "baseline", &exact);
+    let run = SimBuilder::new(app)
+        .gpu(cfg.clone())
+        .scheme(Scheme::Baseline)
+        .scale(scale)
+        .build();
+    let m = measure(&run, &exact);
     (m, exact)
 }
 

@@ -24,11 +24,19 @@
 //!   record per line for downstream plotting. Timing never enters the JSONL
 //!   records, so result files from parallel and sequential runs are
 //!   byte-identical.
+//! * **Crash recovery** — with `LAZYDRAM_CHECKPOINT_DIR` set (interval via
+//!   `LAZYDRAM_CHECKPOINT_EVERY`, default
+//!   [`lazydram_workloads::DEFAULT_CHECKPOINT_EVERY`] cycles), every job
+//!   periodically parks a serialized checkpoint; re-running a killed sweep
+//!   resumes each job from its last parked checkpoint instead of cycle 0,
+//!   and the bit-identical restore guarantee keeps the results (and the
+//!   JSONL file) byte-identical to an uninterrupted sweep. Checkpoint-IO
+//!   failures surface as [`JobFailure`] records, not panics.
 
-use crate::{measure, Measurement};
+use crate::{measure, try_measure, Measurement};
 use lazydram_common::json::JsonObject;
-use lazydram_common::{GpuConfig, SchedConfig};
-use lazydram_workloads::{exact_output, AppSpec};
+use lazydram_common::{GpuConfig, Scheme};
+use lazydram_workloads::{exact_output, AppSpec, CheckpointPolicy, SimBuilder};
 use std::collections::HashMap;
 use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -92,21 +100,21 @@ pub struct Baseline {
     pub exact: Arc<Vec<f32>>,
 }
 
-/// Everything needed to run one `(app, scheme)` measurement job.
+/// Everything needed to run one `(app, scheme)` measurement job: the fully
+/// configured [`SimBuilder`] plus the app's shared exact output.
 #[derive(Clone)]
 pub struct MeasureSpec {
-    /// Application to run.
-    pub app: AppSpec,
-    /// GPU configuration.
-    pub cfg: GpuConfig,
-    /// Scheduler policy.
-    pub sched: SchedConfig,
-    /// Work scale.
-    pub scale: f64,
-    /// Scheme label (also the JSONL `scheme` field).
-    pub label: String,
+    /// The configured simulation (app, scheme, machine, scale, …).
+    pub builder: SimBuilder,
     /// Exact output shared across the app's schemes.
     pub exact: Arc<Vec<f32>>,
+}
+
+impl MeasureSpec {
+    /// Pairs a configured builder with its app's exact reference output.
+    pub fn new(builder: SimBuilder, exact: Arc<Vec<f32>>) -> Self {
+        Self { builder, exact }
+    }
 }
 
 type BaselineKey = (String, u64, String);
@@ -116,6 +124,7 @@ pub struct SweepRunner {
     workers: usize,
     quiet: bool,
     results: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
+    checkpoints: Option<CheckpointPolicy>,
     baselines: Mutex<HashMap<BaselineKey, Arc<OnceLock<Arc<Baseline>>>>>,
 }
 
@@ -132,18 +141,21 @@ pub fn parse_jobs(s: &str) -> Result<usize, String> {
 impl SweepRunner {
     /// Builds a runner from the environment: worker count from
     /// `LAZYDRAM_JOBS` (default: available parallelism), JSONL results path
-    /// from `LAZYDRAM_RESULTS` (default: none).
+    /// from `LAZYDRAM_RESULTS` (default: none), crash-recovery
+    /// checkpointing from `LAZYDRAM_CHECKPOINT_DIR` /
+    /// `LAZYDRAM_CHECKPOINT_EVERY` (default: off).
     ///
     /// # Panics
     ///
-    /// Panics on a malformed `LAZYDRAM_JOBS` or an unwritable
-    /// `LAZYDRAM_RESULTS` path.
+    /// Panics on a malformed `LAZYDRAM_JOBS`, an unwritable
+    /// `LAZYDRAM_RESULTS` path, or malformed checkpoint variables.
     pub fn from_env() -> Self {
         let workers = match std::env::var("LAZYDRAM_JOBS") {
             Ok(s) => parse_jobs(&s).unwrap_or_else(|e| panic!("{e}")),
             Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
         };
-        let runner = Self::with_workers(workers);
+        let runner =
+            Self::with_workers(workers).with_checkpoints(CheckpointPolicy::from_env_or_die());
         match std::env::var("LAZYDRAM_RESULTS") {
             Ok(path) if !path.trim().is_empty() => runner.with_results_file(&path),
             _ => runner,
@@ -156,8 +168,16 @@ impl SweepRunner {
             workers: workers.max(1),
             quiet: std::env::var("LAZYDRAM_QUIET").is_ok(),
             results: None,
+            checkpoints: None,
             baselines: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Attaches (or clears) the periodic checkpoint policy applied to every
+    /// measurement job.
+    pub fn with_checkpoints(mut self, policy: Option<CheckpointPolicy>) -> Self {
+        self.checkpoints = policy;
+        self
     }
 
     /// Enables the JSONL results file (truncates `path`).
@@ -270,8 +290,13 @@ impl SweepRunner {
             .clone();
         cell.get_or_init(|| {
             let exact = Arc::new(exact_output(app, scale));
-            let measurement =
-                measure(app, cfg, &SchedConfig::baseline(), scale, "baseline", &exact);
+            let run = SimBuilder::new(app)
+                .gpu(cfg.clone())
+                .scheme(Scheme::Baseline)
+                .scale(scale)
+                .checkpoints(self.checkpoints.clone())
+                .build();
+            let measurement = measure(&run, &exact);
             Arc::new(Baseline { measurement, exact })
         })
         .clone()
@@ -309,25 +334,42 @@ impl SweepRunner {
     /// Runs every measurement spec on the pool, records the outcomes in the
     /// JSONL results file (submission order, so files are byte-identical
     /// across worker counts), and returns the outcomes in submission order.
+    /// With a checkpoint policy attached, each job runs crash-recoverably;
+    /// a checkpoint-IO failure becomes that job's [`JobFailure`] record.
     pub fn measure_all(&self, specs: Vec<MeasureSpec>) -> Vec<JobResult<Measurement>> {
+        let labels: Vec<String> = specs
+            .iter()
+            .map(|s| format!("{}/{}", s.builder.app().name, s.builder.scheme_label()))
+            .collect();
         let jobs = specs
             .into_iter()
-            .map(|spec| {
-                let label = format!("{}/{}", spec.app.name, spec.label);
-                Job::new(label, move || {
-                    measure(
-                        &spec.app,
-                        &spec.cfg,
-                        &spec.sched,
-                        spec.scale,
-                        &spec.label,
-                        &spec.exact,
-                    )
-                })
-                .with_note(skip_note)
+            .zip(&labels)
+            .map(|(spec, label)| {
+                // The runner's policy wins when set; otherwise whatever the
+                // spec's builder already carries stays in effect.
+                let builder = match &self.checkpoints {
+                    Some(p) => spec.builder.checkpoints(Some(p.clone())),
+                    None => spec.builder,
+                };
+                let exact = spec.exact;
+                Job::new(label.clone(), move || try_measure(&builder.build(), &exact)).with_note(
+                    |r: &Result<Measurement, String>| match r {
+                        Ok(m) => skip_note(m),
+                        Err(_) => String::new(),
+                    },
+                )
             })
             .collect();
-        let results = self.run(jobs);
+        let results: Vec<JobResult<Measurement>> = self
+            .run(jobs)
+            .into_iter()
+            .zip(labels)
+            .map(|(res, label)| match res {
+                Ok(Ok(m)) => Ok(m),
+                Ok(Err(message)) => Err(JobFailure { label, message }),
+                Err(f) => Err(f),
+            })
+            .collect();
         for res in &results {
             match res {
                 Ok(m) => self.record_measurement(m),

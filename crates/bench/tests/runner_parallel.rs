@@ -2,7 +2,7 @@
 //! to sequential execution, panics are isolated per job, and the baseline
 //! cache is transparent.
 
-use lazydram_bench::{measure_baseline, Job, MeasureSpec, SweepRunner};
+use lazydram_bench::{measure_baseline, Job, MeasureSpec, SimBuilder, SweepRunner};
 use lazydram_common::{DmsMode, GpuConfig, SchedConfig};
 use lazydram_workloads::by_name;
 use std::sync::Arc;
@@ -27,14 +27,16 @@ fn sweep_json(workers: usize, path: &str) -> Vec<String> {
     for (app, base) in apps.iter().zip(&bases) {
         let base = base.as_ref().expect("baseline runs");
         for delay in [128u32, 512] {
-            specs.push(MeasureSpec {
-                app: app.clone(),
-                cfg: cfg.clone(),
-                sched: SchedConfig { dms: DmsMode::Static(delay), ..SchedConfig::baseline() },
-                scale: SCALE,
-                label: format!("DMS({delay})"),
-                exact: base.exact.clone(),
-            });
+            specs.push(MeasureSpec::new(
+                SimBuilder::new(app)
+                    .gpu(cfg.clone())
+                    .sched(
+                        SchedConfig { dms: DmsMode::Static(delay), ..SchedConfig::baseline() },
+                        format!("DMS({delay})"),
+                    )
+                    .scale(SCALE),
+                base.exact.clone(),
+            ));
         }
     }
     let results = runner.measure_all(specs);

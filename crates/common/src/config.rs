@@ -475,14 +475,93 @@ impl SchedConfig {
     /// All six schemes evaluated in Figure 12, with their paper labels,
     /// in presentation order.
     pub fn paper_schemes() -> Vec<(&'static str, Self)> {
-        vec![
-            ("Static-DMS", Self::static_dms()),
-            ("Dyn-DMS", Self::dyn_dms()),
-            ("Static-AMS", Self::static_ams()),
-            ("Dyn-AMS", Self::dyn_ams()),
-            ("Static-DMS+Static-AMS", Self::static_combo()),
-            ("Dyn-DMS+Dyn-AMS", Self::dyn_combo()),
-        ]
+        Scheme::PAPER.iter().map(|s| (s.label(), s.sched())).collect()
+    }
+}
+
+/// The named scheduling schemes of the paper's evaluation, unified into one
+/// constructor enum.
+///
+/// Every consumer-facing entry point (`SimBuilder`, the CLI, the figure
+/// harnesses) selects a policy through this enum instead of hand-wiring a
+/// [`SchedConfig`]; parameter sweeps that need off-menu settings (e.g. a
+/// custom static DMS delay) still build a raw [`SchedConfig`] and attach
+/// their own label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// FR-FCFS with no delaying and no approximation.
+    Baseline,
+    /// Delayed memory scheduling with the paper's fixed delay (X = 128).
+    StaticDms,
+    /// Delayed memory scheduling with the per-window delay search.
+    DynDms,
+    /// Approximate memory scheduling with the fixed RBL threshold (8).
+    StaticAms,
+    /// Approximate memory scheduling with the dynamic threshold.
+    DynAms,
+    /// `Static-DMS + Static-AMS` combination.
+    StaticCombo,
+    /// `Dyn-DMS + Dyn-AMS` — the headline scheme.
+    DynCombo,
+}
+
+impl Scheme {
+    /// Every scheme, baseline first.
+    pub const ALL: [Scheme; 7] = [
+        Scheme::Baseline,
+        Scheme::StaticDms,
+        Scheme::DynDms,
+        Scheme::StaticAms,
+        Scheme::DynAms,
+        Scheme::StaticCombo,
+        Scheme::DynCombo,
+    ];
+
+    /// The six non-baseline schemes of Figure 12, in presentation order.
+    pub const PAPER: [Scheme; 6] = [
+        Scheme::StaticDms,
+        Scheme::DynDms,
+        Scheme::StaticAms,
+        Scheme::DynAms,
+        Scheme::StaticCombo,
+        Scheme::DynCombo,
+    ];
+
+    /// The scheduling policy this scheme names.
+    pub fn sched(self) -> SchedConfig {
+        match self {
+            Scheme::Baseline => SchedConfig::baseline(),
+            Scheme::StaticDms => SchedConfig::static_dms(),
+            Scheme::DynDms => SchedConfig::dyn_dms(),
+            Scheme::StaticAms => SchedConfig::static_ams(),
+            Scheme::DynAms => SchedConfig::dyn_ams(),
+            Scheme::StaticCombo => SchedConfig::static_combo(),
+            Scheme::DynCombo => SchedConfig::dyn_combo(),
+        }
+    }
+
+    /// The paper's display label (also the JSONL `scheme` field).
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Baseline => "baseline",
+            Scheme::StaticDms => "Static-DMS",
+            Scheme::DynDms => "Dyn-DMS",
+            Scheme::StaticAms => "Static-AMS",
+            Scheme::DynAms => "Dyn-AMS",
+            Scheme::StaticCombo => "Static-DMS+Static-AMS",
+            Scheme::DynCombo => "Dyn-DMS+Dyn-AMS",
+        }
+    }
+
+    /// Looks a scheme up by its (case-insensitive) display label.
+    pub fn by_label(name: &str) -> Option<Scheme> {
+        Scheme::ALL.into_iter().find(|s| s.label().eq_ignore_ascii_case(name))
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -523,6 +602,21 @@ mod tests {
         let combo = SchedConfig::dyn_combo();
         assert!(combo.dms.is_enabled() && combo.ams.is_enabled());
         assert_eq!(SchedConfig::paper_schemes().len(), 6);
+    }
+
+    #[test]
+    fn scheme_enum_matches_constructors() {
+        assert_eq!(Scheme::Baseline.sched(), SchedConfig::baseline());
+        assert_eq!(Scheme::DynCombo.sched(), SchedConfig::dyn_combo());
+        for (label, sched) in SchedConfig::paper_schemes() {
+            let s = Scheme::by_label(label).expect("label resolves");
+            assert_eq!(s.label(), label);
+            assert_eq!(s.sched(), sched);
+        }
+        assert_eq!(Scheme::by_label("dyn-dms+dyn-ams"), Some(Scheme::DynCombo));
+        assert_eq!(Scheme::by_label("BASELINE"), Some(Scheme::Baseline));
+        assert_eq!(Scheme::by_label("telepathy"), None);
+        assert_eq!(format!("{}", Scheme::StaticDms), "Static-DMS");
     }
 
     #[test]

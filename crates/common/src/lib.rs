@@ -13,7 +13,9 @@
 //! * [`rng`] — the deterministic SplitMix64 generator used for workload-input
 //!   synthesis (offline replacement for the `rand` crate),
 //! * [`json`] — a minimal JSON emitter for machine-readable harness output
-//!   (offline replacement for `serde_json`).
+//!   (offline replacement for `serde_json`),
+//! * [`snap`] — the hand-rolled, versioned, length-prefixed binary snapshot
+//!   format backing checkpoint/restore (offline replacement for `serde`).
 //!
 //! # Example
 //!
@@ -36,12 +38,14 @@ pub mod json;
 pub mod prof;
 pub mod req;
 pub mod rng;
+pub mod snap;
 pub mod stats;
 
 pub use addr::{AddressMap, Location};
 pub use fasthash::{FastMap, FastSet};
-pub use config::{AmsMode, Arbiter, DmsMode, DramTimings, GpuConfig, RowPolicy, SchedConfig};
+pub use config::{AmsMode, Arbiter, DmsMode, DramTimings, GpuConfig, RowPolicy, SchedConfig, Scheme};
 pub use prof::ProfReport;
 pub use req::{AccessKind, MemSpace, Request, RequestId};
 pub use rng::SplitMix64;
+pub use snap::{Loader, Saver, SnapError, SnapResult};
 pub use stats::{DramStats, RblHistogram, SimStats};

@@ -69,6 +69,44 @@ impl Request {
     pub fn age(&self, now: u64) -> u64 {
         now.saturating_sub(self.arrival)
     }
+
+    /// Serializes the request into a snapshot.
+    pub fn save_state(&self, s: &mut crate::snap::Saver) {
+        s.u64("id", self.id.0);
+        s.u64("addr", self.addr);
+        s.u16("channel", self.loc.channel);
+        s.u16("bank_group", self.loc.bank_group);
+        s.u16("bank_in_group", self.loc.bank_in_group);
+        s.u32("row", self.loc.row);
+        s.u16("col", self.loc.col);
+        s.bool("is_read", self.kind.is_read());
+        s.bool("is_global", self.space == MemSpace::Global);
+        s.bool("approximable", self.approximable);
+        s.u64("arrival", self.arrival);
+    }
+
+    /// Deserializes a request written by [`Request::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the snapshot bytes are malformed.
+    pub fn load_state(l: &mut crate::snap::Loader<'_>) -> crate::snap::SnapResult<Self> {
+        Ok(Request {
+            id: RequestId(l.u64("id")?),
+            addr: l.u64("addr")?,
+            loc: Location {
+                channel: l.u16("channel")?,
+                bank_group: l.u16("bank_group")?,
+                bank_in_group: l.u16("bank_in_group")?,
+                row: l.u32("row")?,
+                col: l.u16("col")?,
+            },
+            kind: if l.bool("is_read")? { AccessKind::Read } else { AccessKind::Write },
+            space: if l.bool("is_global")? { MemSpace::Global } else { MemSpace::Other },
+            approximable: l.bool("approximable")?,
+            arrival: l.u64("arrival")?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -99,6 +99,20 @@ impl RblHistogram {
         }
     }
 
+    /// Serializes the histogram into a snapshot.
+    pub fn save_state(&self, s: &mut crate::snap::Saver) {
+        s.u64s("hist", &self.hist);
+    }
+
+    /// Restores the histogram from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the snapshot bytes are malformed.
+    pub fn load_state(&mut self, l: &mut crate::snap::Loader<'_>) -> crate::snap::SnapResult<()> {
+        l.u64s("hist", &mut self.hist)
+    }
+
     /// The cumulative-distribution curve of Figure 6: walking activations in
     /// increasing-RBL order, yields one point per RBL bucket:
     /// `(requests_fraction_so_far, activations_fraction_so_far, rbl)`.
@@ -217,6 +231,44 @@ impl DramStats {
         o.finish()
     }
 
+    /// Serializes the counters and histograms into a snapshot.
+    pub fn save_state(&self, s: &mut crate::snap::Saver) {
+        s.u64("mem_cycles", self.mem_cycles);
+        s.u64("activations", self.activations);
+        s.u64("precharges", self.precharges);
+        s.u64("reads", self.reads);
+        s.u64("writes", self.writes);
+        s.u64("row_hits", self.row_hits);
+        s.u64("row_misses", self.row_misses);
+        s.u64("bus_busy_cycles", self.bus_busy_cycles);
+        s.u64("requests_received", self.requests_received);
+        s.u64("global_reads_received", self.global_reads_received);
+        s.u64("dropped", self.dropped);
+        self.rbl.save_state(s);
+        self.rbl_read_only.save_state(s);
+    }
+
+    /// Restores the counters and histograms from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the snapshot bytes are malformed.
+    pub fn load_state(&mut self, l: &mut crate::snap::Loader<'_>) -> crate::snap::SnapResult<()> {
+        self.mem_cycles = l.u64("mem_cycles")?;
+        self.activations = l.u64("activations")?;
+        self.precharges = l.u64("precharges")?;
+        self.reads = l.u64("reads")?;
+        self.writes = l.u64("writes")?;
+        self.row_hits = l.u64("row_hits")?;
+        self.row_misses = l.u64("row_misses")?;
+        self.bus_busy_cycles = l.u64("bus_busy_cycles")?;
+        self.requests_received = l.u64("requests_received")?;
+        self.global_reads_received = l.u64("global_reads_received")?;
+        self.dropped = l.u64("dropped")?;
+        self.rbl.load_state(l)?;
+        self.rbl_read_only.load_state(l)
+    }
+
     /// Merges per-channel statistics into an aggregate.
     pub fn merge(&mut self, other: &DramStats) {
         self.mem_cycles = self.mem_cycles.max(other.mem_cycles);
@@ -333,6 +385,59 @@ impl SimStats {
         } else {
             self.instructions as f64 / self.core_cycles as f64
         }
+    }
+
+    /// Serializes the statistics into a snapshot. The wall-clock `prof`
+    /// report is intentionally excluded (it is nondeterministic and already
+    /// excluded from `==`); a restored run re-accumulates its own profile.
+    pub fn save_state(&self, s: &mut crate::snap::Saver) {
+        let Self {
+            core_cycles,
+            instructions,
+            l1_hits,
+            l1_misses,
+            l2_hits,
+            l2_misses,
+            approximated_loads,
+            cycles_skipped,
+            ticks_executed,
+            ams_declines,
+            ams_accepts,
+            dram,
+            prof: _,
+        } = self;
+        s.u64("core_cycles", *core_cycles);
+        s.u64("instructions", *instructions);
+        s.u64("l1_hits", *l1_hits);
+        s.u64("l1_misses", *l1_misses);
+        s.u64("l2_hits", *l2_hits);
+        s.u64("l2_misses", *l2_misses);
+        s.u64("approximated_loads", *approximated_loads);
+        s.u64("cycles_skipped", *cycles_skipped);
+        s.u64("ticks_executed", *ticks_executed);
+        s.u64s("ams_declines", ams_declines);
+        s.u64("ams_accepts", *ams_accepts);
+        dram.save_state(s);
+    }
+
+    /// Restores the statistics from a snapshot (`prof` is left untouched).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the snapshot bytes are malformed.
+    pub fn load_state(&mut self, l: &mut crate::snap::Loader<'_>) -> crate::snap::SnapResult<()> {
+        self.core_cycles = l.u64("core_cycles")?;
+        self.instructions = l.u64("instructions")?;
+        self.l1_hits = l.u64("l1_hits")?;
+        self.l1_misses = l.u64("l1_misses")?;
+        self.l2_hits = l.u64("l2_hits")?;
+        self.l2_misses = l.u64("l2_misses")?;
+        self.approximated_loads = l.u64("approximated_loads")?;
+        self.cycles_skipped = l.u64("cycles_skipped")?;
+        self.ticks_executed = l.u64("ticks_executed")?;
+        l.u64s("ams_declines", &mut self.ams_declines)?;
+        self.ams_accepts = l.u64("ams_accepts")?;
+        self.dram.load_state(l)
     }
 
     /// Serializes the whole-simulation statistics as a JSON object.

@@ -19,6 +19,7 @@ use crate::ams::AmsUnit;
 use crate::dms::DmsUnit;
 use crate::queue::{PendingQueue, QueueFull};
 use lazydram_common::prof::{self, Phase};
+use lazydram_common::snap::{Loader, Saver, SnapResult};
 use lazydram_common::{AccessKind, Arbiter, GpuConfig, Request, RequestId, RowPolicy, SchedConfig};
 use lazydram_dram::Channel;
 use std::collections::VecDeque;
@@ -221,15 +222,6 @@ impl MemoryController {
         }
 
         self.schedule(out);
-    }
-
-    /// Convenience wrapper around [`MemoryController::tick`] that allocates
-    /// a fresh response buffer per cycle. Fine for tests and cold paths;
-    /// hot loops should reuse a buffer via `tick`.
-    pub fn tick_collect(&mut self) -> Vec<Response> {
-        let mut out = Vec::new();
-        self.tick(&mut out);
-        out
     }
 
     /// The earliest future memory cycle at which ticking this controller
@@ -508,6 +500,76 @@ impl MemoryController {
         let out: Vec<Response> = self.inflight.drain(..).map(|f| f.resp).collect();
         out
     }
+
+    /// Serializes the controller's complete state (pending queue, DRAM
+    /// channel, policy units, in-flight bursts, drop sequence, clock) into a
+    /// snapshot. Configuration-derived fields (geometry, arbiter, row
+    /// policy, modes) are not serialized — the restoring controller must be
+    /// constructed from the same configuration.
+    pub fn save_state(&self, s: &mut Saver) {
+        s.frame("pq", 0, |s| self.queue.save_state(s));
+        s.frame("chan", 0, |s| self.channel.save_state(s));
+        s.frame("dms", 0, |s| self.dms.save_state(s));
+        s.frame("ams", 0, |s| self.ams.save_state(s));
+        // The remaining scalars live in their own frame so the whole payload
+        // is a sequence of frames — the divergence tool walks snapshot
+        // regions frame-by-frame (and skips policy-unit frames when
+        // comparing architectural state across configurations).
+        s.frame("rest", 0, |s| {
+            s.seq("inflight", self.inflight.len());
+            for f in &self.inflight {
+                s.u64("ready_at", f.ready_at);
+                s.u64("resp_id", f.resp.id.0);
+                s.u64("resp_addr", f.resp.addr);
+                s.bool("resp_approx", f.resp.approximated);
+            }
+            match self.dropping {
+                None => s.bool("has_dropping", false),
+                Some((bank, row, remaining)) => {
+                    s.bool("has_dropping", true);
+                    s.usize("drop_bank", bank);
+                    s.u32("drop_row", row);
+                    s.u32("drop_remaining", remaining);
+                }
+            }
+            s.u64("now", self.now);
+        });
+    }
+
+    /// Restores the controller state from a snapshot written by
+    /// [`MemoryController::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the snapshot bytes are malformed or the
+    /// snapshot geometry disagrees with this controller's configuration.
+    pub fn load_state(&mut self, l: &mut Loader<'_>) -> SnapResult<()> {
+        l.frame("pq", 0, |l| self.queue.load_state(l))?;
+        l.frame("chan", 0, |l| self.channel.load_state(l))?;
+        l.frame("dms", 0, |l| self.dms.load_state(l))?;
+        l.frame("ams", 0, |l| self.ams.load_state(l))?;
+        l.frame("rest", 0, |l| {
+            let n = l.seq("inflight", 25)?;
+            self.inflight.clear();
+            for _ in 0..n {
+                let ready_at = l.u64("ready_at")?;
+                let id = RequestId(l.u64("resp_id")?);
+                let addr = l.u64("resp_addr")?;
+                let approximated = l.bool("resp_approx")?;
+                self.inflight.push_back(Inflight {
+                    ready_at,
+                    resp: Response { id, addr, approximated },
+                });
+            }
+            self.dropping = if l.bool("has_dropping")? {
+                Some((l.usize("drop_bank")?, l.u32("drop_row")?, l.u32("drop_remaining")?))
+            } else {
+                None
+            };
+            self.now = l.u64("now")?;
+            Ok(())
+        })
+    }
 }
 
 #[cfg(test)]
@@ -546,10 +608,18 @@ mod tests {
         MemoryController::new(&cfg(), &SchedConfig::baseline())
     }
 
+    /// One tick into a fresh caller-owned buffer (the sink API `tick`
+    /// exposes; tests trade the allocation for brevity).
+    fn tick1(mc: &mut MemoryController) -> Vec<Response> {
+        let mut out = Vec::new();
+        mc.tick(&mut out);
+        out
+    }
+
     fn run_until_idle(mc: &mut MemoryController, max: u64) -> Vec<Response> {
         let mut out = Vec::new();
         for _ in 0..max {
-            out.extend(mc.tick_collect());
+            mc.tick(&mut out);
             if mc.is_idle() {
                 break;
             }
@@ -580,7 +650,7 @@ mod tests {
         // Open row 0 via request 1, then queue a miss (row 1) and a hit (row 0).
         mc.enqueue(mkreq(&map, 1, 0, 0, 0, AccessKind::Read)).unwrap();
         for _ in 0..30 {
-            mc.tick_collect();
+            tick1(&mut mc);
         }
         mc.enqueue(mkreq(&map, 2, 0, 1, 0, AccessKind::Read)).unwrap(); // miss, older
         mc.enqueue(mkreq(&map, 3, 0, 0, 1, AccessKind::Read)).unwrap(); // hit, younger
@@ -611,7 +681,7 @@ mod tests {
         let t_nodelay = {
             let mut t = 0;
             for i in 1..500 {
-                if !nodelay.tick_collect().is_empty() {
+                if !tick1(&mut nodelay).is_empty() {
                     t = i;
                     break;
                 }
@@ -621,7 +691,7 @@ mod tests {
         let t_delayed = {
             let mut t = 0;
             for i in 1..500 {
-                if !delayed.tick_collect().is_empty() {
+                if !tick1(&mut delayed).is_empty() {
                     t = i;
                     break;
                 }
@@ -646,7 +716,7 @@ mod tests {
                 mc.enqueue(mkreq(&map, id, 0, row, 0, AccessKind::Read)).unwrap();
             }
             for _ in 0..gap {
-                mc.tick_collect();
+                tick1(&mut mc);
             }
             for row in 0..4u32 {
                 id += 1;
@@ -716,7 +786,7 @@ mod tests {
         for i in 0..30u64 {
             mc.enqueue(mkreq(&map, i + 1, 0, i as u32, 0, AccessKind::Read)).unwrap();
             for _ in 0..60 {
-                mc.tick_collect();
+                tick1(&mut mc);
             }
         }
         run_until_idle(&mut mc, 10_000);
@@ -775,7 +845,7 @@ mod tests {
             // still open when the second batch lands (as in Figure 8).
             let mut out = Vec::new();
             for _ in 0..20 {
-                out.extend(mc.tick_collect());
+                out.extend(tick1(&mut mc));
             }
             for row in 1..=4u32 {
                 id += 1;
@@ -819,7 +889,7 @@ mod tests {
         // hit (row 0). Strict FCFS must serve the older miss first.
         mc.enqueue(mkreq(&map, 1, 0, 0, 0, AccessKind::Read)).unwrap();
         for _ in 0..30 {
-            mc.tick_collect();
+            tick1(&mut mc);
         }
         mc.enqueue(mkreq(&map, 2, 0, 1, 0, AccessKind::Read)).unwrap(); // miss, older
         mc.enqueue(mkreq(&map, 3, 0, 0, 1, AccessKind::Read)).unwrap(); // hit, younger
@@ -838,14 +908,14 @@ mod tests {
         run_until_idle(&mut mc, 500);
         // Give the policy time to close the row.
         for _ in 0..80 {
-            mc.tick_collect();
+            tick1(&mut mc);
         }
         // A second request to the same row must re-activate it.
         mc.enqueue(mkreq(&map, 2, 0, 0, 1, AccessKind::Read)).unwrap();
         run_until_idle(&mut mc, 500);
         // Let the policy close the second activation too (tRAS must pass).
         for _ in 0..80 {
-            mc.tick_collect();
+            tick1(&mut mc);
         }
         let st = mc.channel().stats();
         assert_eq!(st.activations, 2, "closed-page must have closed the idle row");
@@ -859,7 +929,7 @@ mod tests {
         mc.enqueue(mkreq(&map, 1, 0, 0, 0, AccessKind::Read)).unwrap();
         run_until_idle(&mut mc, 500);
         for _ in 0..80 {
-            mc.tick_collect();
+            tick1(&mut mc);
         }
         mc.enqueue(mkreq(&map, 2, 0, 0, 1, AccessKind::Read)).unwrap();
         run_until_idle(&mut mc, 500);
@@ -884,10 +954,10 @@ mod tests {
                 mc.enqueue(mkreq(&map, id, id % 4, (id % 3) as u32, 0, AccessKind::Read))
                     .unwrap();
             }
-            out.extend(mc.tick_collect());
+            out.extend(tick1(&mut mc));
         }
         while !mc.is_idle() {
-            out.extend(mc.tick_collect());
+            out.extend(tick1(&mut mc));
         }
         assert_eq!(out.len() as u64, id, "all reads answered despite refreshes");
         assert!(mc.channel().refreshes() >= 5, "refreshes kept recurring");

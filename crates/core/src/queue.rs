@@ -25,6 +25,7 @@
 //! last request leaves, which also bounds live row state by queue occupancy
 //! instead of by the number of rows ever touched.
 
+use lazydram_common::snap::{load_u64_deque, save_u64_deque, Loader, Saver, SnapError, SnapResult};
 use lazydram_common::{FastMap, Request, RequestId};
 use std::collections::VecDeque;
 
@@ -353,6 +354,131 @@ impl PendingQueue {
             .iter()
             .filter(|&&(seq, _)| self.live.is_live(seq))
             .map(|(_, r)| r)
+    }
+
+    fn save_seq_fifo(s: &mut Saver, label: &str, q: &VecDeque<(u64, Request)>) {
+        s.seq(label, q.len());
+        for (seq, r) in q {
+            s.u64("seq", *seq);
+            r.save_state(s);
+        }
+    }
+
+    fn load_seq_fifo(l: &mut Loader<'_>, label: &str) -> SnapResult<VecDeque<(u64, Request)>> {
+        let len = l.seq(label, 16)?;
+        let mut q = VecDeque::with_capacity(len);
+        for _ in 0..len {
+            let seq = l.u64("seq")?;
+            q.push_back((seq, Request::load_state(l)?));
+        }
+        Ok(q)
+    }
+
+    /// Serializes the queue's complete state — including lazily-cleaned
+    /// (dead) FIFO entries and the exact slab/free-list layout, which affect
+    /// future cleaning and slot-recycling order and therefore must survive a
+    /// checkpoint bit-exactly. Capacity and geometry are *not* serialized;
+    /// they come from the configuration at restore time.
+    pub fn save_state(&self, s: &mut Saver) {
+        s.u64("next_seq", self.next_seq);
+        // Id map in canonical (sorted-by-id) order; FastMap iteration order
+        // is never otherwise observed, so sorting keeps snapshots canonical.
+        let mut ids: Vec<(&RequestId, &(u64, u32))> = self.reqs.iter().collect();
+        ids.sort_unstable_by_key(|(id, _)| **id);
+        s.seq("reqs", ids.len());
+        for (id, (seq, slot)) in ids {
+            s.u64("id", id.0);
+            s.u64("seq", *seq);
+            s.u32("slot", *slot);
+        }
+        s.u64("live_base", self.live.base);
+        save_u64_deque(s, "live_words", &self.live.words);
+        Self::save_seq_fifo(s, "arrival", &self.arrival);
+        s.seq("bank_fifo", self.bank_fifo.len());
+        for q in &self.bank_fifo {
+            Self::save_seq_fifo(s, "bank", q);
+        }
+        s.seq("rows", self.rows.len());
+        for e in &self.rows {
+            s.u32("row", e.row);
+            Self::save_seq_fifo(s, "row_fifo", &e.fifo);
+            s.u32("count", e.count);
+            s.u32("global_reads", e.global_reads);
+        }
+        s.seq("free_rows", self.free_rows.len());
+        for &slot in &self.free_rows {
+            s.u32("slot", slot);
+        }
+        s.seq("bank_rows", self.bank_rows.len());
+        for slots in &self.bank_rows {
+            s.seq("bank_slots", slots.len());
+            for &slot in slots {
+                s.u32("slot", slot);
+            }
+        }
+    }
+
+    /// Restores the queue state from a snapshot. The queue must have been
+    /// constructed with the same capacity/geometry that produced it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the snapshot bytes are malformed or the bank
+    /// count differs from this queue's geometry.
+    pub fn load_state(&mut self, l: &mut Loader<'_>) -> SnapResult<()> {
+        self.next_seq = l.u64("next_seq")?;
+        let n = l.seq("reqs", 20)?;
+        self.reqs = FastMap::default();
+        self.reqs.reserve(n);
+        for _ in 0..n {
+            let id = RequestId(l.u64("id")?);
+            let seq = l.u64("seq")?;
+            let slot = l.u32("slot")?;
+            self.reqs.insert(id, (seq, slot));
+        }
+        self.live.base = l.u64("live_base")?;
+        self.live.words = load_u64_deque(l, "live_words")?;
+        self.arrival = Self::load_seq_fifo(l, "arrival")?;
+        let banks = l.seq("bank_fifo", 8)?;
+        if banks != self.bank_fifo.len() {
+            return Err(SnapError::Malformed {
+                label: "bank_fifo".into(),
+                why: format!("snapshot has {banks} banks, queue has {}", self.bank_fifo.len()),
+            });
+        }
+        for q in self.bank_fifo.iter_mut() {
+            *q = Self::load_seq_fifo(l, "bank")?;
+        }
+        let rows = l.seq("rows", 20)?;
+        self.rows.clear();
+        self.rows.reserve(rows);
+        for _ in 0..rows {
+            let row = l.u32("row")?;
+            let fifo = Self::load_seq_fifo(l, "row_fifo")?;
+            let count = l.u32("count")?;
+            let global_reads = l.u32("global_reads")?;
+            self.rows.push(RowEntry { row, fifo, count, global_reads });
+        }
+        let free = l.seq("free_rows", 4)?;
+        self.free_rows.clear();
+        for _ in 0..free {
+            self.free_rows.push(l.u32("slot")?);
+        }
+        let nbr = l.seq("bank_rows", 8)?;
+        if nbr != self.bank_rows.len() {
+            return Err(SnapError::Malformed {
+                label: "bank_rows".into(),
+                why: format!("snapshot has {nbr} banks, queue has {}", self.bank_rows.len()),
+            });
+        }
+        for slots in self.bank_rows.iter_mut() {
+            let k = l.seq("bank_slots", 4)?;
+            slots.clear();
+            for _ in 0..k {
+                slots.push(l.u32("slot")?);
+            }
+        }
+        Ok(())
     }
 }
 

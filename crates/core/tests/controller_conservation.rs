@@ -17,6 +17,7 @@ fn run_conservation(seed_reqs: Vec<(u32, u8, bool)>, sched: SchedConfig) -> Resu
     let mut next_id = 0u64;
     let mut pending: Vec<(u32, u8, bool)> = seed_reqs;
     pending.reverse();
+    let mut out = Vec::new();
 
     for _ in 0..2_000_000u64 {
         // Feed one request per cycle while the queue has room.
@@ -43,7 +44,9 @@ fn run_conservation(seed_reqs: Vec<(u32, u8, bool)>, sched: SchedConfig) -> Resu
                 mc.enqueue(req).unwrap();
             }
         }
-        for r in mc.tick_collect() {
+        out.clear();
+        mc.tick(&mut out);
+        for r in &out {
             responses.push(r.id.0);
         }
         if pending.is_empty() && mc.is_idle() {

@@ -7,6 +7,8 @@
 //! cache sets … use the values from cache lines with nearest addresses".
 
 
+use lazydram_common::snap::{Loader, Saver, SnapError, SnapResult};
+
 /// Result of a cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessResult {
@@ -214,6 +216,59 @@ impl Cache {
     /// Iterates all resident lines (for drain-time writeback sweeps).
     pub fn resident(&self) -> impl Iterator<Item = (u64, bool)> + '_ {
         self.sets.iter().flatten().map(|w| (w.line, w.dirty))
+    }
+
+    /// Serializes the cache's dynamic state (tags, dirtiness, recency,
+    /// counters). Geometry comes from the configuration at restore time.
+    pub fn save_state(&self, s: &mut Saver) {
+        s.u64("tick", self.tick);
+        s.u64("hits", self.hits);
+        s.u64("misses", self.misses);
+        s.seq("sets", self.sets.len());
+        for (i, set) in self.sets.iter().enumerate() {
+            s.frame("set", i as u32, |s| {
+                s.seq("ways", set.len());
+                for w in set {
+                    s.u64("line", w.line);
+                    s.bool("dirty", w.dirty);
+                    s.u64("lru", w.lru);
+                }
+            });
+        }
+    }
+
+    /// Restores dynamic state into a cache built from the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the snapshot bytes are malformed or the set
+    /// count does not match this cache's geometry.
+    pub fn load_state(&mut self, l: &mut Loader<'_>) -> SnapResult<()> {
+        self.tick = l.u64("tick")?;
+        self.hits = l.u64("hits")?;
+        self.misses = l.u64("misses")?;
+        let nsets = l.seq("sets", 16)?;
+        if nsets != self.sets.len() {
+            return Err(SnapError::Malformed {
+                label: "sets".into(),
+                why: format!("snapshot has {nsets} sets, cache has {}", self.sets.len()),
+            });
+        }
+        for (i, set) in self.sets.iter_mut().enumerate() {
+            l.frame("set", i as u32, |l| {
+                let nways = l.seq("ways", 17)?;
+                set.clear();
+                for _ in 0..nways {
+                    set.push(Way {
+                        line: l.u64("line")?,
+                        dirty: l.bool("dirty")?,
+                        lru: l.u64("lru")?,
+                    });
+                }
+                Ok(())
+            })?;
+        }
+        Ok(())
     }
 }
 

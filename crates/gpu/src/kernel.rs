@@ -8,6 +8,7 @@
 //! under AMS is measured, not assumed.
 
 use crate::memimg::MemoryImage;
+use lazydram_common::snap::{Loader, Saver, SnapResult};
 
 
 /// One operation issued by a warp — the *owned* reference representation.
@@ -150,6 +151,20 @@ pub trait WarpProgram {
     /// or [`OpBuf::set_finished`]); any previous contents of the buffer are
     /// unspecified garbage and must not be read.
     fn next(&mut self, loaded: &[f32], out: &mut OpBuf);
+
+    /// Serializes the program's *dynamic* state (loop counters, accumulators,
+    /// phase). Configuration passed to the constructor is not written: a
+    /// checkpoint restore rebuilds the program via [`Kernel::program`] for
+    /// the same warp and then calls [`WarpProgram::load_state`] on it.
+    fn save_state(&self, s: &mut Saver);
+
+    /// Restores dynamic state written by [`WarpProgram::save_state`] into a
+    /// freshly constructed program for the same warp of the same kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the snapshot bytes are malformed.
+    fn load_state(&mut self, l: &mut Loader<'_>) -> SnapResult<()>;
 }
 
 /// A GPU kernel launch.

@@ -45,7 +45,8 @@ pub use kernel::{
     application_error, lane_item, run_functional, Kernel, OpBuf, OpKind, WarpOp, WarpProgram,
 };
 pub use memimg::{MemoryImage, LINE_BYTES, WORDS_PER_LINE};
+pub use lazydram_common::snap::{Loader, Saver, SnapError, SnapResult};
 pub use noc::{DelayQueue, NocFull};
-pub use sim::{parse_no_skip, run_kernel, RunResult, SimLimits, Simulator};
+pub use sim::{parse_no_skip, run_kernel, Checkpoint, RunOutcome, RunResult, SimLimits, Simulator};
 pub use trace::{Trace, TraceEntry};
 

@@ -32,6 +32,23 @@
 //! proven to be no-ops — results are **bit-identical** with skipping on or
 //! off (enforced by the `fast_forward_equivalence` suite test and a
 //! proptest). `LAZYDRAM_NO_SKIP=1` forces the naive loop for debugging.
+//!
+//! # Checkpoint / resume
+//!
+//! All per-launch state lives in one [`LaunchMachine`] struct, so a run can
+//! be paused at any cumulative core cycle ([`Simulator::run_until`]) and
+//! serialized into a [`Checkpoint`] — a self-contained byte blob in the
+//! `snap` wire format. [`Simulator::resume`] restores it and continues;
+//! the resumed run's [`RunResult`] is **byte-identical** to the
+//! uninterrupted run's (enforced by `tests/checkpoint_equivalence.rs` and a
+//! proptest). Pausing clamps an in-flight fast-forward at the pause cycle
+//! and the resumed loop re-derives the remainder of the skip, so even the
+//! executed/skipped cycle accounting survives the round trip unchanged.
+//!
+//! A checkpoint stores only *dynamic* state: configuration-derived geometry
+//! is rebuilt from the resuming [`Simulator`] (a config fingerprint is
+//! validated), and warp programs are reconstructed from the resuming
+//! [`Kernel`] before their dynamic state is loaded into them.
 
 use crate::kernel::Kernel;
 use crate::memimg::MemoryImage;
@@ -40,6 +57,7 @@ use crate::slice::Slice;
 use crate::trace::{Trace, TraceEntry};
 use crate::sm::{Reply, Sm, SmCtx, SliceReq};
 use lazydram_common::prof::{self, Phase};
+use lazydram_common::snap::{digest, list_frames, FrameInfo, Loader, Saver, SnapError, SnapResult};
 use lazydram_common::{AddressMap, GpuConfig, SchedConfig, SimStats};
 use lazydram_core::{MemoryController, Response};
 use std::sync::OnceLock;
@@ -104,6 +122,346 @@ pub struct RunResult {
     pub trace: Option<Trace>,
 }
 
+/// A paused simulation, serialized into a self-contained byte blob in the
+/// `snap` wire format (see `DESIGN.md` §10).
+///
+/// Produced by [`Simulator::run_until`] and consumed by
+/// [`Simulator::resume`]; the bytes round-trip through
+/// [`Checkpoint::into_bytes`] / [`Checkpoint::from_bytes`] so sweeps can
+/// park them on disk and survive a crash.
+///
+/// Layout after the 6-byte `snap` header: a flat sequence of frames —
+/// `meta[0]` (launch index, config fingerprint, pause cycle), `stat[0]`
+/// (statistics of completed launches), `trc[0]`, `img[0]`, `mach[0]`
+/// (loop scalars), then one `sm[i]` / `slc[i]` / `mc[i]` / `rnoc[i]` /
+/// `pnoc[i]` frame per component. The flat framing is what lets
+/// `dbg_diverge` digest and diff checkpoint regions component by component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    data: Vec<u8>,
+    launch_idx: usize,
+    cycle: u64,
+}
+
+impl Checkpoint {
+    /// The serialized bytes (header included), ready to write to disk.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Consumes the checkpoint and returns the serialized bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Reconstructs a checkpoint from bytes produced by
+    /// [`Checkpoint::into_bytes`], validating the header, the `meta` frame
+    /// and the overall frame structure (component payloads are validated
+    /// later, on [`Simulator::resume`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the bytes are not a structurally valid
+    /// checkpoint.
+    pub fn from_bytes(data: Vec<u8>) -> SnapResult<Self> {
+        let mut l = Loader::new(&data);
+        l.expect_header()?;
+        let body_start = l.pos();
+        let (launch_idx, cycle) = l.frame("meta", 0, |l| {
+            let li = l.usize("launch_idx")?;
+            let _cfg_digest = l.u64("cfg_digest")?;
+            let c = l.u64("cycle")?;
+            Ok((li, c))
+        })?;
+        list_frames(&data[body_start..])?;
+        Ok(Self {
+            data,
+            launch_idx,
+            cycle,
+        })
+    }
+
+    /// Index of the in-progress launch within the kernel sequence (always
+    /// `0` for single-kernel runs).
+    pub fn launch_idx(&self) -> usize {
+        self.launch_idx
+    }
+
+    /// Cumulative core cycle at which the simulation paused.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Canonical digest of the full checkpoint (SplitMix64 fold over the
+    /// serialized bytes). Two runs in identical states produce identical
+    /// digests — the primitive `dbg_diverge` bisects on.
+    pub fn digest(&self) -> u64 {
+        digest(&self.data)
+    }
+
+    /// The byte region after the `snap` header: a flat frame sequence.
+    pub fn body(&self) -> &[u8] {
+        let mut l = Loader::new(&self.data);
+        l.expect_header().expect("constructed checkpoints have a valid header");
+        &self.data[l.pos()..]
+    }
+
+    /// Locates the top-level frames (`meta`, `stat`, `img`, `sm[i]`, …)
+    /// inside [`Checkpoint::body`], for component-granular comparison.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the frame structure is malformed (cannot
+    /// happen for checkpoints built by [`Simulator::run_until`]).
+    pub fn frames(&self) -> SnapResult<Vec<FrameInfo>> {
+        list_frames(self.body())
+    }
+}
+
+/// Outcome of a bounded run ([`Simulator::run_until`] and friends).
+// A transient return value consumed immediately at each call site — never
+// stored in collections — so the Done/Paused size skew is harmless and
+// boxing would only push an allocation onto the completion path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// The kernel (sequence) ran to completion — or hit its cycle limit —
+    /// before reaching the pause target.
+    Done(RunResult),
+    /// The pause target was reached first; the checkpoint resumes the run.
+    Paused(Checkpoint),
+}
+
+impl RunOutcome {
+    /// Unwraps the completed result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run paused instead.
+    pub fn expect_done(self, msg: &str) -> RunResult {
+        match self {
+            RunOutcome::Done(r) => r,
+            RunOutcome::Paused(ck) => panic!("{msg}: run paused at cycle {}", ck.cycle()),
+        }
+    }
+
+    /// Unwraps the checkpoint of a paused run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run completed instead.
+    pub fn expect_paused(self, msg: &str) -> Checkpoint {
+        match self {
+            RunOutcome::Paused(ck) => ck,
+            RunOutcome::Done(_) => panic!("{msg}: run completed before the pause target"),
+        }
+    }
+}
+
+/// All mutable state of one kernel launch — the SMs, slices, controllers,
+/// crossbar queues, and the cycle-loop scalars — gathered into one struct so
+/// it can be serialized as a unit and restored bit-identically.
+struct LaunchMachine {
+    map: AddressMap,
+    sms: Vec<Sm>,
+    slices: Vec<Slice>,
+    mcs: Vec<MemoryController>,
+    req_noc: Vec<DelayQueue<SliceReq>>,
+    reply_noc: Vec<DelayQueue<Reply>>,
+    total_warps: usize,
+    next_warp: usize,
+    next_req_id: u64,
+    /// Clock-divider residue: each core cycle adds `mem_hz` units and one
+    /// memory tick fires per `core_hz` units accumulated. Unlike a floating
+    /// accumulator this is drift-free and can be advanced analytically
+    /// across skipped spans.
+    acc: u64,
+    mem_time: u64,
+    core_cycle: u64,
+    ticks_executed: u64,
+    cycles_skipped: u64,
+}
+
+impl LaunchMachine {
+    /// Builds an empty machine from configuration (no warps dispatched yet).
+    fn new(cfg: &GpuConfig, sched: &SchedConfig, capture_trace: bool, total_warps: usize) -> Self {
+        Self {
+            map: AddressMap::new(cfg),
+            sms: (0..cfg.num_sms).map(|i| Sm::new(i, cfg)).collect(),
+            slices: (0..cfg.num_channels)
+                .map(|i| {
+                    let mut s = Slice::new(i, cfg, sched);
+                    if capture_trace {
+                        s.trace = Some(Trace::new());
+                    }
+                    s
+                })
+                .collect(),
+            mcs: (0..cfg.num_channels)
+                .map(|_| MemoryController::new(cfg, sched))
+                .collect(),
+            req_noc: (0..cfg.num_channels)
+                .map(|_| {
+                    DelayQueue::new(
+                        u64::from(cfg.noc_latency) + u64::from(cfg.l2_latency),
+                        64,
+                        cfg.noc_width,
+                    )
+                })
+                .collect(),
+            reply_noc: (0..cfg.num_sms)
+                .map(|_| DelayQueue::new(u64::from(cfg.noc_latency), 256, 8))
+                .collect(),
+            total_warps,
+            next_warp: 0,
+            next_req_id: 0,
+            acc: 0,
+            mem_time: 0,
+            core_cycle: 0,
+            ticks_executed: 0,
+            cycles_skipped: 0,
+        }
+    }
+
+    /// Initial dispatch: round-robin across SMs (like GPGPU-Sim's block
+    /// dispatcher), so small launches spread over all cores instead of
+    /// piling onto SM 0 and thrashing its L1.
+    fn fill(&mut self, kernel: &dyn Kernel) {
+        'fill: loop {
+            let mut placed = false;
+            for sm in &mut self.sms {
+                if self.next_warp >= self.total_warps {
+                    break 'fill;
+                }
+                if sm.has_free_slot() {
+                    sm.dispatch(self.next_warp, kernel.program(self.next_warp));
+                    self.next_warp += 1;
+                    placed = true;
+                }
+            }
+            if !placed {
+                break;
+            }
+        }
+    }
+
+    /// Serializes the machine as a flat sequence of per-component frames.
+    fn save_frames(&self, s: &mut Saver) {
+        s.frame("mach", 0, |s| {
+            s.usize("total_warps", self.total_warps);
+            s.usize("next_warp", self.next_warp);
+            s.u64("next_req_id", self.next_req_id);
+            s.u64("acc", self.acc);
+            s.u64("mem_time", self.mem_time);
+            s.u64("core_cycle", self.core_cycle);
+            s.u64("ticks_executed", self.ticks_executed);
+            s.u64("cycles_skipped", self.cycles_skipped);
+        });
+        for (i, sm) in self.sms.iter().enumerate() {
+            s.frame("sm", i as u32, |s| sm.save_state(s));
+        }
+        for (i, slice) in self.slices.iter().enumerate() {
+            s.frame("slc", i as u32, |s| slice.save_state(s));
+        }
+        for (i, mc) in self.mcs.iter().enumerate() {
+            s.frame("mc", i as u32, |s| mc.save_state(s));
+        }
+        for (i, q) in self.req_noc.iter().enumerate() {
+            s.frame("rnoc", i as u32, |s| {
+                q.save_state(s, |s, r: &SliceReq| {
+                    s.usize("sm", r.sm);
+                    s.u64("line", r.line);
+                    s.bool("write", r.write);
+                    s.bool("approximable", r.approximable);
+                });
+            });
+        }
+        for (i, q) in self.reply_noc.iter().enumerate() {
+            s.frame("pnoc", i as u32, |s| {
+                q.save_state(s, |s, r: &Reply| {
+                    s.u64("line", r.line);
+                    s.bool("has_values", r.values.is_some());
+                    if let Some(v) = &r.values {
+                        s.f32s("values", v);
+                    }
+                });
+            });
+        }
+    }
+
+    /// Restores a machine built by [`LaunchMachine::new`] with the same
+    /// configuration; warp programs are reconstructed from `kernel` and
+    /// their dynamic state loaded into them.
+    fn load_frames(&mut self, l: &mut Loader<'_>, kernel: &dyn Kernel) -> SnapResult<()> {
+        let expect_warps = self.total_warps;
+        let scalars = l.frame("mach", 0, |l| {
+            let tw = l.usize("total_warps")?;
+            if tw != expect_warps {
+                return Err(SnapError::Malformed {
+                    label: "total_warps".into(),
+                    why: format!(
+                        "checkpoint was taken with {tw} warps but the supplied \
+                         kernel launches {expect_warps}"
+                    ),
+                });
+            }
+            Ok([
+                l.u64("next_warp")?,
+                l.u64("next_req_id")?,
+                l.u64("acc")?,
+                l.u64("mem_time")?,
+                l.u64("core_cycle")?,
+                l.u64("ticks_executed")?,
+                l.u64("cycles_skipped")?,
+            ])
+        })?;
+        self.next_warp = scalars[0] as usize;
+        self.next_req_id = scalars[1];
+        self.acc = scalars[2];
+        self.mem_time = scalars[3];
+        self.core_cycle = scalars[4];
+        self.ticks_executed = scalars[5];
+        self.cycles_skipped = scalars[6];
+        for (i, sm) in self.sms.iter_mut().enumerate() {
+            l.frame("sm", i as u32, |l| sm.load_state(l, kernel))?;
+        }
+        for (i, slice) in self.slices.iter_mut().enumerate() {
+            l.frame("slc", i as u32, |l| slice.load_state(l))?;
+        }
+        for (i, mc) in self.mcs.iter_mut().enumerate() {
+            l.frame("mc", i as u32, |l| mc.load_state(l))?;
+        }
+        for (i, q) in self.req_noc.iter_mut().enumerate() {
+            l.frame("rnoc", i as u32, |l| {
+                q.load_state(l, |l| {
+                    Ok(SliceReq {
+                        sm: l.usize("sm")?,
+                        line: l.u64("line")?,
+                        write: l.bool("write")?,
+                        approximable: l.bool("approximable")?,
+                    })
+                })
+            })?;
+        }
+        for (i, q) in self.reply_noc.iter_mut().enumerate() {
+            l.frame("pnoc", i as u32, |l| {
+                q.load_state(l, |l| {
+                    let line = l.u64("line")?;
+                    let values = if l.bool("has_values")? {
+                        let mut v = [0f32; 32];
+                        l.f32_array("values", &mut v)?;
+                        Some(v)
+                    } else {
+                        None
+                    };
+                    Ok(Reply { line, values })
+                })
+            })?;
+        }
+        Ok(())
+    }
+}
+
 /// One configured GPU simulation.
 pub struct Simulator {
     cfg: GpuConfig,
@@ -111,6 +469,48 @@ pub struct Simulator {
     limits: SimLimits,
     capture_trace: bool,
     cycle_skipping: bool,
+}
+
+/// Outcome of driving one launch's machine.
+enum StepOutcome {
+    /// The launch finished (or hit the cycle limit).
+    Finished { hit_limit: bool },
+    /// The pause target was reached; the machine is mid-launch.
+    Paused,
+}
+
+/// A kernel sequence passed either as one `&mut dyn Kernel` or a boxed
+/// slice; lets the single- and multi-launch entry points share one driver.
+enum SeqMut<'a> {
+    One(&'a mut dyn Kernel),
+    Many(&'a mut [Box<dyn Kernel>]),
+}
+
+impl SeqMut<'_> {
+    fn len(&self) -> usize {
+        match self {
+            SeqMut::One(_) => 1,
+            SeqMut::Many(ks) => ks.len(),
+        }
+    }
+
+    fn get(&mut self, i: usize) -> &mut dyn Kernel {
+        match self {
+            SeqMut::One(k) => {
+                debug_assert_eq!(i, 0);
+                &mut **k
+            }
+            SeqMut::Many(ks) => ks[i].as_mut(),
+        }
+    }
+}
+
+/// State restored from a checkpoint, ready to continue driving.
+struct Restored {
+    stats: SimStats,
+    trace: Option<Trace>,
+    image: MemoryImage,
+    machine: LaunchMachine,
 }
 
 impl Simulator {
@@ -149,16 +549,9 @@ impl Simulator {
 
     /// Runs `kernel` to completion and returns statistics plus output.
     pub fn run(&self, kernel: &mut dyn Kernel) -> RunResult {
-        let mut image = MemoryImage::new();
-        let mut stats = SimStats::new();
-        let mut trace = self.capture_trace.then(Trace::new);
-        let hit = self.run_launch(kernel, &mut image, &mut stats, &mut trace);
-        RunResult {
-            output: kernel.output(&image),
-            stats,
-            hit_cycle_limit: hit,
-            trace,
-        }
+        self.drive(&mut SeqMut::One(kernel), None, None)
+            .expect("fresh runs deserialize nothing")
+            .expect_done("no pause target was set")
     }
 
     /// Runs several dependent kernel launches back to back on one shared
@@ -169,123 +562,469 @@ impl Simulator {
     ///
     /// Panics if `kernels` is empty.
     pub fn run_sequence(&self, kernels: &mut [Box<dyn Kernel>]) -> RunResult {
-        assert!(!kernels.is_empty(), "run_sequence needs at least one launch");
-        let mut image = MemoryImage::new();
-        let mut stats = SimStats::new();
-        let mut trace = self.capture_trace.then(Trace::new);
-        let mut hit = false;
-        for kernel in kernels.iter_mut() {
-            hit |= self.run_launch(kernel.as_mut(), &mut image, &mut stats, &mut trace);
-        }
-        RunResult {
-            output: kernels.last().expect("non-empty").output(&image),
-            stats,
-            hit_cycle_limit: hit,
-            trace,
+        self.drive(&mut SeqMut::Many(kernels), None, None)
+            .expect("fresh runs deserialize nothing")
+            .expect_done("no pause target was set")
+    }
+
+    /// Runs `kernel` until it completes or the cumulative core-cycle count
+    /// reaches `pause_at`, whichever comes first. A paused run returns a
+    /// [`Checkpoint`] that [`Simulator::resume`] continues bit-identically.
+    pub fn run_until(&self, kernel: &mut dyn Kernel, pause_at: u64) -> RunOutcome {
+        self.drive(&mut SeqMut::One(kernel), None, Some(pause_at))
+            .expect("fresh runs deserialize nothing")
+    }
+
+    /// [`Simulator::run_until`] for a multi-launch sequence; the pause
+    /// target counts core cycles cumulatively across launches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernels` is empty.
+    pub fn run_sequence_until(&self, kernels: &mut [Box<dyn Kernel>], pause_at: u64) -> RunOutcome {
+        self.drive(&mut SeqMut::Many(kernels), None, Some(pause_at))
+            .expect("fresh runs deserialize nothing")
+    }
+
+    /// Resumes a paused run to completion. `kernel` must be a freshly built
+    /// instance of the same kernel the checkpoint was taken from (its
+    /// `setup` is replayed against a scratch image to rebuild internal
+    /// region pointers; the checkpointed memory image is what the run uses).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the checkpoint bytes are malformed or were
+    /// taken under a different configuration or kernel.
+    pub fn resume(&self, kernel: &mut dyn Kernel, ck: &Checkpoint) -> SnapResult<RunResult> {
+        Ok(self
+            .drive(&mut SeqMut::One(kernel), Some(ck), None)?
+            .expect_done("no pause target was set"))
+    }
+
+    /// Resumes a paused run until completion or a (later) pause target.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the checkpoint bytes are malformed or were
+    /// taken under a different configuration or kernel.
+    pub fn resume_until(
+        &self,
+        kernel: &mut dyn Kernel,
+        ck: &Checkpoint,
+        pause_at: u64,
+    ) -> SnapResult<RunOutcome> {
+        self.drive(&mut SeqMut::One(kernel), Some(ck), Some(pause_at))
+    }
+
+    /// Resumes a paused multi-launch sequence to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the checkpoint bytes are malformed or were
+    /// taken under a different configuration or kernel sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernels` is empty.
+    pub fn resume_sequence(
+        &self,
+        kernels: &mut [Box<dyn Kernel>],
+        ck: &Checkpoint,
+    ) -> SnapResult<RunResult> {
+        Ok(self
+            .drive(&mut SeqMut::Many(kernels), Some(ck), None)?
+            .expect_done("no pause target was set"))
+    }
+
+    /// Resumes a paused multi-launch sequence until completion or a (later)
+    /// pause target.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the checkpoint bytes are malformed or were
+    /// taken under a different configuration or kernel sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernels` is empty.
+    pub fn resume_sequence_until(
+        &self,
+        kernels: &mut [Box<dyn Kernel>],
+        ck: &Checkpoint,
+        pause_at: u64,
+    ) -> SnapResult<RunOutcome> {
+        self.drive(&mut SeqMut::Many(kernels), Some(ck), Some(pause_at))
+    }
+
+    /// Re-serializes `ck` with field labels and returns every primitive as
+    /// a `(path, value)` pair (e.g. `("sm[2]/slot[5]/rr", "3")`) — the
+    /// input to `dbg_diverge`'s component-level field diff. `kernel` plays
+    /// the same role as in [`Simulator::resume`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the checkpoint cannot be restored under this
+    /// simulator and kernel.
+    pub fn checkpoint_fields(
+        &self,
+        kernel: &mut dyn Kernel,
+        ck: &Checkpoint,
+    ) -> SnapResult<Vec<(String, String)>> {
+        self.checkpoint_fields_inner(&mut SeqMut::One(kernel), ck)
+    }
+
+    /// [`Simulator::checkpoint_fields`] for a multi-launch sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the checkpoint cannot be restored under this
+    /// simulator and kernel sequence.
+    pub fn checkpoint_fields_sequence(
+        &self,
+        kernels: &mut [Box<dyn Kernel>],
+        ck: &Checkpoint,
+    ) -> SnapResult<Vec<(String, String)>> {
+        self.checkpoint_fields_inner(&mut SeqMut::Many(kernels), ck)
+    }
+
+    fn checkpoint_fields_inner(
+        &self,
+        kernels: &mut SeqMut<'_>,
+        ck: &Checkpoint,
+    ) -> SnapResult<Vec<(String, String)>> {
+        let st = self.restore(kernels, ck)?;
+        let mut s = Saver::with_labels();
+        s.header();
+        self.write_checkpoint(
+            &mut s,
+            ck.launch_idx(),
+            &st.stats,
+            st.trace.as_ref(),
+            &st.image,
+            &st.machine,
+        );
+        let (bytes, labels) = s.finish_with_labels();
+        debug_assert_eq!(
+            bytes,
+            ck.as_bytes(),
+            "checkpoint load/save round trip must be byte-identical"
+        );
+        Ok(labels)
+    }
+
+    /// Fingerprint of everything that affects simulation results, folded
+    /// into the checkpoint so a resume under a different configuration is
+    /// rejected instead of silently diverging.
+    fn config_digest(&self) -> u64 {
+        digest(
+            format!(
+                "{:?}|{:?}|{:?}|{}|{}",
+                self.cfg, self.sched, self.limits, self.capture_trace, self.cycle_skipping
+            )
+            .as_bytes(),
+        )
+    }
+
+    /// Serializes a paused run's full state as checkpoint frames into `s`.
+    fn write_checkpoint(
+        &self,
+        s: &mut Saver,
+        launch_idx: usize,
+        total: &SimStats,
+        trace: Option<&Trace>,
+        image: &MemoryImage,
+        m: &LaunchMachine,
+    ) {
+        s.frame("meta", 0, |s| {
+            s.usize("launch_idx", launch_idx);
+            s.u64("cfg_digest", self.config_digest());
+            s.u64("cycle", total.core_cycles + m.core_cycle);
+        });
+        s.frame("stat", 0, |s| total.save_state(s));
+        s.frame("trc", 0, |s| {
+            s.bool("has", trace.is_some());
+            if let Some(t) = trace {
+                t.save_state(s);
+            }
+        });
+        s.frame("img", 0, |s| image.save_state(s));
+        m.save_frames(s);
+    }
+
+    fn save_checkpoint(
+        &self,
+        launch_idx: usize,
+        total: &SimStats,
+        trace: Option<&Trace>,
+        image: &MemoryImage,
+        m: &LaunchMachine,
+    ) -> Checkpoint {
+        let mut s = Saver::new();
+        s.header();
+        self.write_checkpoint(&mut s, launch_idx, total, trace, image, m);
+        Checkpoint {
+            data: s.finish(),
+            launch_idx,
+            cycle: total.core_cycles + m.core_cycle,
         }
     }
 
-    /// Runs one launch on a shared image, folding statistics into `total`.
-    /// Returns `true` when the cycle limit was hit.
-    fn run_launch(
-        &self,
-        kernel: &mut dyn Kernel,
-        image: &mut MemoryImage,
-        total: &mut SimStats,
-        trace: &mut Option<Trace>,
-    ) -> bool {
-        let cfg = &self.cfg;
-        let map = AddressMap::new(cfg);
-        // Discard any profiler totals left over from earlier work on this
-        // thread so the launch's report covers exactly this launch.
-        let _ = prof::take();
-        kernel.setup(image);
-
-        let mut sms: Vec<Sm> = (0..cfg.num_sms).map(|i| Sm::new(i, cfg)).collect();
-        let mut slices: Vec<Slice> = (0..cfg.num_channels)
-            .map(|i| {
-                let mut s = Slice::new(i, cfg, &self.sched);
-                if trace.is_some() {
-                    s.trace = Some(Trace::new());
-                }
-                s
-            })
-            .collect();
-        let mut mcs: Vec<MemoryController> = (0..cfg.num_channels)
-            .map(|_| MemoryController::new(cfg, &self.sched))
-            .collect();
-        let mut req_noc: Vec<DelayQueue<SliceReq>> = (0..cfg.num_channels)
-            .map(|_| DelayQueue::new(u64::from(cfg.noc_latency) + u64::from(cfg.l2_latency), 64, cfg.noc_width))
-            .collect();
-        let mut reply_noc: Vec<DelayQueue<Reply>> = (0..cfg.num_sms)
-            .map(|_| DelayQueue::new(u64::from(cfg.noc_latency), 256, 8))
-            .collect();
-
-        let total_warps = kernel.total_warps();
-        let mut next_warp = 0usize;
-        let mut next_req_id = 0u64;
-        // Exact integer clock divider: each core cycle adds `mem_hz` units
-        // and one memory tick fires per `core_hz` units accumulated. Unlike
-        // a floating accumulator this is drift-free and can be advanced
-        // analytically across skipped spans.
-        let core_hz = u64::from(cfg.core_clock_mhz);
-        let mem_hz = u64::from(cfg.mem_clock_mhz);
-        let mut acc = 0u64;
-        let mut mem_time = 0u64;
-        let mut core_cycle = 0u64;
-        let mut hit_limit = false;
-        let mut ticks_executed = 0u64;
-        let mut cycles_skipped = 0u64;
-        let mut resp_buf: Vec<Response> = Vec::new();
-        let limit = self.limits.max_core_cycles;
-
-        // Initial dispatch: round-robin across SMs (like GPGPU-Sim's block
-        // dispatcher), so small launches spread over all cores instead of
-        // piling onto SM 0 and thrashing its L1.
-        'fill: loop {
-            let mut placed = false;
-            for sm in &mut sms {
-                if next_warp >= total_warps {
-                    break 'fill;
-                }
-                if sm.has_free_slot() {
-                    sm.dispatch(kernel.program(next_warp));
-                    next_warp += 1;
-                    placed = true;
-                }
-            }
-            if !placed {
-                break;
+    /// Restores a checkpoint against the supplied kernel sequence: replays
+    /// the in-progress launch's `setup` on a scratch image (allocation is
+    /// deterministic, so region pointers match the original run), then
+    /// deserializes statistics, trace, memory image and machine.
+    fn restore(&self, kernels: &mut SeqMut<'_>, ck: &Checkpoint) -> SnapResult<Restored> {
+        let li = ck.launch_idx();
+        if li >= kernels.len() {
+            return Err(SnapError::Malformed {
+                label: "launch_idx".into(),
+                why: format!(
+                    "checkpoint is inside launch {li} but only {} launches were supplied",
+                    kernels.len()
+                ),
+            });
+        }
+        {
+            // Replay *every* setup up to and including the in-progress
+            // launch on one scratch image: later launches read region
+            // pointers earlier setups published (shared cells), and their
+            // own allocations start where the earlier ones ended, so the
+            // whole prefix must be rebuilt in order for the pointers to
+            // match the original run. Allocation is deterministic and the
+            // scratch image is discarded — the run uses the checkpointed
+            // image.
+            let mut scratch = MemoryImage::new();
+            for i in 0..=li {
+                kernels.get(i).setup(&mut scratch);
             }
         }
+        let kernel: &dyn Kernel = kernels.get(li);
+
+        let bytes = ck.as_bytes();
+        let mut l = Loader::new(bytes);
+        l.expect_header()?;
+        l.frame("meta", 0, |l| {
+            let _ = l.usize("launch_idx")?;
+            let cfg_digest = l.u64("cfg_digest")?;
+            if cfg_digest != self.config_digest() {
+                return Err(SnapError::Malformed {
+                    label: "cfg_digest".into(),
+                    why: "checkpoint was taken under a different GPU/scheduler \
+                          configuration (or limits/trace/skipping settings)"
+                        .into(),
+                });
+            }
+            let _ = l.u64("cycle")?;
+            Ok(())
+        })?;
+        let mut stats = SimStats::new();
+        l.frame("stat", 0, |l| stats.load_state(l))?;
+        let mut trace = None;
+        l.frame("trc", 0, |l| {
+            if l.bool("has")? {
+                let mut t = Trace::new();
+                t.load_state(l)?;
+                trace = Some(t);
+            }
+            Ok(())
+        })?;
+        let mut image = MemoryImage::new();
+        l.frame("img", 0, |l| image.load_state(l))?;
+        let mut machine =
+            LaunchMachine::new(&self.cfg, &self.sched, self.capture_trace, kernel.total_warps());
+        machine.load_frames(&mut l, kernel)?;
+        if l.pos() != bytes.len() {
+            return Err(SnapError::Malformed {
+                label: "checkpoint".into(),
+                why: format!("{} trailing bytes after the last frame", bytes.len() - l.pos()),
+            });
+        }
+        Ok(Restored {
+            stats,
+            trace,
+            image,
+            machine,
+        })
+    }
+
+    /// The shared driver behind every `run*` / `resume*` entry point: walks
+    /// the launch sequence, building a fresh [`LaunchMachine`] per launch
+    /// (or restoring one from `resume`), and folds each finished launch
+    /// into the accumulated statistics. A reached `pause_at` target
+    /// serializes the current state and returns early.
+    fn drive(
+        &self,
+        kernels: &mut SeqMut<'_>,
+        resume: Option<&Checkpoint>,
+        pause_at: Option<u64>,
+    ) -> SnapResult<RunOutcome> {
+        let n = kernels.len();
+        assert!(n > 0, "at least one kernel launch is required");
+        let mut hit = false;
+        let (mut image, mut total, mut trace, start, mut restored) = match resume {
+            Some(ck) => {
+                let st = self.restore(kernels, ck)?;
+                // Discard profiler totals left over from earlier work on
+                // this thread, as a fresh launch would.
+                let _ = prof::take();
+                (st.image, st.stats, st.trace, ck.launch_idx(), Some(st.machine))
+            }
+            None => (
+                MemoryImage::new(),
+                SimStats::new(),
+                self.capture_trace.then(Trace::new),
+                0,
+                None,
+            ),
+        };
+        for li in start..n {
+            let kernel = kernels.get(li);
+            let mut m = match restored.take() {
+                Some(m) => m,
+                None => {
+                    // Fresh launch: clear stale profiler totals, set up the
+                    // kernel's memory regions, dispatch the initial warps.
+                    let _ = prof::take();
+                    kernel.setup(&mut image);
+                    let mut m = LaunchMachine::new(
+                        &self.cfg,
+                        &self.sched,
+                        self.capture_trace,
+                        kernel.total_warps(),
+                    );
+                    m.fill(kernel);
+                    m
+                }
+            };
+            let prior = total.core_cycles;
+            match self.run_machine(kernel, &mut image, &mut m, prior, pause_at) {
+                StepOutcome::Paused => {
+                    let ck = self.save_checkpoint(li, &total, trace.as_ref(), &image, &m);
+                    return Ok(RunOutcome::Paused(ck));
+                }
+                StepOutcome::Finished { hit_limit } => {
+                    hit |= hit_limit;
+                    m.fold_into(&mut total, &mut trace);
+                }
+            }
+        }
+        let output = kernels.get(n - 1).output(&image);
+        Ok(RunOutcome::Done(RunResult {
+            stats: total,
+            output,
+            hit_cycle_limit: hit,
+            trace,
+        }))
+    }
+
+    /// Drives one launch's machine until the launch finishes, the cycle
+    /// limit trips, or the cumulative pause target is reached.
+    fn run_machine(
+        &self,
+        kernel: &dyn Kernel,
+        image: &mut MemoryImage,
+        m: &mut LaunchMachine,
+        prior_cycles: u64,
+        pause_at: Option<u64>,
+    ) -> StepOutcome {
+        let cfg = &self.cfg;
+        let LaunchMachine {
+            map,
+            sms,
+            slices,
+            mcs,
+            req_noc,
+            reply_noc,
+            total_warps,
+            next_warp,
+            next_req_id,
+            acc,
+            mem_time,
+            core_cycle,
+            ticks_executed,
+            cycles_skipped,
+        } = m;
+        let total_warps = *total_warps;
+        let core_hz = u64::from(cfg.core_clock_mhz);
+        let mem_hz = u64::from(cfg.mem_clock_mhz);
+        let limit = self.limits.max_core_cycles;
+        // The pause target in this launch's local cycles; zero when the
+        // target lies before this launch (pause immediately).
+        let pause = pause_at.map(|t| t.saturating_sub(prior_cycles));
+        let mut hit_limit = false;
+        let mut resp_buf: Vec<Response> = Vec::new();
 
         loop {
-            core_cycle += 1;
-            if core_cycle > limit {
+            // 0. Fast-forward over provably idle cycles. Runs at the top of
+            //    the iteration — before the next cycle executes — so a
+            //    resumed run re-derives the remainder of a skip the pause
+            //    cut short, keeping the executed/skipped accounting
+            //    bit-identical to the uninterrupted run.
+            if self.cycle_skipping && *core_cycle > 0 {
+                let _t_ff = prof::enter(Phase::FastForward);
+                let mut target = next_interesting_cycle(
+                    *core_cycle, limit, *acc, core_hz, mem_hz, *mem_time,
+                    sms, slices, req_noc, reply_noc, mcs,
+                );
+                if let Some(p) = pause {
+                    // Never skip past the pause point: the span up to `p`
+                    // is still provably idle, so clamping preserves
+                    // equivalence.
+                    target = target.min(p.saturating_add(1));
+                }
+                if target > *core_cycle + 1 {
+                    let skipped = target - *core_cycle - 1;
+                    // Advance the memory clock analytically over the
+                    // skipped span; the controllers see the exact same tick
+                    // count (all of them no-ops) as the naive loop would
+                    // have executed.
+                    let units =
+                        u128::from(*acc) + u128::from(skipped) * u128::from(mem_hz);
+                    let mem_ticks = (units / u128::from(core_hz)) as u64;
+                    *acc = (units % u128::from(core_hz)) as u64;
+                    if mem_ticks > 0 {
+                        *mem_time += mem_ticks;
+                        for mc in mcs.iter_mut() {
+                            mc.advance_idle(*mem_time);
+                        }
+                    }
+                    *cycles_skipped += skipped;
+                    *core_cycle = target - 1;
+                }
+            }
+
+            if let Some(p) = pause {
+                if *core_cycle >= p {
+                    return StepOutcome::Paused;
+                }
+            }
+
+            *core_cycle += 1;
+            if *core_cycle > limit {
                 hit_limit = true;
                 break;
             }
-            ticks_executed += 1;
+            *ticks_executed += 1;
 
             // 1. Deliver replies, then issue from each SM. The context is
             //    built once per cycle; it borrows nothing from the SMs.
             {
                 let _t = prof::enter(Phase::SmIssue);
                 let mut ctx = SmCtx {
-                    now: core_cycle,
+                    now: *core_cycle,
                     image: &mut *image,
-                    map: &map,
+                    map: &*map,
                     kernel,
-                    req_noc: &mut req_noc,
+                    req_noc: &mut req_noc[..],
                 };
                 for (i, sm) in sms.iter_mut().enumerate() {
-                    while let Some(reply) = reply_noc[i].pop_ready(core_cycle) {
+                    while let Some(reply) = reply_noc[i].pop_ready(*core_cycle) {
                         sm.on_reply(reply, ctx.image);
                     }
                     sm.tick(&mut ctx);
-                    while next_warp < total_warps && sm.has_free_slot() {
-                        sm.dispatch(ctx.kernel.program(next_warp));
-                        next_warp += 1;
+                    while *next_warp < total_warps && sm.has_free_slot() {
+                        sm.dispatch(*next_warp, ctx.kernel.program(*next_warp));
+                        *next_warp += 1;
                     }
                 }
             }
@@ -295,13 +1034,13 @@ impl Simulator {
                 let _t = prof::enter(Phase::Slice);
                 for (i, slice) in slices.iter_mut().enumerate() {
                     slice.tick(
-                        core_cycle,
+                        *core_cycle,
                         &mut req_noc[i],
-                        &mut reply_noc,
+                        &mut reply_noc[..],
                         &mut mcs[i],
                         image,
-                        &map,
-                        &mut next_req_id,
+                        map,
+                        next_req_id,
                     );
                 }
             }
@@ -309,10 +1048,10 @@ impl Simulator {
             // 3. Memory clock domain.
             {
                 let _t = prof::enter(Phase::Controller);
-                acc += mem_hz;
-                while acc >= core_hz {
-                    acc -= core_hz;
-                    mem_time += 1;
+                *acc += mem_hz;
+                while *acc >= core_hz {
+                    *acc -= core_hz;
+                    *mem_time += 1;
                     for (i, mc) in mcs.iter_mut().enumerate() {
                         resp_buf.clear();
                         mc.tick(&mut resp_buf);
@@ -325,7 +1064,7 @@ impl Simulator {
 
             // 4. Termination (exact: no alignment gate, so the reported
             //    cycle count carries no phantom tail cycles).
-            if next_warp >= total_warps
+            if *next_warp >= total_warps
                 && sms.iter().all(|s| s.live_warps() == 0)
                 && req_noc.iter().all(|q| q.is_empty())
                 && reply_noc.iter().all(|q| q.is_empty())
@@ -334,61 +1073,43 @@ impl Simulator {
             {
                 break;
             }
-
-            // 5. Fast-forward over provably idle cycles.
-            if !self.cycle_skipping {
-                continue;
-            }
-            let _t_ff = prof::enter(Phase::FastForward);
-            let target = next_interesting_cycle(
-                core_cycle, limit, acc, core_hz, mem_hz, mem_time,
-                &sms, &slices, &req_noc, &reply_noc, &mut mcs,
-            );
-            if target > core_cycle + 1 {
-                let skipped = target - core_cycle - 1;
-                // Advance the memory clock analytically over the skipped
-                // span; the controllers see the exact same tick count (all
-                // of them no-ops) as the naive loop would have executed.
-                let units =
-                    u128::from(acc) + u128::from(skipped) * u128::from(mem_hz);
-                let mem_ticks = (units / u128::from(core_hz)) as u64;
-                acc = (units % u128::from(core_hz)) as u64;
-                if mem_ticks > 0 {
-                    mem_time += mem_ticks;
-                    for mc in mcs.iter_mut() {
-                        mc.advance_idle(mem_time);
-                    }
-                }
-                cycles_skipped += skipped;
-                core_cycle = target - 1;
-            }
         }
 
-        // Flush: close open rows so final RBL lands in the histograms.
-        for mc in &mut mcs {
+        StepOutcome::Finished { hit_limit }
+    }
+}
+
+impl LaunchMachine {
+    /// Folds a *finished* launch into the accumulated run statistics:
+    /// drains the controllers (closing open rows so final RBL lands in the
+    /// histograms), sums per-component counters, and merges trace / DRAM
+    /// stats / profiler totals.
+    fn fold_into(&mut self, total: &mut SimStats, trace: &mut Option<Trace>) {
+        for mc in &mut self.mcs {
             let _ = mc.drain();
         }
 
-        total.core_cycles += core_cycle;
-        total.ticks_executed += ticks_executed;
-        total.cycles_skipped += cycles_skipped;
-        for sm in &sms {
+        total.core_cycles += self.core_cycle;
+        total.ticks_executed += self.ticks_executed;
+        total.cycles_skipped += self.cycles_skipped;
+        for sm in &self.sms {
             total.instructions += sm.instructions;
             total.l1_hits += sm.l1().hits();
             total.l1_misses += sm.l1().misses();
             total.approximated_loads += sm.approximated_loads;
         }
-        for slice in &slices {
+        for slice in &self.slices {
             total.l2_hits += slice.l2().hits();
             total.l2_misses += slice.l2().misses();
         }
         if let Some(total_trace) = trace {
-            // Merge per-slice traces by arrival cycle (stable across slices).
-            // Each launch's memory clock restarts at zero, so entries are
-            // rebased onto the end of the previous launches' channel time to
-            // keep the accumulated trace time-ordered.
+            // Merge per-slice traces by arrival cycle (stable across
+            // slices). Each launch's memory clock restarts at zero, so
+            // entries are rebased onto the end of the previous launches'
+            // channel time to keep the accumulated trace time-ordered.
             let base = total.dram.mem_cycles;
-            let mut merged: Vec<_> = slices
+            let mut merged: Vec<_> = self
+                .slices
                 .iter_mut()
                 .filter_map(|s| s.trace.take())
                 .flat_map(|t| t.iter().copied().collect::<Vec<_>>())
@@ -403,7 +1124,7 @@ impl Simulator {
         }
 
         let mut launch_dram = lazydram_common::DramStats::new();
-        for mc in &mcs {
+        for mc in &self.mcs {
             launch_dram.merge(mc.channel().stats());
             let d = &mc.ams().declines;
             if total.ams_declines.len() < d.len() {
@@ -422,8 +1143,6 @@ impl Simulator {
         // Fold this launch's wall-clock phase breakdown into the run stats
         // (empty unless the `prof` feature is enabled).
         total.prof.merge(&prof::take());
-
-        hit_limit
     }
 }
 

@@ -16,6 +16,7 @@ use crate::memimg::MemoryImage;
 use crate::noc::DelayQueue;
 use crate::sm::{Reply, SliceReq};
 use crate::trace::{Trace, TraceEntry};
+use lazydram_common::snap::{Loader, Saver, SnapError, SnapResult};
 use lazydram_common::{AccessKind, AddressMap, GpuConfig, MemSpace, Request, RequestId, SchedConfig};
 use lazydram_core::{MemoryController, Response};
 use lazydram_common::FastMap;
@@ -281,12 +282,149 @@ impl Slice {
         }
         let _ = self.id;
     }
+
+    /// Serializes the slice's dynamic state: L2 contents, MSHR table,
+    /// buffered controller responses, writeback and reply-retry queues, the
+    /// approximate-line store and (when capturing) the request trace.
+    /// Configuration (capacities, VP radius, reuse mode) is not written.
+    pub fn save_state(&self, s: &mut Saver) {
+        s.u64("approx_replies", self.approx_replies);
+        s.frame("l2", 0, |s| self.l2.save_state(s));
+        let mut lines: Vec<u64> = self.mshr.keys().copied().collect();
+        lines.sort_unstable();
+        s.seq("mshr", lines.len());
+        for line in lines {
+            s.u64("line", line);
+            let waiters = &self.mshr[&line];
+            s.seq("waiters", waiters.len());
+            for &w in waiters {
+                s.usize("waiter", w);
+            }
+        }
+        s.seq("responses", self.responses.len());
+        for r in &self.responses {
+            s.u64("id", r.id.0);
+            s.u64("addr", r.addr);
+            s.bool("approximated", r.approximated);
+        }
+        s.seq("wb_buffer", self.wb_buffer.len());
+        for &line in &self.wb_buffer {
+            s.u64("line", line);
+        }
+        s.seq("reply_retry", self.reply_retry.len());
+        for (sm, reply) in &self.reply_retry {
+            s.usize("sm", *sm);
+            s.u64("line", reply.line);
+            s.bool("has_values", reply.values.is_some());
+            if let Some(vals) = &reply.values {
+                s.f32s("values", vals);
+            }
+        }
+        let mut approx_lines: Vec<u64> = self.approx_store.keys().copied().collect();
+        approx_lines.sort_unstable();
+        s.seq("approx_store", approx_lines.len());
+        for line in approx_lines {
+            s.u64("line", line);
+            s.f32s("vals", &self.approx_store[&line]);
+        }
+        s.bool("has_trace", self.trace.is_some());
+        if let Some(trace) = &self.trace {
+            trace.save_state(s);
+        }
+    }
+
+    /// Restores state written by [`Slice::save_state`] into a slice built
+    /// from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the snapshot bytes are malformed.
+    pub fn load_state(&mut self, l: &mut Loader<'_>) -> SnapResult<()> {
+        self.approx_replies = l.u64("approx_replies")?;
+        l.frame("l2", 0, |l| self.l2.load_state(l))?;
+        let n_mshr = l.seq("mshr", 16)?;
+        self.mshr.clear();
+        self.mshr.reserve(n_mshr);
+        for _ in 0..n_mshr {
+            let line = l.u64("line")?;
+            let n_w = l.seq("waiters", 8)?;
+            let mut waiters = Vec::with_capacity(n_w);
+            for _ in 0..n_w {
+                waiters.push(l.usize("waiter")?);
+            }
+            if self.mshr.insert(line, waiters).is_some() {
+                return Err(SnapError::Malformed {
+                    label: "mshr".into(),
+                    why: format!("duplicate line {line:#x}"),
+                });
+            }
+        }
+        let n_resp = l.seq("responses", 17)?;
+        self.responses.clear();
+        for _ in 0..n_resp {
+            self.responses.push_back(Response {
+                id: RequestId(l.u64("id")?),
+                addr: l.u64("addr")?,
+                approximated: l.bool("approximated")?,
+            });
+        }
+        let n_wb = l.seq("wb_buffer", 8)?;
+        self.wb_buffer.clear();
+        for _ in 0..n_wb {
+            self.wb_buffer.push_back(l.u64("line")?);
+        }
+        let n_rr = l.seq("reply_retry", 17)?;
+        self.reply_retry.clear();
+        for _ in 0..n_rr {
+            let sm = l.usize("sm")?;
+            let line = l.u64("line")?;
+            let values = if l.bool("has_values")? {
+                let mut vals = [0.0f32; 32];
+                l.f32_array("values", &mut vals)?;
+                Some(vals)
+            } else {
+                None
+            };
+            self.reply_retry.push_back((sm, Reply { line, values }));
+        }
+        let n_as = l.seq("approx_store", 16)?;
+        self.approx_store.clear();
+        self.approx_store.reserve(n_as);
+        for _ in 0..n_as {
+            let line = l.u64("line")?;
+            let mut vals = [0.0f32; 32];
+            l.f32_array("vals", &mut vals)?;
+            if self.approx_store.insert(line, vals).is_some() {
+                return Err(SnapError::Malformed {
+                    label: "approx_store".into(),
+                    why: format!("duplicate line {line:#x}"),
+                });
+            }
+        }
+        if l.bool("has_trace")? {
+            let mut trace = Trace::new();
+            trace.load_state(l)?;
+            self.trace = Some(trace);
+        } else {
+            self.trace = None;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use lazydram_common::GpuConfig;
+
+    /// Ticks the controller once and forwards its responses to the slice.
+    fn pump_mc(mc: &mut MemoryController, slice: &mut Slice) {
+        let mut out = Vec::new();
+        mc.tick(&mut out);
+        for resp in out {
+            slice.responses.push_back(resp);
+        }
+    }
 
     fn setup(sched: SchedConfig) -> (Slice, MemoryController, MemoryImage, AddressMap, DelayQueue<SliceReq>, Vec<DelayQueue<Reply>>) {
         let cfg = GpuConfig::default();
@@ -314,9 +452,7 @@ mod tests {
         let mut next_id = 0;
         for now in 1..max {
             slice.tick(now, incoming, replies, mc, image, map, &mut next_id);
-            for resp in mc.tick_collect() {
-                slice.responses.push_back(resp);
-            }
+            pump_mc(mc, slice);
             if let Some(r) = replies[sm].pop_ready(now) {
                 return r;
             }
@@ -365,7 +501,7 @@ mod tests {
         let mut next_id = 0;
         slice.tick(1, &mut incoming, &mut replies, &mut mc, &image, &map, &mut next_id);
         while !mc.is_idle() {
-            mc.tick_collect();
+            pump_mc(&mut mc, &mut slice);
         }
         assert_eq!(mc.channel().stats().writes, 1);
         assert!(!slice.l2().probe(0x10_0000), "write-no-allocate");
@@ -451,9 +587,7 @@ mod tests {
             for _ in 0..400 {
                 now += 1;
                 slice.tick(now, &mut incoming, &mut replies, &mut mc, &image, &map, &mut next_id);
-                for resp in mc.tick_collect() {
-                    slice.responses.push_back(resp);
-                }
+                pump_mc(&mut mc, &mut slice);
             }
             // Dirty it.
             incoming.push(now, SliceReq { sm: 0, line, write: true, approximable: false }).unwrap();
@@ -462,7 +596,7 @@ mod tests {
         }
         // 9 fills into an 8-way set → at least one dirty eviction → ≥1 write.
         while !mc.is_idle() {
-            mc.tick_collect();
+            pump_mc(&mut mc, &mut slice);
         }
         assert!(mc.channel().stats().writes >= 1, "dirty eviction must write back");
     }

@@ -18,6 +18,7 @@ use crate::cache::{AccessResult, Cache};
 use crate::kernel::{Kernel, OpBuf, OpKind, WarpProgram};
 use crate::memimg::MemoryImage;
 use crate::noc::DelayQueue;
+use lazydram_common::snap::{Loader, Saver, SnapError, SnapResult};
 use lazydram_common::FastMap;
 use lazydram_common::{AddressMap, GpuConfig};
 
@@ -107,6 +108,10 @@ impl StorePlan {
 /// so successive warps occupying the slot inherit warmed capacity.
 struct WarpSlot {
     program: Option<Box<dyn WarpProgram>>,
+    /// Warp id the occupying program was built for ([`Kernel::program`]);
+    /// meaningless while the slot is empty. Checkpoint restore uses it to
+    /// reconstruct the program before loading its dynamic state.
+    warp_id: usize,
     state: WarpState,
     /// Blocked-load bookkeeping; valid only while `state` is `Waiting`.
     wait: LoadWait,
@@ -124,6 +129,7 @@ impl WarpSlot {
     fn empty() -> Self {
         Self {
             program: None,
+            warp_id: 0,
             state: WarpState::Done,
             wait: LoadWait::new(),
             store: StorePlan::new(),
@@ -306,12 +312,12 @@ impl Sm {
         self.live_warps < self.slots.len()
     }
 
-    /// Places a warp program into a free slot.
+    /// Places the program of warp `warp_id` into a free slot.
     ///
     /// # Panics
     ///
     /// Panics if no slot is free; check [`Sm::has_free_slot`] first.
-    pub fn dispatch(&mut self, program: Box<dyn WarpProgram>) {
+    pub fn dispatch(&mut self, warp_id: usize, program: Box<dyn WarpProgram>) {
         let idx = self
             .slots
             .iter()
@@ -319,6 +325,7 @@ impl Sm {
             .expect("dispatch requires a free slot");
         let slot = &mut self.slots[idx];
         slot.program = Some(program);
+        slot.warp_id = warp_id;
         slot.state = WarpState::Ready;
         slot.store_parked = false;
         slot.last_loaded.clear();
@@ -691,6 +698,192 @@ impl Sm {
         // Write-through: the warp does not wait for stores.
         true
     }
+
+    /// Serializes the SM's dynamic state: scheduler cursors, counters, L1
+    /// contents, MSHR table and every occupied warp slot (including the
+    /// resident program's state). Geometry (slot count, cache shape, MSHR
+    /// capacity) is configuration and is not written; scratch buffers are
+    /// transient and skipped.
+    pub fn save_state(&self, s: &mut Saver) {
+        s.usize("rr", self.rr);
+        s.usize("drain_rr", self.drain_rr);
+        s.u64("instructions", self.instructions);
+        s.u64("approximated_loads", self.approximated_loads);
+        s.frame("l1", 0, |s| self.l1.save_state(s));
+        let mut lines: Vec<u64> = self.mshr.keys().copied().collect();
+        lines.sort_unstable();
+        s.seq("mshr", lines.len());
+        for line in lines {
+            s.u64("line", line);
+            let waiters = &self.mshr[&line];
+            s.seq("waiters", waiters.len());
+            for &w in waiters {
+                s.usize("waiter", w);
+            }
+        }
+        s.seq("slots", self.slots.len());
+        for (i, slot) in self.slots.iter().enumerate() {
+            s.frame("slot", i as u32, |s| {
+                let occupied = slot.program.is_some();
+                s.bool("occupied", occupied);
+                if !occupied {
+                    return;
+                }
+                s.usize("warp_id", slot.warp_id);
+                match slot.state {
+                    WarpState::Ready => s.u8("state", 0),
+                    WarpState::Computing { left } => {
+                        s.u8("state", 1);
+                        s.u32("left", left);
+                    }
+                    WarpState::Waiting => s.u8("state", 2),
+                    WarpState::Done => s.u8("state", 3),
+                }
+                s.bool("store_parked", slot.store_parked);
+                s.u64s("lane_addrs", &slot.wait.lane_addrs);
+                s.u64s("pending", &slot.wait.pending);
+                s.u64s("unsent", &slot.wait.unsent);
+                s.seq("approx", slot.wait.approx.len());
+                for (line, vals) in &slot.wait.approx {
+                    s.u64("line", *line);
+                    s.f32s("vals", vals);
+                }
+                s.seq("writes", slot.store.writes.len());
+                for &(a, v) in &slot.store.writes {
+                    s.u64("addr", a);
+                    s.f32("val", v);
+                }
+                s.u64s("lines", &slot.store.lines);
+                s.seq("per_slice", slot.store.per_slice.len());
+                for &(ch, count) in &slot.store.per_slice {
+                    s.usize("slice", ch);
+                    s.usize("count", count);
+                }
+                s.f32s("last_loaded", &slot.last_loaded);
+                s.frame("prog", 0, |s| {
+                    slot.program.as_ref().expect("occupied slot").save_state(s);
+                });
+            });
+        }
+    }
+
+    /// Restores state written by [`Sm::save_state`] into an SM built from the
+    /// same configuration. `kernel` must be the kernel of the checkpointed
+    /// launch: each resident warp's program is rebuilt via
+    /// [`Kernel::program`] and then fed its saved dynamic state. Scheduler
+    /// masks are recomputed from the restored slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the snapshot bytes are malformed or the slot
+    /// count disagrees with this SM's configuration.
+    pub fn load_state(&mut self, l: &mut Loader<'_>, kernel: &dyn Kernel) -> SnapResult<()> {
+        self.rr = l.usize("rr")?;
+        self.drain_rr = l.usize("drain_rr")?;
+        self.instructions = l.u64("instructions")?;
+        self.approximated_loads = l.u64("approximated_loads")?;
+        l.frame("l1", 0, |l| self.l1.load_state(l))?;
+        let n_mshr = l.seq("mshr", 16)?;
+        self.mshr.clear();
+        self.mshr.reserve(n_mshr);
+        for _ in 0..n_mshr {
+            let line = l.u64("line")?;
+            let n_w = l.seq("waiters", 8)?;
+            let mut waiters = self.waiter_pool.pop().unwrap_or_default();
+            waiters.clear();
+            waiters.reserve(n_w);
+            for _ in 0..n_w {
+                waiters.push(l.usize("waiter")?);
+            }
+            if self.mshr.insert(line, waiters).is_some() {
+                return Err(SnapError::Malformed {
+                    label: "mshr".into(),
+                    why: format!("duplicate line {line:#x}"),
+                });
+            }
+        }
+        let n_slots = l.seq("slots", 16)?;
+        if n_slots != self.slots.len() {
+            return Err(SnapError::Malformed {
+                label: "slots".into(),
+                why: format!("snapshot has {n_slots} slots, SM has {}", self.slots.len()),
+            });
+        }
+        let mut live = 0usize;
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            l.frame("slot", i as u32, |l| {
+                let occupied = l.bool("occupied")?;
+                if !occupied {
+                    slot.program = None;
+                    slot.warp_id = 0;
+                    slot.state = WarpState::Done;
+                    slot.store_parked = false;
+                    slot.wait.lane_addrs.clear();
+                    slot.wait.pending.clear();
+                    slot.wait.unsent.clear();
+                    slot.wait.approx.clear();
+                    slot.store.writes.clear();
+                    slot.store.lines.clear();
+                    slot.store.per_slice.clear();
+                    slot.last_loaded.clear();
+                    return Ok(());
+                }
+                slot.warp_id = l.usize("warp_id")?;
+                slot.state = match l.u8("state")? {
+                    0 => WarpState::Ready,
+                    1 => WarpState::Computing { left: l.u32("left")? },
+                    2 => WarpState::Waiting,
+                    3 => WarpState::Done,
+                    x => {
+                        return Err(SnapError::Malformed {
+                            label: "state".into(),
+                            why: format!("unknown warp state {x}"),
+                        })
+                    }
+                };
+                slot.store_parked = l.bool("store_parked")?;
+                l.u64s("lane_addrs", &mut slot.wait.lane_addrs)?;
+                l.u64s("pending", &mut slot.wait.pending)?;
+                l.u64s("unsent", &mut slot.wait.unsent)?;
+                let n_a = l.seq("approx", 8)?;
+                slot.wait.approx.clear();
+                for _ in 0..n_a {
+                    let line = l.u64("line")?;
+                    let mut vals = [0.0f32; 32];
+                    l.f32_array("vals", &mut vals)?;
+                    slot.wait.approx.push((line, vals));
+                }
+                let n_w = l.seq("writes", 12)?;
+                slot.store.writes.clear();
+                for _ in 0..n_w {
+                    let a = l.u64("addr")?;
+                    let v = l.f32("val")?;
+                    slot.store.writes.push((a, v));
+                }
+                l.u64s("lines", &mut slot.store.lines)?;
+                let n_ps = l.seq("per_slice", 16)?;
+                slot.store.per_slice.clear();
+                for _ in 0..n_ps {
+                    let ch = l.usize("slice")?;
+                    let count = l.usize("count")?;
+                    slot.store.per_slice.push((ch, count));
+                }
+                l.f32s("last_loaded", &mut slot.last_loaded)?;
+                let mut program = kernel.program(slot.warp_id);
+                l.frame("prog", 0, |l| program.load_state(l))?;
+                slot.program = Some(program);
+                live += 1;
+                Ok(())
+            })?;
+        }
+        self.live_warps = live;
+        self.scratch_arrived.clear();
+        self.scratch_lines.clear();
+        for idx in 0..self.slots.len() {
+            self.refresh_masks(idx);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -747,6 +940,15 @@ mod tests {
                 _ => out.set_finished(),
             }
         }
+
+        fn save_state(&self, s: &mut Saver) {
+            s.u32("step", self.step);
+        }
+
+        fn load_state(&mut self, l: &mut Loader<'_>) -> SnapResult<()> {
+            self.step = l.u32("step")?;
+            Ok(())
+        }
     }
 
     fn setup() -> (Sm, MemoryImage, AddressMap, MiniKernel, Vec<DelayQueue<SliceReq>>) {
@@ -764,7 +966,7 @@ mod tests {
     #[test]
     fn load_coalesces_and_blocks_warp() {
         let (mut sm, mut image, map, kernel, mut noc) = setup();
-        sm.dispatch(kernel.program(0));
+        sm.dispatch(0, kernel.program(0));
         let mut ctx = SmCtx { now: 1, image: &mut image, map: &map, kernel: &kernel, req_noc: &mut noc };
         sm.tick(&mut ctx);
         // 32 floats = 128 B = 1 line → 1 request on its home slice.
@@ -780,7 +982,7 @@ mod tests {
     fn reply_unblocks_and_store_writes_image() {
         let (mut sm, mut image, map, kernel, mut noc) = setup();
         let base = kernel.base;
-        sm.dispatch(kernel.program(0));
+        sm.dispatch(0, kernel.program(0));
         {
             let mut ctx = SmCtx { now: 1, image: &mut image, map: &map, kernel: &kernel, req_noc: &mut noc };
             sm.tick(&mut ctx);
@@ -802,7 +1004,7 @@ mod tests {
     fn approximated_reply_supplies_predicted_values() {
         let (mut sm, mut image, map, kernel, mut noc) = setup();
         let base = kernel.base;
-        sm.dispatch(kernel.program(0));
+        sm.dispatch(0, kernel.program(0));
         {
             let mut ctx = SmCtx { now: 1, image: &mut image, map: &map, kernel: &kernel, req_noc: &mut noc };
             sm.tick(&mut ctx);
@@ -853,8 +1055,8 @@ mod tests {
         let map = AddressMap::new(&cfg);
         let mut noc: Vec<DelayQueue<SliceReq>> =
             (0..6).map(|_| DelayQueue::new(0, 64, 8)).collect();
-        sm.dispatch(kernel.program(0));
-        sm.dispatch(kernel.program(1));
+        sm.dispatch(0, kernel.program(0));
+        sm.dispatch(1, kernel.program(1));
         let mut ctx = SmCtx { now: 1, image: &mut image, map: &map, kernel: &kernel, req_noc: &mut noc };
         sm.tick(&mut ctx); // both warps issue their load (issue_width = 2)
         let total: usize = ctx.req_noc.iter().map(|q| q.len()).sum();
@@ -877,7 +1079,7 @@ mod tests {
         for q in noc.iter_mut() {
             q.push(0, SliceReq { sm: 9, line: 0, write: false, approximable: false }).unwrap();
         }
-        sm.dispatch(kernel.program(0));
+        sm.dispatch(0, kernel.program(0));
         let mut ctx = SmCtx { now: 1, image: &mut image, map: &map, kernel: &kernel, req_noc: &mut noc };
         sm.tick(&mut ctx);
         // The load issues (instruction retired) but its miss request cannot

@@ -8,6 +8,7 @@
 //! results differ slightly from the closed-loop run; shapes are preserved
 //! for scheduler-side questions like queue-size or delay sweeps.
 
+use lazydram_common::snap::{Loader, Saver, SnapResult};
 use lazydram_common::{GpuConfig, Request, SchedConfig, SimStats};
 use lazydram_core::MemoryController;
 
@@ -56,6 +57,35 @@ impl Trace {
     /// Iterates the recorded entries in arrival order.
     pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
         self.entries.iter()
+    }
+
+    /// Serializes the trace (every entry, in order).
+    pub fn save_state(&self, s: &mut Saver) {
+        s.seq("entries", self.entries.len());
+        for e in &self.entries {
+            s.u64("cycle", e.cycle);
+            s.u16("channel", e.channel);
+            e.request.save_state(s);
+        }
+    }
+
+    /// Restores the trace from a snapshot, replacing current entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the snapshot bytes are malformed.
+    pub fn load_state(&mut self, l: &mut Loader<'_>) -> SnapResult<()> {
+        let n = l.seq("entries", 10)?;
+        self.entries.clear();
+        self.entries.reserve(n);
+        for _ in 0..n {
+            self.entries.push(TraceEntry {
+                cycle: l.u64("cycle")?,
+                channel: l.u16("channel")?,
+                request: Request::load_state(l)?,
+            });
+        }
+        Ok(())
     }
 
     /// Replays the trace through fresh memory controllers under `sched`,

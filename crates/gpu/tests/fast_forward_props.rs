@@ -8,7 +8,9 @@
 //! tight cycle limits, pathological DMS delays.
 
 use lazydram_common::{AmsMode, DmsMode, GpuConfig, SchedConfig};
-use lazydram_gpu::{Kernel, MemoryImage, OpBuf, SimLimits, Simulator, WarpProgram};
+use lazydram_gpu::{
+    Kernel, Loader, MemoryImage, OpBuf, Saver, SimLimits, Simulator, SnapResult, WarpProgram,
+};
 use proptest::prelude::*;
 
 /// One warp of the synthetic kernel: `rounds` iterations of
@@ -61,6 +63,19 @@ impl WarpProgram for SynthProgram {
                 out.begin_store().push((addr, self.acc + round as f32));
             }
         }
+    }
+
+    fn save_state(&self, s: &mut Saver) {
+        s.u32("round", self.round);
+        s.u8("phase", self.phase);
+        s.f32("acc", self.acc);
+    }
+
+    fn load_state(&mut self, l: &mut Loader<'_>) -> SnapResult<()> {
+        self.round = l.u32("round")?;
+        self.phase = l.u8("phase")?;
+        self.acc = l.f32("acc")?;
+        Ok(())
     }
 }
 

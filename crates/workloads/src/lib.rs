@@ -8,27 +8,29 @@
 //! genuine outputs.
 //!
 //! * [`suite::suite`] — the 20-app registry with the paper's result groups,
-//! * [`suite::run_app`] — run one app under a [`SchedConfig`](lazydram_common::SchedConfig),
+//! * [`builder::SimBuilder`] — the one front door for configuring and
+//!   running a timed simulation (scheme, scale, limits, checkpointing),
 //! * [`suite::exact_output`] — the functional (error-free) reference output,
 //! * [`programs`] — the reusable warp-program shapes.
 //!
 //! # Example
 //!
 //! ```no_run
-//! use lazydram_common::{GpuConfig, SchedConfig};
-//! use lazydram_workloads::suite::{by_name, exact_output, run_app};
+//! use lazydram_common::Scheme;
+//! use lazydram_workloads::{by_name, SimBuilder};
 //! use lazydram_gpu::application_error;
 //!
 //! let app = by_name("GEMM").expect("known app");
-//! let exact = exact_output(&app, 0.25);
-//! let lazy = run_app(&app, &GpuConfig::default(), &SchedConfig::dyn_combo(), 0.25);
-//! println!("error = {:.2}%", 100.0 * application_error(&exact, &lazy.output));
+//! let run = SimBuilder::new(&app).scheme(Scheme::DynCombo).scale(0.25).build();
+//! let lazy = run.run();
+//! println!("error = {:.2}%", 100.0 * application_error(&run.exact_output(), &lazy.output));
 //! ```
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod axbench;
+pub mod builder;
 pub mod polybench;
 pub mod programs;
 pub mod sdk;
@@ -36,4 +38,7 @@ pub mod stencil_apps;
 pub mod suite;
 pub mod util;
 
+pub use builder::{
+    parse_checkpoint_every, CheckpointPolicy, SimBuilder, SimRun, DEFAULT_CHECKPOINT_EVERY,
+};
 pub use suite::{by_name, exact_output, group, run_app, run_app_limited, suite as all_apps, AppSpec};

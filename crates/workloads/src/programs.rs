@@ -17,7 +17,7 @@
 //! * [`ScanProgram`] — sequential block scan (SLA),
 //! * [`ScpProgram`] — per-thread dot products over long vectors (SCP).
 
-use lazydram_gpu::{OpBuf, WarpProgram};
+use lazydram_gpu::{Loader, OpBuf, Saver, SnapError, SnapResult, WarpProgram};
 
 /// Threads per warp; fixed across the suite.
 pub const LANES: usize = 32;
@@ -211,6 +211,60 @@ impl WarpProgram for MapProgram {
             }
         }
     }
+
+    fn save_state(&self, s: &mut Saver) {
+        s.usize("iter", self.iter);
+        match self.phase {
+            MapPhase::Load => s.u8("phase", 0),
+            MapPhase::Compute => s.u8("phase", 1),
+            MapPhase::Store { output, word } => {
+                s.u8("phase", 2);
+                s.usize("output", output);
+                s.usize("word", word);
+            }
+        }
+        s.bool("awaiting", self.awaiting);
+        s.seq("in_vals", self.in_vals.len());
+        for v in &self.in_vals {
+            s.f32s("vals", v);
+        }
+        s.seq("out_vals", self.out_vals.len());
+        for v in &self.out_vals {
+            s.f32s("vals", v);
+        }
+    }
+
+    fn load_state(&mut self, l: &mut Loader<'_>) -> SnapResult<()> {
+        self.iter = l.usize("iter")?;
+        self.phase = match l.u8("phase")? {
+            0 => MapPhase::Load,
+            1 => MapPhase::Compute,
+            2 => MapPhase::Store { output: l.usize("output")?, word: l.usize("word")? },
+            x => {
+                return Err(SnapError::Malformed {
+                    label: "phase".into(),
+                    why: format!("unknown map phase {x}"),
+                })
+            }
+        };
+        self.awaiting = l.bool("awaiting")?;
+        for (label, bufs) in [("in_vals", &mut self.in_vals), ("out_vals", &mut self.out_vals)] {
+            let n = l.seq(label, 8)?;
+            if n != bufs.len() {
+                return Err(SnapError::Malformed {
+                    label: label.into(),
+                    why: format!("snapshot has {n} slots, program has {}", bufs.len()),
+                });
+            }
+            for v in bufs.iter_mut() {
+                l.f32s("vals", v)?;
+            }
+        }
+        // Force a deterministic rebuild of the active-triple cache.
+        self.active_iter = usize::MAX;
+        self.active.clear();
+        Ok(())
+    }
 }
 
 /// Identity index map for [`MapConfig::index`].
@@ -371,6 +425,40 @@ impl WarpProgram for MatVecProgram {
             }
         }
     }
+
+    fn save_state(&self, s: &mut Saver) {
+        s.usize("first", self.first);
+        s.usize("j", self.j);
+        s.f32s("acc", &self.acc);
+        s.u32("pending_compute", self.pending_compute);
+        s.u8(
+            "state",
+            match self.state {
+                MatVecState::Inner => 0,
+                MatVecState::LoadOld => 1,
+                MatVecState::Store => 2,
+            },
+        );
+    }
+
+    fn load_state(&mut self, l: &mut Loader<'_>) -> SnapResult<()> {
+        self.first = l.usize("first")?;
+        self.j = l.usize("j")?;
+        l.f32_array("acc", &mut self.acc)?;
+        self.pending_compute = l.u32("pending_compute")?;
+        self.state = match l.u8("state")? {
+            0 => MatVecState::Inner,
+            1 => MatVecState::LoadOld,
+            2 => MatVecState::Store,
+            x => {
+                return Err(SnapError::Malformed {
+                    label: "state".into(),
+                    why: format!("unknown matvec state {x}"),
+                })
+            }
+        };
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -475,6 +563,21 @@ impl WarpProgram for MatmulProgram {
                 addrs.push(f32_addr(self.cfg.b, (k0 + kk) * n + self.col0 + lane));
             }
         }
+    }
+
+    fn save_state(&self, s: &mut Saver) {
+        s.usize("k", self.k);
+        s.f32s("acc", &self.acc);
+        s.u32("pending_compute", self.pending_compute);
+        s.bool("done", self.done);
+    }
+
+    fn load_state(&mut self, l: &mut Loader<'_>) -> SnapResult<()> {
+        self.k = l.usize("k")?;
+        l.f32_array("acc", &mut self.acc)?;
+        self.pending_compute = l.u32("pending_compute")?;
+        self.done = l.bool("done")?;
+        Ok(())
     }
 }
 
@@ -604,6 +707,19 @@ impl WarpProgram for Stencil2DProgram {
             }
         }
     }
+
+    fn save_state(&self, s: &mut Saver) {
+        s.u8("stage", self.stage);
+        s.f32s("sums", &self.sums);
+        s.f32s("centers", &self.centers);
+    }
+
+    fn load_state(&mut self, l: &mut Loader<'_>) -> SnapResult<()> {
+        self.stage = l.u8("stage")?;
+        l.f32_array("sums", &mut self.sums)?;
+        l.f32_array("centers", &mut self.centers)?;
+        Ok(())
+    }
 }
 
 /// Configuration of a [`Stencil3DProgram`].
@@ -715,6 +831,17 @@ impl WarpProgram for Stencil3DProgram {
                 self.stage = 3;
             }
         }
+    }
+
+    fn save_state(&self, s: &mut Saver) {
+        s.u8("stage", self.stage);
+        s.f32s("sums", &self.sums);
+    }
+
+    fn load_state(&mut self, l: &mut Loader<'_>) -> SnapResult<()> {
+        self.stage = l.u8("stage")?;
+        l.f32_array("sums", &mut self.sums)?;
+        Ok(())
     }
 }
 
@@ -829,6 +956,33 @@ impl WarpProgram for FwtProgram {
         }
         self.pending = true;
     }
+
+    fn save_state(&self, s: &mut Saver) {
+        s.usize("stride", self.stride);
+        s.usize("chunk", self.chunk);
+        s.bool("pending", self.pending);
+        s.bool("computing", self.computing);
+        s.seq("idx", self.idx.len());
+        for &i in &self.idx {
+            s.usize("i", i);
+        }
+        s.f32s("vals", &self.vals);
+    }
+
+    fn load_state(&mut self, l: &mut Loader<'_>) -> SnapResult<()> {
+        self.stride = l.usize("stride")?;
+        self.chunk = l.usize("chunk")?;
+        self.pending = l.bool("pending")?;
+        self.computing = l.bool("computing")?;
+        let n = l.seq("idx", 8)?;
+        self.idx.clear();
+        self.idx.reserve(n);
+        for _ in 0..n {
+            self.idx.push(l.usize("i")?);
+        }
+        l.f32s("vals", &mut self.vals)?;
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -904,6 +1058,19 @@ impl WarpProgram for ScanProgram {
         for i in 0..n {
             addrs.push(f32_addr(self.cfg.input, start + i));
         }
+    }
+
+    fn save_state(&self, s: &mut Saver) {
+        s.usize("chunk", self.chunk);
+        s.f32("carry", self.carry);
+        s.bool("pending", self.pending);
+    }
+
+    fn load_state(&mut self, l: &mut Loader<'_>) -> SnapResult<()> {
+        self.chunk = l.usize("chunk")?;
+        self.carry = l.f32("carry")?;
+        self.pending = l.bool("pending")?;
+        Ok(())
     }
 }
 
@@ -996,6 +1163,17 @@ impl WarpProgram for ScpProgram {
             }
             _ => out.set_finished(),
         }
+    }
+
+    fn save_state(&self, s: &mut Saver) {
+        s.f32s("acc", &self.acc);
+        s.u8("state", self.state);
+    }
+
+    fn load_state(&mut self, l: &mut Loader<'_>) -> SnapResult<()> {
+        l.f32_array("acc", &mut self.acc)?;
+        self.state = l.u8("state")?;
+        Ok(())
     }
 }
 

@@ -3,7 +3,7 @@
 
 use crate::programs::{FwtConfig, FwtProgram, ScanConfig, ScanProgram, ScpConfig, ScpProgram, LANES};
 use crate::util::{pow2_at_most, Region};
-use lazydram_gpu::{Kernel, MemoryImage, OpBuf, WarpProgram};
+use lazydram_gpu::{Kernel, Loader, MemoryImage, OpBuf, Saver, SnapError, SnapResult, WarpProgram};
 
 // ---------------------------------------------------------------------------
 // RAY
@@ -192,6 +192,54 @@ impl WarpProgram for RayProgram {
             }
             RayStage::Done => out.set_finished(),
         }
+    }
+
+    fn save_state(&self, s: &mut Saver) {
+        s.u8(
+            "stage",
+            match self.stage {
+                RayStage::LoadSpheres => 0,
+                RayStage::Intersect => 1,
+                RayStage::LoadEnv => 2,
+                RayStage::Store => 3,
+                RayStage::Done => 4,
+            },
+        );
+        s.f32s("sphere_data", &self.sphere_data);
+        s.seq("env_idx", self.env_idx.len());
+        for &i in &self.env_idx {
+            s.usize("i", i);
+        }
+        s.f32s("base_shade", &self.base_shade);
+    }
+
+    fn load_state(&mut self, l: &mut Loader<'_>) -> SnapResult<()> {
+        self.stage = match l.u8("stage")? {
+            0 => RayStage::LoadSpheres,
+            1 => RayStage::Intersect,
+            2 => RayStage::LoadEnv,
+            3 => RayStage::Store,
+            4 => RayStage::Done,
+            x => {
+                return Err(SnapError::Malformed {
+                    label: "stage".into(),
+                    why: format!("unknown ray stage {x}"),
+                })
+            }
+        };
+        l.f32s("sphere_data", &mut self.sphere_data)?;
+        let n = l.seq("env_idx", 8)?;
+        if n != self.env_idx.len() {
+            return Err(SnapError::Malformed {
+                label: "env_idx".into(),
+                why: format!("expected {} elements, found {n}", self.env_idx.len()),
+            });
+        }
+        for slot in self.env_idx.iter_mut() {
+            *slot = l.usize("i")?;
+        }
+        l.f32_array("base_shade", &mut self.base_shade)?;
+        Ok(())
     }
 }
 

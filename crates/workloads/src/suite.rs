@@ -3,7 +3,7 @@
 
 use crate::{axbench, polybench, sdk, stencil_apps};
 use crate::util::{run_sequence_functional, scaled, scaled_dim2, scaled_dim3};
-use lazydram_gpu::{Kernel, RunResult, SimLimits, Simulator};
+use lazydram_gpu::{Kernel, RunResult, SimLimits};
 use lazydram_common::{GpuConfig, SchedConfig};
 
 /// One application of the evaluation suite.
@@ -146,6 +146,10 @@ pub fn group(g: u8) -> Vec<AppSpec> {
 }
 
 /// Runs one application end to end under a scheduling policy.
+///
+/// Convenience wrapper over [`SimBuilder`](crate::builder::SimBuilder) for
+/// tests and one-off probes; anything that wants non-default limits, trace
+/// capture or checkpointing should use the builder directly.
 pub fn run_app(app: &AppSpec, cfg: &GpuConfig, sched: &SchedConfig, scale: f64) -> RunResult {
     run_app_limited(app, cfg, sched, scale, SimLimits::default())
 }
@@ -158,10 +162,13 @@ pub fn run_app_limited(
     scale: f64,
     limits: SimLimits,
 ) -> RunResult {
-    let mut launches = app.launches(scale);
-    Simulator::new(cfg.clone(), sched.clone())
-        .with_limits(limits)
-        .run_sequence(&mut launches)
+    crate::builder::SimBuilder::new(app)
+        .gpu(cfg.clone())
+        .sched(sched.clone(), "ad-hoc")
+        .scale(scale)
+        .limits(limits)
+        .build()
+        .run()
 }
 
 /// Computes the application's *exact* output at a scale (functional

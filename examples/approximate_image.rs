@@ -6,9 +6,9 @@
 //! cargo run --release --example approximate_image [SCALE] [OUT_DIR]
 //! ```
 
-use lazydram::common::{GpuConfig, SchedConfig};
 use lazydram::gpu::application_error;
-use lazydram::workloads::{by_name, exact_output, run_app};
+use lazydram::workloads::by_name;
+use lazydram::{Scheme, SimBuilder};
 use std::io::Write;
 
 fn write_pgm(path: &str, pixels: &[f32], w: usize) -> std::io::Result<()> {
@@ -23,10 +23,10 @@ fn main() {
     let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
     let out = args.get(2).cloned().unwrap_or_else(|| "target".into());
     let app = by_name("laplacian").expect("app");
-    let cfg = GpuConfig::default();
 
-    let exact = exact_output(&app, scale);
-    let lazy = run_app(&app, &cfg, &SchedConfig::dyn_combo(), scale);
+    let lazy_run = SimBuilder::new(&app).scheme(Scheme::DynCombo).scale(scale).build();
+    let exact = lazy_run.exact_output();
+    let lazy = lazy_run.run();
     let err = application_error(&exact, &lazy.output);
     let w = (exact.len() as f64).sqrt().round() as usize;
 
@@ -37,7 +37,7 @@ fn main() {
              100.0 * lazy.stats.dram.coverage(), 100.0 * err);
     println!("row energy {:.1}% of baseline activations equivalent",
              100.0 * lazy.stats.dram.activations as f64
-                 / run_app(&app, &cfg, &SchedConfig::baseline(), scale)
+                 / SimBuilder::new(&app).scheme(Scheme::Baseline).scale(scale).build().run()
                      .stats.dram.activations.max(1) as f64);
     println!("images: {out}/laplacian_exact.pgm, {out}/laplacian_approx.pgm");
 }

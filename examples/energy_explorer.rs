@@ -12,7 +12,7 @@
 use lazydram::common::{DmsMode, GpuConfig, SchedConfig};
 use lazydram::energy::{EnergyModel, MemoryTech};
 use lazydram::workloads::by_name;
-use lazydram_bench::{MeasureSpec, SweepRunner};
+use lazydram_bench::{MeasureSpec, SimBuilder, SweepRunner};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -28,13 +28,17 @@ fn main() {
     let delays = [64u32, 128, 256, 512, 1024, 2048]; // delay = 0 is the baseline
     let specs = delays
         .iter()
-        .map(|&delay| MeasureSpec {
-            app: app.clone(),
-            cfg: cfg.clone(),
-            sched: SchedConfig { dms: DmsMode::Static(delay), ..SchedConfig::baseline() },
-            scale,
-            label: format!("DMS({delay})"),
-            exact: base.exact.clone(),
+        .map(|&delay| {
+            MeasureSpec::new(
+                SimBuilder::new(&app)
+                    .gpu(cfg.clone())
+                    .sched(
+                        SchedConfig { dms: DmsMode::Static(delay), ..SchedConfig::baseline() },
+                        format!("DMS({delay})"),
+                    )
+                    .scale(scale),
+                base.exact.clone(),
+            )
         })
         .collect();
     let results = runner.measure_all(specs);

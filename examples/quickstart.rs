@@ -6,10 +6,10 @@
 //! cargo run --release --example quickstart [APP] [SCALE]
 //! ```
 
-use lazydram::common::{GpuConfig, SchedConfig};
 use lazydram::energy::{EnergyModel, MemoryTech};
 use lazydram::gpu::application_error;
-use lazydram::workloads::{by_name, exact_output, run_app};
+use lazydram::workloads::by_name;
+use lazydram::{Scheme, SimBuilder};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -19,18 +19,18 @@ fn main() {
         eprintln!("unknown app {name:?}; try GEMM, SCP, meanfilter, LPS, RAY …");
         std::process::exit(1);
     });
-    let cfg = GpuConfig::default();
     let energy = EnergyModel::new(MemoryTech::Gddr5);
 
     println!("app {name} (group {}), scale {scale}\n", app.group);
-    let exact = exact_output(&app, scale);
+    let base_run = SimBuilder::new(&app).scheme(Scheme::Baseline).scale(scale).build();
+    let exact = base_run.exact_output();
 
-    let base = run_app(&app, &cfg, &SchedConfig::baseline(), scale);
+    let base = base_run.run();
     let base_row = energy.breakdown(&base.stats.dram).row_energy_pj;
     println!("baseline         : {:>8} activations, Avg-RBL {:.2}, IPC {:.2}",
              base.stats.dram.activations, base.stats.dram.avg_rbl(), base.stats.ipc());
 
-    let lazy = run_app(&app, &cfg, &SchedConfig::dyn_combo(), scale);
+    let lazy = SimBuilder::new(&app).scheme(Scheme::DynCombo).scale(scale).build().run();
     let lazy_row = energy.breakdown(&lazy.stats.dram).row_energy_pj;
     let err = application_error(&exact, &lazy.output);
     println!("Dyn-DMS+Dyn-AMS  : {:>8} activations, Avg-RBL {:.2}, IPC {:.2}",

@@ -32,8 +32,11 @@ fn request(map: &AddressMap, id: u64, row: u32, col: u16) -> Request {
 
 fn drive(mc: &mut MemoryController, cycles: u64) -> Vec<(u64, bool)> {
     let mut served = Vec::new();
+    let mut out = Vec::new();
     for _ in 0..cycles {
-        for r in mc.tick_collect() {
+        out.clear();
+        mc.tick(&mut out);
+        for r in &out {
             served.push((r.id.0, r.approximated));
         }
     }
@@ -54,7 +57,9 @@ fn fig3(delay: DmsMode, label: &str) {
         mc.enqueue(request(&map, u64::from(row) + 4, row, 1)).unwrap();
     }
     for _ in 0..30_000 {
-        served.extend(mc.tick_collect().into_iter().map(|r| (r.id.0, r.approximated)));
+        let mut out = Vec::new();
+        mc.tick(&mut out);
+        served.extend(out.into_iter().map(|r| (r.id.0, r.approximated)));
         if mc.is_idle() {
             break;
         }
@@ -91,7 +96,9 @@ fn main() {
             mc.enqueue(request(&map, u64::from(row) + 5, row, 1)).unwrap();
         }
         for _ in 0..30_000 {
-            served.extend(mc.tick_collect().into_iter().map(|r| (r.id.0, r.approximated)));
+            let mut out = Vec::new();
+            mc.tick(&mut out);
+            served.extend(out.into_iter().map(|r| (r.id.0, r.approximated)));
             if mc.is_idle() {
                 break;
             }

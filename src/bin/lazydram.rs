@@ -7,26 +7,17 @@
 //! lazydram schemes <APP> [--scale F]    all six paper schemes side by side
 //! ```
 
-use lazydram::common::{DmsMode, GpuConfig, SchedConfig};
+use lazydram::common::{DmsMode, SchedConfig};
 use lazydram::energy::{EnergyModel, MemoryTech};
 use lazydram::gpu::application_error;
-use lazydram::workloads::{all_apps, by_name, exact_output, run_app, AppSpec};
+use lazydram::workloads::{all_apps, by_name, AppSpec};
+use lazydram::{Scheme, SimBuilder};
 
 fn parse_flag(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
-}
-
-fn scheme_by_name(name: &str) -> Option<(String, SchedConfig)> {
-    let all: Vec<(&str, SchedConfig)> = vec![("baseline", SchedConfig::baseline())]
-        .into_iter()
-        .chain(SchedConfig::paper_schemes())
-        .collect();
-    all.into_iter()
-        .find(|(n, _)| n.eq_ignore_ascii_case(name))
-        .map(|(n, s)| (n.to_string(), s))
 }
 
 fn app_or_exit(name: &str) -> AppSpec {
@@ -45,15 +36,15 @@ fn cmd_apps() {
 }
 
 fn cmd_run(app: &AppSpec, scheme: &str, scale: f64) {
-    let (label, sched) = scheme_by_name(scheme).unwrap_or_else(|| {
+    let scheme = Scheme::by_label(scheme).unwrap_or_else(|| {
         eprintln!("unknown scheme {scheme:?} (baseline, Static-DMS, Dyn-DMS, Static-AMS, Dyn-AMS, Static-DMS+Static-AMS, Dyn-DMS+Dyn-AMS)");
         std::process::exit(2);
     });
-    let cfg = GpuConfig::default();
-    let exact = exact_output(app, scale);
-    let r = run_app(app, &cfg, &sched, scale);
+    let run = SimBuilder::new(app).scheme(scheme).scale(scale).build();
+    let exact = run.exact_output();
+    let r = run.run();
     let e = EnergyModel::new(MemoryTech::Gddr5).breakdown(&r.stats.dram);
-    println!("{} under {label} (scale {scale})", app.name);
+    println!("{} under {} (scale {scale})", app.name, scheme.label());
     println!("  core cycles      {:>12}", r.stats.core_cycles);
     println!("  IPC              {:>12.3}", r.stats.ipc());
     println!("  DRAM activations {:>12}", r.stats.dram.activations);
@@ -64,8 +55,7 @@ fn cmd_run(app: &AppSpec, scheme: &str, scale: f64) {
 }
 
 fn cmd_sweep(app: &AppSpec, scale: f64) {
-    let cfg = GpuConfig::default();
-    let base = run_app(app, &cfg, &SchedConfig::baseline(), scale);
+    let base = SimBuilder::new(app).scheme(Scheme::Baseline).scale(scale).build().run();
     println!("{}: DMS delay sweep (scale {scale})", app.name);
     println!("{:>7} {:>10} {:>9}", "delay", "norm acts", "norm IPC");
     for d in [0u32, 64, 128, 256, 512, 1024, 2048] {
@@ -73,7 +63,7 @@ fn cmd_sweep(app: &AppSpec, scale: f64) {
             dms: if d == 0 { DmsMode::Off } else { DmsMode::Static(d) },
             ..SchedConfig::baseline()
         };
-        let r = run_app(app, &cfg, &sched, scale);
+        let r = SimBuilder::new(app).sched(sched, format!("DMS({d})")).scale(scale).build().run();
         println!(
             "{d:>7} {:>10.3} {:>9.3}",
             r.stats.dram.activations as f64 / base.stats.dram.activations.max(1) as f64,
@@ -83,15 +73,16 @@ fn cmd_sweep(app: &AppSpec, scale: f64) {
 }
 
 fn cmd_schemes(app: &AppSpec, scale: f64) {
-    let cfg = GpuConfig::default();
-    let exact = exact_output(app, scale);
-    let base = run_app(app, &cfg, &SchedConfig::baseline(), scale);
+    let base_run = SimBuilder::new(app).scheme(Scheme::Baseline).scale(scale).build();
+    let exact = base_run.exact_output();
+    let base = base_run.run();
     println!("{}: all schemes (scale {scale})", app.name);
     println!("{:>24} {:>10} {:>9} {:>9} {:>9}", "scheme", "norm acts", "norm IPC", "coverage", "error");
-    for (label, sched) in SchedConfig::paper_schemes() {
-        let r = run_app(app, &cfg, &sched, scale);
+    for scheme in Scheme::PAPER {
+        let r = SimBuilder::new(app).scheme(scheme).scale(scale).build().run();
         println!(
-            "{label:>24} {:>10.3} {:>9.3} {:>8.1}% {:>8.2}%",
+            "{:>24} {:>10.3} {:>9.3} {:>8.1}% {:>8.2}%",
+            scheme.label(),
             r.stats.dram.activations as f64 / base.stats.dram.activations.max(1) as f64,
             r.stats.ipc() / base.stats.ipc().max(1e-9),
             100.0 * r.stats.dram.coverage(),

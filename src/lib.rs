@@ -13,14 +13,19 @@
 //! * [`workloads`] — the 20-application evaluation suite of Table II;
 //! * [`energy`] — the GPUWattch-style DRAM energy model.
 //!
+//! The crate root also re-exports the high-level entry points — the
+//! [`SimBuilder`] facade, the [`Scheme`] constructors, and the
+//! checkpoint/resume types — so most users never need to reach into the
+//! sub-crates:
+//!
 //! # Example
 //!
 //! ```no_run
-//! use lazydram::common::{GpuConfig, SchedConfig};
-//! use lazydram::workloads::{by_name, run_app};
+//! use lazydram::workloads::by_name;
+//! use lazydram::{Scheme, SimBuilder};
 //!
 //! let app = by_name("SCP").expect("known app");
-//! let lazy = run_app(&app, &GpuConfig::default(), &SchedConfig::dyn_combo(), 1.0);
+//! let lazy = SimBuilder::new(&app).scheme(Scheme::DynCombo).scale(1.0).build().run();
 //! println!("activations: {}", lazy.stats.dram.activations);
 //! ```
 
@@ -33,3 +38,9 @@ pub use lazydram_dram as dram;
 pub use lazydram_energy as energy;
 pub use lazydram_gpu as gpu;
 pub use lazydram_workloads as workloads;
+
+pub use lazydram_common::Scheme;
+pub use lazydram_gpu::{Checkpoint, RunOutcome};
+pub use lazydram_workloads::{
+    parse_checkpoint_every, CheckpointPolicy, SimBuilder, SimRun, DEFAULT_CHECKPOINT_EVERY,
+};

@@ -5,17 +5,20 @@
 //! instrumentation of the skipping itself) may differ, so those are
 //! normalized before comparison.
 
-use lazydram::common::{GpuConfig, SchedConfig, SimStats};
-use lazydram::gpu::{RunResult, SimLimits, Simulator};
+use lazydram::common::{SchedConfig, SimStats};
+use lazydram::gpu::{RunResult, SimLimits};
 use lazydram::workloads::{all_apps, AppSpec};
+use lazydram::SimBuilder;
 
 fn run(app: &AppSpec, sched: &SchedConfig, scale: f64, limits: SimLimits, skip: bool) -> RunResult {
-    let mut launches = app.launches(scale);
-    Simulator::new(GpuConfig::default(), sched.clone())
-        .with_limits(limits)
-        .with_trace_capture(true)
-        .with_cycle_skipping(skip)
-        .run_sequence(&mut launches)
+    SimBuilder::new(app)
+        .sched(sched.clone(), "equiv")
+        .scale(scale)
+        .limits(limits)
+        .trace(true)
+        .cycle_skipping(skip)
+        .build()
+        .run()
 }
 
 /// Strips the loop-instrumentation counters that legitimately differ

@@ -1,17 +1,19 @@
 //! Trace capture + replay at the application level.
 
 use lazydram::common::{GpuConfig, SchedConfig};
-use lazydram::gpu::Simulator;
 use lazydram::workloads::by_name;
+use lazydram::{Scheme, SimBuilder};
 
 #[test]
 fn captured_trace_replays_with_matching_request_counts() {
     let app = by_name("CONS").expect("app");
     let cfg = GpuConfig::default();
-    let mut launches = app.launches(0.05);
-    let run = Simulator::new(cfg.clone(), SchedConfig::baseline())
-        .with_trace_capture(true)
-        .run_sequence(&mut launches);
+    let run = SimBuilder::new(&app)
+        .scheme(Scheme::Baseline)
+        .scale(0.05)
+        .trace(true)
+        .build()
+        .run();
     let trace = run.trace.expect("capture enabled");
     assert_eq!(
         trace.len() as u64,
@@ -35,9 +37,7 @@ fn captured_trace_replays_with_matching_request_counts() {
 #[test]
 fn trace_capture_off_by_default() {
     let app = by_name("CONS").expect("app");
-    let mut launches = app.launches(0.05);
-    let run = Simulator::new(GpuConfig::default(), SchedConfig::baseline())
-        .run_sequence(&mut launches);
+    let run = SimBuilder::new(&app).scheme(Scheme::Baseline).scale(0.05).build().run();
     assert!(run.trace.is_none());
 }
 
@@ -45,10 +45,12 @@ fn trace_capture_off_by_default() {
 fn trace_replay_responds_to_dms() {
     let app = by_name("SCP").expect("app");
     let cfg = GpuConfig::default();
-    let mut launches = app.launches(0.1);
-    let run = Simulator::new(cfg.clone(), SchedConfig::baseline())
-        .with_trace_capture(true)
-        .run_sequence(&mut launches);
+    let run = SimBuilder::new(&app)
+        .scheme(Scheme::Baseline)
+        .scale(0.1)
+        .trace(true)
+        .build()
+        .run();
     let trace = run.trace.expect("capture enabled");
     let base = trace.replay(&cfg, &SchedConfig::baseline());
     let dms = trace.replay(&cfg, &SchedConfig {

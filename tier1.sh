@@ -26,6 +26,36 @@ echo "== tier1: prof-feature build =="
 # gated implementation so it cannot rot unnoticed.
 cargo build --release -p lazydram-bench --benches --features prof
 cargo test -q -p lazydram-common --features prof
+cargo clippy -p lazydram-common --features prof -- -D warnings
+cargo clippy -p lazydram-bench --all-targets --features prof -- -D warnings
+
+echo "== tier1: checkpoint crash-recovery smoke =="
+# Bit-identical restore, end to end through a real harness: the same
+# fig04/SCP sweep must produce byte-identical JSONL (a) plain, (b) with
+# periodic checkpointing enabled, and (c) re-run against the kept final
+# checkpoints (which resumes each job instead of recomputing it).
+CKPT_TMP="$(mktemp -d)"
+trap 'rm -rf "$CKPT_TMP"' EXIT
+LAZYDRAM_APPS=SCP LAZYDRAM_SCALE=0.05 LAZYDRAM_QUIET=1 \
+LAZYDRAM_RESULTS="$CKPT_TMP/a.jsonl" \
+    cargo bench -q -p lazydram-bench --bench fig04_delay_sweep > /dev/null
+LAZYDRAM_APPS=SCP LAZYDRAM_SCALE=0.05 LAZYDRAM_QUIET=1 \
+LAZYDRAM_RESULTS="$CKPT_TMP/b.jsonl" \
+LAZYDRAM_CHECKPOINT_DIR="$CKPT_TMP/ckpts" LAZYDRAM_CHECKPOINT_EVERY=2000 \
+    cargo bench -q -p lazydram-bench --bench fig04_delay_sweep > /dev/null
+LAZYDRAM_APPS=SCP LAZYDRAM_SCALE=0.05 LAZYDRAM_QUIET=1 \
+LAZYDRAM_RESULTS="$CKPT_TMP/c.jsonl" \
+LAZYDRAM_CHECKPOINT_DIR="$CKPT_TMP/ckpts" LAZYDRAM_CHECKPOINT_EVERY=2000 \
+    cargo bench -q -p lazydram-bench --bench fig04_delay_sweep > /dev/null
+cmp "$CKPT_TMP/a.jsonl" "$CKPT_TMP/b.jsonl"
+cmp "$CKPT_TMP/a.jsonl" "$CKPT_TMP/c.jsonl"
+echo "checkpointed + resumed sweeps byte-identical to plain run"
+
+echo "== tier1: divergence-bisection smoke =="
+# The bisection tool must find a concrete first divergent cycle between two
+# Static-DMS delays on SLA (it exercises run_until/resume_until chaining).
+cargo run -q --release -p lazydram-bench --bin dbg_diverge -- SLA 128 256 0.05 4096 \
+    | grep "first divergent cycle:"
 
 echo "== tier1: timed smoke sweep (BENCH_PR4.json) =="
 # Per-app wall clock with profiler phase breakdown, checked against the
