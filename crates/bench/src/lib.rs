@@ -12,14 +12,16 @@
 
 use lazydram_common::{GpuConfig, SimStats};
 use lazydram_energy::{EnergyModel, MemoryTech};
-use lazydram_gpu::application_error;
+use lazydram_gpu::{application_error, Trace};
 use lazydram_workloads::{exact_output, AppSpec};
 
 pub mod runner;
 
 pub use lazydram_common::Scheme;
+pub use lazydram_gpu::{ReplayReport, TraceError, TraceSim};
 pub use lazydram_workloads::{
-    parse_checkpoint_every, CheckpointPolicy, SimBuilder, SimRun, DEFAULT_CHECKPOINT_EVERY,
+    parse_checkpoint_every, parse_trace_mode, CheckpointPolicy, SimBuilder, SimRun, TraceMode,
+    TracePolicy, DEFAULT_CHECKPOINT_EVERY,
 };
 pub use runner::{Baseline, Job, JobFailure, JobResult, MeasureSpec, SweepRunner};
 
@@ -122,6 +124,10 @@ pub struct Measurement {
     pub row_energy_pj: f64,
     /// `true` if the run hit the safety cycle limit.
     pub truncated: bool,
+    /// `true` when this measurement came from open-loop trace replay
+    /// (MC + DRAM only): the DRAM-side metrics are real, but `ipc` and
+    /// `app_error` are reported as 0 — replay never runs the GPU.
+    pub replayed: bool,
 }
 
 impl Measurement {
@@ -130,7 +136,8 @@ impl Measurement {
     ///
     /// Schema (stable; only additive changes allowed):
     /// `record`, `app`, `scheme`, `ipc`, `activations`, `avg_rbl`,
-    /// `coverage`, `app_error`, `row_energy_pj`, `truncated`, `stats{…}`.
+    /// `coverage`, `app_error`, `row_energy_pj`, `truncated`, `replayed`,
+    /// `stats{…}`.
     pub fn to_json(&self) -> String {
         let mut o = lazydram_common::json::JsonObject::new();
         o.str("record", "measurement")
@@ -143,6 +150,7 @@ impl Measurement {
             .f64("app_error", self.app_error)
             .f64("row_energy_pj", self.row_energy_pj)
             .bool("truncated", self.truncated)
+            .bool("replayed", self.replayed)
             .raw("stats", &self.stats.to_json());
         o.finish()
     }
@@ -162,10 +170,24 @@ pub fn measure(run: &SimRun, exact: &[f32]) -> Measurement {
 /// [`measure`], surfacing checkpoint-IO failures as `Err` (the sweep runner
 /// records them as [`JobFailure`] rows instead of aborting the sweep).
 pub fn try_measure(run: &SimRun, exact: &[f32]) -> Result<Measurement, String> {
+    try_measure_traced(run, exact).map(|(m, _)| m)
+}
+
+/// [`try_measure`], also returning the captured request trace when the run
+/// was built with `.trace(true)` (the sweep runner persists it into the
+/// trace store).
+///
+/// # Errors
+///
+/// Checkpoint-IO failures, as for [`try_measure`].
+pub fn try_measure_traced(
+    run: &SimRun,
+    exact: &[f32],
+) -> Result<(Measurement, Option<Trace>), String> {
     let r = run.run_recoverable()?;
     let energy = EnergyModel::new(MemoryTech::Gddr5);
     let row_energy_pj = energy.breakdown(&r.stats.dram).row_energy_pj;
-    Ok(Measurement {
+    let m = Measurement {
         app: run.app().name.to_string(),
         scheme: run.scheme_label().to_string(),
         ipc: r.stats.ipc(),
@@ -175,7 +197,42 @@ pub fn try_measure(run: &SimRun, exact: &[f32]) -> Result<Measurement, String> {
         app_error: application_error(exact, &r.output),
         row_energy_pj,
         truncated: r.hit_cycle_limit,
+        replayed: false,
         stats: r.stats,
+    };
+    Ok((m, r.trace))
+}
+
+/// Measures one sweep cell by open-loop trace replay instead of running the
+/// GPU: the captured request stream goes through fresh controllers under
+/// the run's scheduling policy and machine config. DRAM-side metrics
+/// (activations, Avg-RBL, coverage, row energy) are real; `ipc` and
+/// `app_error` are 0 since replay has no core side — see the
+/// [`Measurement::replayed`] flag.
+///
+/// # Errors
+///
+/// A malformed/incompatible trace, or **any** unserved request (an
+/// incomplete replay is never silently reported as a smaller result).
+pub fn try_measure_replay(run: &SimRun, trace: &Trace) -> Result<Measurement, String> {
+    let report = run
+        .replay_trace(trace)
+        .and_then(lazydram_gpu::ReplayReport::complete)
+        .map_err(|e| e.to_string())?;
+    let energy = EnergyModel::new(MemoryTech::Gddr5);
+    let row_energy_pj = energy.breakdown(&report.stats.dram).row_energy_pj;
+    Ok(Measurement {
+        app: run.app().name.to_string(),
+        scheme: run.scheme_label().to_string(),
+        ipc: 0.0,
+        activations: report.stats.dram.activations,
+        avg_rbl: report.stats.dram.avg_rbl(),
+        coverage: report.stats.dram.coverage(),
+        app_error: 0.0,
+        row_energy_pj,
+        truncated: false,
+        replayed: true,
+        stats: report.stats,
     })
 }
 
@@ -315,6 +372,7 @@ mod tests {
             app_error: 0.0,
             row_energy_pj: 1e6,
             truncated: false,
+            replayed: false,
         };
         let j = m.to_json();
         for key in [
@@ -323,6 +381,7 @@ mod tests {
             "\"scheme\":\"baseline\"",
             "\"ipc\":1.25",
             "\"activations\":42",
+            "\"replayed\":false",
             "\"stats\":{",
             "\"dram\":{",
         ] {

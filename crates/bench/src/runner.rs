@@ -32,14 +32,28 @@
 //!   and the bit-identical restore guarantee keeps the results (and the
 //!   JSONL file) byte-identical to an uninterrupted sweep. Checkpoint-IO
 //!   failures surface as [`JobFailure`] records, not panics.
+//! * **Trace fast path** — with `LAZYDRAM_TRACE_DIR` set (behavior via
+//!   `LAZYDRAM_TRACE_MODE`: `auto` (default), `capture`, or `replay`), each
+//!   `(app, machine geometry, scale)` baseline run records the coalesced
+//!   request stream at the NoC→MC boundary and parks it in the trace store;
+//!   sweep cells then replay that stream through MC + DRAM only
+//!   ([`crate::try_measure_replay`]), turning scheduler-side sweeps
+//!   (fig02/fig04/fig11/fig13) into capture-once-replay-many. Replayed
+//!   records carry `replayed: true` in the JSONL and report `ipc`/
+//!   `app_error` as 0 (open-loop replay has no core side); a replay that
+//!   cannot serve every recorded request is a [`JobFailure`], never a
+//!   silently smaller result.
 
-use crate::{measure, try_measure, Measurement};
+use crate::{try_measure, try_measure_replay, try_measure_traced, Measurement};
 use lazydram_common::json::JsonObject;
 use lazydram_common::{GpuConfig, Scheme};
-use lazydram_workloads::{exact_output, AppSpec, CheckpointPolicy, SimBuilder};
+use lazydram_gpu::Trace;
+use lazydram_workloads::{exact_output, AppSpec, CheckpointPolicy, SimBuilder, TraceMode,
+                         TracePolicy};
 use std::collections::HashMap;
 use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
@@ -118,6 +132,7 @@ impl MeasureSpec {
 }
 
 type BaselineKey = (String, u64, String);
+type TraceCell = Arc<OnceLock<Result<Arc<Trace>, String>>>;
 
 /// Parallel sweep runner. See the [module docs](self) for the full design.
 pub struct SweepRunner {
@@ -125,7 +140,9 @@ pub struct SweepRunner {
     quiet: bool,
     results: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
     checkpoints: Option<CheckpointPolicy>,
+    traces: Option<TracePolicy>,
     baselines: Mutex<HashMap<BaselineKey, Arc<OnceLock<Arc<Baseline>>>>>,
+    trace_cache: Mutex<HashMap<PathBuf, TraceCell>>,
 }
 
 /// Parses a `LAZYDRAM_JOBS` value: a positive worker count.
@@ -148,14 +165,15 @@ impl SweepRunner {
     /// # Panics
     ///
     /// Panics on a malformed `LAZYDRAM_JOBS`, an unwritable
-    /// `LAZYDRAM_RESULTS` path, or malformed checkpoint variables.
+    /// `LAZYDRAM_RESULTS` path, or malformed checkpoint/trace variables.
     pub fn from_env() -> Self {
         let workers = match std::env::var("LAZYDRAM_JOBS") {
             Ok(s) => parse_jobs(&s).unwrap_or_else(|e| panic!("{e}")),
             Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
         };
-        let runner =
-            Self::with_workers(workers).with_checkpoints(CheckpointPolicy::from_env_or_die());
+        let runner = Self::with_workers(workers)
+            .with_checkpoints(CheckpointPolicy::from_env_or_die())
+            .with_traces(TracePolicy::from_env_or_die());
         match std::env::var("LAZYDRAM_RESULTS") {
             Ok(path) if !path.trim().is_empty() => runner.with_results_file(&path),
             _ => runner,
@@ -169,7 +187,9 @@ impl SweepRunner {
             quiet: std::env::var("LAZYDRAM_QUIET").is_ok(),
             results: None,
             checkpoints: None,
+            traces: None,
             baselines: Mutex::new(HashMap::new()),
+            trace_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -177,6 +197,15 @@ impl SweepRunner {
     /// measurement job.
     pub fn with_checkpoints(mut self, policy: Option<CheckpointPolicy>) -> Self {
         self.checkpoints = policy;
+        self
+    }
+
+    /// Attaches (or clears) the trace capture/replay policy: baselines
+    /// capture the request stream into the policy's store, and sweep cells
+    /// replay it through MC + DRAM only instead of re-running the GPU (see
+    /// [`TraceMode`] for the capture/replay split).
+    pub fn with_traces(mut self, policy: Option<TracePolicy>) -> Self {
+        self.traces = policy;
         self
     }
 
@@ -290,16 +319,55 @@ impl SweepRunner {
             .clone();
         cell.get_or_init(|| {
             let exact = Arc::new(exact_output(app, scale));
+            // With a trace policy attached, the baseline run doubles as the
+            // capture run: it records the request stream and parks it in
+            // the trace store for the sweep cells to replay. The baseline
+            // *measurement* stays execution-driven either way (it anchors
+            // the IPC/error normalization, which replay cannot provide).
+            let capture = self.traces.as_ref().is_some_and(|p| {
+                p.mode != TraceMode::Replay && !p.path_for(app.name, cfg, scale).exists()
+            });
             let run = SimBuilder::new(app)
                 .gpu(cfg.clone())
                 .scheme(Scheme::Baseline)
                 .scale(scale)
                 .checkpoints(self.checkpoints.clone())
+                .trace(capture)
                 .build();
-            let measurement = measure(&run, &exact);
+            let (measurement, trace) =
+                try_measure_traced(&run, &exact).unwrap_or_else(|e| panic!("{e}"));
+            if let (Some(policy), Some(trace)) = (&self.traces, trace) {
+                let path = policy.path_for(app.name, cfg, scale);
+                std::fs::create_dir_all(&policy.dir).unwrap_or_else(|e| {
+                    panic!("cannot create LAZYDRAM_TRACE_DIR {}: {e}", policy.dir.display())
+                });
+                trace
+                    .save_file(&path, cfg)
+                    .unwrap_or_else(|e| panic!("cannot park captured trace: {e}"));
+                // Seed the in-memory cache so replay jobs skip the decode.
+                let cell = self.trace_cell(&path);
+                let _ = cell.set(Ok(Arc::new(trace)));
+            }
             Arc::new(Baseline { measurement, exact })
         })
         .clone()
+    }
+
+    fn trace_cell(&self, path: &Path) -> TraceCell {
+        self.trace_cache
+            .lock()
+            .expect("trace cache lock")
+            .entry(path.to_path_buf())
+            .or_insert_with(|| Arc::new(OnceLock::new()))
+            .clone()
+    }
+
+    /// Loads (and caches) a trace-store file; concurrent replay jobs of the
+    /// same sweep share one decoded [`Trace`].
+    fn load_trace(&self, path: &Path, cfg: &GpuConfig) -> Result<Arc<Trace>, String> {
+        self.trace_cell(path)
+            .get_or_init(|| Trace::load_file(path, cfg).map(Arc::new).map_err(|e| e.to_string()))
+            .clone()
     }
 
     /// Computes all apps' baselines **in parallel** (through the cache) and
@@ -352,7 +420,7 @@ impl SweepRunner {
                     None => spec.builder,
                 };
                 let exact = spec.exact;
-                Job::new(label.clone(), move || try_measure(&builder.build(), &exact)).with_note(
+                Job::new(label.clone(), move || self.measure_one(builder, &exact)).with_note(
                     |r: &Result<Measurement, String>| match r {
                         Ok(m) => skip_note(m),
                         Err(_) => String::new(),
@@ -378,6 +446,35 @@ impl SweepRunner {
         }
         self.flush_results();
         results
+    }
+
+    /// One sweep cell: open-loop trace replay when the policy and store
+    /// allow it, execution-driven otherwise.
+    fn measure_one(&self, builder: SimBuilder, exact: &[f32]) -> Result<Measurement, String> {
+        if let Some(policy) = &self.traces {
+            if policy.mode != TraceMode::Capture {
+                let path = policy.path_for(
+                    builder.app().name,
+                    builder.gpu_config(),
+                    builder.work_scale(),
+                );
+                if path.exists() {
+                    let trace = self.load_trace(&path, builder.gpu_config())?;
+                    return try_measure_replay(&builder.build(), &trace);
+                }
+                if policy.mode == TraceMode::Replay {
+                    return Err(format!(
+                        "no captured trace at {} (run the sweep once with \
+                         LAZYDRAM_TRACE_MODE=auto or capture to record it)",
+                        path.display()
+                    ));
+                }
+                // Auto mode with no stored trace for this machine geometry
+                // (e.g. an ablation config no baseline captured): fall back
+                // to the execution-driven path.
+            }
+        }
+        try_measure(&builder.build(), exact)
     }
 
     fn record_measurement(&self, m: &Measurement) {
@@ -406,9 +503,12 @@ impl SweepRunner {
 }
 
 /// Renders the fast-forward annotation for a measurement's progress line
-/// (empty when the event-driven loop never skipped, e.g. `LAZYDRAM_NO_SKIP`).
+/// (empty when the event-driven loop never skipped, e.g. `LAZYDRAM_NO_SKIP`);
+/// trace-replayed cells are flagged instead, since they skip the GPU wholesale.
 fn skip_note(m: &Measurement) -> String {
-    if m.stats.cycles_skipped == 0 {
+    if m.replayed {
+        " [trace replay]".to_string()
+    } else if m.stats.cycles_skipped == 0 {
         String::new()
     } else {
         format!(" [skipped {:.1}% of cycles]", 100.0 * m.stats.skip_fraction())

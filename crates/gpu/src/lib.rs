@@ -48,5 +48,7 @@ pub use memimg::{MemoryImage, LINE_BYTES, WORDS_PER_LINE};
 pub use lazydram_common::snap::{Loader, Saver, SnapError, SnapResult};
 pub use noc::{DelayQueue, NocFull};
 pub use sim::{parse_no_skip, run_kernel, Checkpoint, RunOutcome, RunResult, SimLimits, Simulator};
-pub use trace::{Trace, TraceEntry};
+pub use trace::{
+    ReplayReport, Trace, TraceEntry, TraceError, TraceSim, DEFAULT_DRAIN_GRACE,
+};
 

@@ -5,13 +5,16 @@
 //! lazydram run <APP> [--scheme S] [--scale F]
 //! lazydram sweep <APP> [--scale F]      DMS delay sweep for one app
 //! lazydram schemes <APP> [--scale F]    all six paper schemes side by side
+//! lazydram capture <APP> <FILE> [--scale F]   record the baseline request trace
+//! lazydram replay <FILE> [--scheme S]   open-loop MC+DRAM replay of a trace
 //! ```
 
-use lazydram::common::{DmsMode, SchedConfig};
+use lazydram::common::{DmsMode, GpuConfig, SchedConfig};
 use lazydram::energy::{EnergyModel, MemoryTech};
-use lazydram::gpu::application_error;
+use lazydram::gpu::{application_error, Trace, TraceSim};
 use lazydram::workloads::{all_apps, by_name, AppSpec};
 use lazydram::{Scheme, SimBuilder};
+use std::path::Path;
 
 fn parse_flag(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -91,6 +94,48 @@ fn cmd_schemes(app: &AppSpec, scale: f64) {
     }
 }
 
+fn cmd_capture(app: &AppSpec, path: &Path, scale: f64) {
+    let run = SimBuilder::new(app).scheme(Scheme::Baseline).scale(scale).trace(true).build().run();
+    let trace = run.trace.expect("capture enabled");
+    trace.save_file(path, &GpuConfig::default()).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    println!(
+        "captured {} requests from {} (scale {scale}) -> {}",
+        trace.len(),
+        app.name,
+        path.display()
+    );
+}
+
+fn cmd_replay(path: &Path, scheme: &str) {
+    let scheme = Scheme::by_label(scheme).unwrap_or_else(|| {
+        eprintln!("unknown scheme {scheme:?}");
+        std::process::exit(2);
+    });
+    let cfg = GpuConfig::default();
+    let trace = Trace::load_file(path, &cfg).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    let report = TraceSim::new(&cfg, &scheme.sched()).replay(&trace).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    let e = EnergyModel::new(MemoryTech::Gddr5).breakdown(&report.stats.dram);
+    println!("{} under {} (open-loop replay, MC+DRAM only)", path.display(), scheme.label());
+    println!("  served           {:>12} / {}", report.served, trace.len());
+    println!("  DRAM activations {:>12}", report.stats.dram.activations);
+    println!("  Avg-RBL          {:>12.2}", report.stats.dram.avg_rbl());
+    println!("  row energy       {:>12.1} µJ", e.row_energy_pj / 1e6);
+    println!("  coverage         {:>11.1}%", 100.0 * report.stats.dram.coverage());
+    if report.unserved > 0 {
+        eprintln!("REPLAY INCOMPLETE: {} requests unserved", report.unserved);
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale: f64 = parse_flag(&args, "--scale").and_then(|s| s.parse().ok()).unwrap_or(0.5);
@@ -102,8 +147,18 @@ fn main() {
         }
         Some("sweep") if args.len() >= 2 => cmd_sweep(&app_or_exit(&args[1]), scale),
         Some("schemes") if args.len() >= 2 => cmd_schemes(&app_or_exit(&args[1]), scale),
+        Some("capture") if args.len() >= 3 => {
+            cmd_capture(&app_or_exit(&args[1]), Path::new(&args[2]), scale);
+        }
+        Some("replay") if args.len() >= 2 => {
+            let scheme = parse_flag(&args, "--scheme").unwrap_or_else(|| "baseline".into());
+            cmd_replay(Path::new(&args[1]), &scheme);
+        }
         _ => {
-            eprintln!("usage: lazydram <apps | run APP [--scheme S] | sweep APP | schemes APP> [--scale F]");
+            eprintln!(
+                "usage: lazydram <apps | run APP [--scheme S] | sweep APP | schemes APP | \
+                 capture APP FILE | replay FILE [--scheme S]> [--scale F]"
+            );
             std::process::exit(2);
         }
     }

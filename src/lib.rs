@@ -14,9 +14,10 @@
 //! * [`energy`] — the GPUWattch-style DRAM energy model.
 //!
 //! The crate root also re-exports the high-level entry points — the
-//! [`SimBuilder`] facade, the [`Scheme`] constructors, and the
-//! checkpoint/resume types — so most users never need to reach into the
-//! sub-crates:
+//! [`SimBuilder`] facade, the [`Scheme`] constructors, the
+//! checkpoint/resume types, and the trace capture/replay types
+//! ([`Trace`], [`TraceSim`], [`TracePolicy`]) — so most users never need
+//! to reach into the sub-crates:
 //!
 //! # Example
 //!
@@ -40,7 +41,10 @@ pub use lazydram_gpu as gpu;
 pub use lazydram_workloads as workloads;
 
 pub use lazydram_common::Scheme;
-pub use lazydram_gpu::{Checkpoint, RunOutcome};
+pub use lazydram_gpu::{
+    Checkpoint, ReplayReport, RunOutcome, Trace, TraceError, TraceSim,
+};
 pub use lazydram_workloads::{
-    parse_checkpoint_every, CheckpointPolicy, SimBuilder, SimRun, DEFAULT_CHECKPOINT_EVERY,
+    parse_checkpoint_every, parse_trace_mode, CheckpointPolicy, SimBuilder, SimRun, TraceMode,
+    TracePolicy, DEFAULT_CHECKPOINT_EVERY,
 };

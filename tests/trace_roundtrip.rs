@@ -1,8 +1,8 @@
 //! Trace capture + replay at the application level.
 
-use lazydram::common::{GpuConfig, SchedConfig};
+use lazydram::common::{AccessKind, GpuConfig, SchedConfig};
 use lazydram::workloads::by_name;
-use lazydram::{Scheme, SimBuilder};
+use lazydram::{Scheme, SimBuilder, Trace, TraceSim};
 
 #[test]
 fn captured_trace_replays_with_matching_request_counts() {
@@ -65,5 +65,86 @@ fn trace_replay_responds_to_dms() {
         "DMS replay acts {} vs {}",
         dms.dram.activations,
         base.dram.activations
+    );
+}
+
+fn capture(app_name: &str, scale: f64) -> Trace {
+    let app = by_name(app_name).expect("app");
+    SimBuilder::new(&app)
+        .scheme(Scheme::Baseline)
+        .scale(scale)
+        .trace(true)
+        .build()
+        .run()
+        .trace
+        .expect("capture enabled")
+}
+
+/// The full persistence path: save to an actual file, load it back, and
+/// check the replay is byte-identical in its DRAM statistics.
+#[test]
+fn trace_survives_a_file_round_trip_with_identical_replay_stats() {
+    let cfg = GpuConfig::default();
+    let trace = capture("SCP", 0.05);
+    let path = std::env::temp_dir().join(format!(
+        "lazydram-roundtrip-{}-{}.trace",
+        std::process::id(),
+        trace.len()
+    ));
+    trace.save_file(&path, &cfg).expect("save");
+    let loaded = Trace::load_file(&path, &cfg).expect("load");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded, trace, "file round-trip preserves every entry");
+    let sched = SchedConfig {
+        dms: lazydram::common::DmsMode::Static(256),
+        ..SchedConfig::baseline()
+    };
+    let a = TraceSim::new(&cfg, &sched).replay(&trace).expect("replay original");
+    let b = TraceSim::new(&cfg, &sched).replay(&loaded).expect("replay loaded");
+    assert_eq!(a.stats.dram, b.stats.dram, "replayed stats are byte-identical");
+    assert_eq!((a.served, a.unserved), (b.served, b.unserved));
+    assert_eq!(a.unserved, 0);
+}
+
+/// Write requests must survive capture and replay — the original replayer
+/// was only ever exercised on read-dominated streams.
+#[test]
+fn write_requests_replay_fully() {
+    let cfg = GpuConfig::default();
+    let trace = capture("CONS", 0.05);
+    let writes_recorded =
+        trace.iter().filter(|e| e.request.kind == AccessKind::Write).count() as u64;
+    assert!(writes_recorded > 0, "CONS's trace must contain write requests");
+    let report = TraceSim::new(&cfg, &SchedConfig::baseline()).replay(&trace).expect("replay");
+    assert_eq!(report.unserved, 0, "no request may be dropped");
+    assert_eq!(report.stats.dram.writes, writes_recorded, "every write is served");
+    assert_eq!(
+        report.stats.dram.reads + report.stats.dram.writes,
+        trace.len() as u64
+    );
+}
+
+/// Approximable lines must keep their annotation through the persistence
+/// path so an AMS replay can drop them — and dropped-by-AMS still counts
+/// as served, not lost.
+#[test]
+fn approximable_lines_replay_under_ams() {
+    let cfg = GpuConfig::default();
+    let trace = capture("SCP", 0.05);
+    assert!(
+        trace.iter().any(|e| e.request.approximable),
+        "SCP's trace must carry approximable lines"
+    );
+    let sched = SchedConfig {
+        ams: lazydram::common::AmsMode::Static(4),
+        ams_warmup_requests: 0,
+        ..SchedConfig::baseline()
+    };
+    let report = TraceSim::new(&cfg, &sched).replay(&trace).expect("replay");
+    assert!(report.stats.dram.dropped > 0, "AMS must approximate some lines");
+    assert_eq!(report.unserved, 0, "AMS drops count as served, not unserved");
+    assert_eq!(
+        report.served,
+        report.stats.dram.reads + report.stats.dram.writes + report.stats.dram.dropped
     );
 }

@@ -51,6 +51,30 @@ cmp "$CKPT_TMP/a.jsonl" "$CKPT_TMP/b.jsonl"
 cmp "$CKPT_TMP/a.jsonl" "$CKPT_TMP/c.jsonl"
 echo "checkpointed + resumed sweeps byte-identical to plain run"
 
+echo "== tier1: trace capture/replay smoke =="
+# Capture-once-replay-many through a real harness: the same fig04/SCP sweep
+# runs twice against a trace store — first in auto mode (baseline captures,
+# cells replay), then in strict replay mode (store must already hold the
+# trace). Both runs must be byte-identical (replay is deterministic and the
+# baseline, the normalisation anchor, stays execution-driven), every cell
+# must actually have replayed, and nothing may fail or drop requests
+# (unserved requests fail the job, which would surface as a failure record).
+LAZYDRAM_APPS=SCP LAZYDRAM_SCALE=0.05 LAZYDRAM_QUIET=1 \
+LAZYDRAM_RESULTS="$CKPT_TMP/t1.jsonl" \
+LAZYDRAM_TRACE_DIR="$CKPT_TMP/traces" \
+    cargo bench -q -p lazydram-bench --bench fig04_delay_sweep > /dev/null
+LAZYDRAM_APPS=SCP LAZYDRAM_SCALE=0.05 LAZYDRAM_QUIET=1 \
+LAZYDRAM_RESULTS="$CKPT_TMP/t2.jsonl" \
+LAZYDRAM_TRACE_DIR="$CKPT_TMP/traces" LAZYDRAM_TRACE_MODE=replay \
+    cargo bench -q -p lazydram-bench --bench fig04_delay_sweep > /dev/null
+cmp "$CKPT_TMP/t1.jsonl" "$CKPT_TMP/t2.jsonl"
+grep -q '"replayed":true' "$CKPT_TMP/t1.jsonl"
+if grep -q '"record":"failure"' "$CKPT_TMP/t1.jsonl"; then
+    echo "trace smoke produced failure records" >&2; exit 1
+fi
+ls "$CKPT_TMP/traces"/*.trace > /dev/null
+echo "captured + replayed sweeps byte-identical; replay cells present"
+
 echo "== tier1: divergence-bisection smoke =="
 # The bisection tool must find a concrete first divergent cycle between two
 # Static-DMS delays on SLA (it exercises run_until/resume_until chaining).
@@ -64,9 +88,16 @@ echo "== tier1: timed smoke sweep (BENCH_PR4.json) =="
 # pre-PR wall clock — an order-of-magnitude-style cap (matching perf_smoke's
 # stated purpose) because host CPU steal on shared 1-vCPU containers can
 # shift even min-of-5 wall clocks by 50% between back-to-back runs.
+# The perf_smoke run also times the trace fast path (BENCH_PR6.json): a
+# fig04-style delay sweep per app, executed vs replayed, gated on the PR 6
+# acceptance floor — at least one app's sweep must replay >= 5x faster
+# than execution-driven — and on a zero-unserved-requests assertion
+# inside the bench.
 LAZYDRAM_SCALE="${LAZYDRAM_SCALE:-0.2}" \
 LAZYDRAM_BENCH_OUT="${LAZYDRAM_BENCH_OUT:-$PWD/BENCH_PR4.json}" \
 LAZYDRAM_MAX_REGRESSION="${LAZYDRAM_MAX_REGRESSION:-2.0}" \
+LAZYDRAM_TRACE_BENCH_OUT="${LAZYDRAM_TRACE_BENCH_OUT:-$PWD/BENCH_PR6.json}" \
+LAZYDRAM_MIN_TRACE_SPEEDUP="${LAZYDRAM_MIN_TRACE_SPEEDUP:-5.0}" \
     cargo bench -q -p lazydram-bench --bench perf_smoke --features prof
 
 echo "== tier1: OK =="
