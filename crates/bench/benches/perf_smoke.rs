@@ -15,13 +15,13 @@
 //! * `noskip_s` vs `skip_s` — the naive loop vs fast-forward *within this
 //!   tree*. This isolates the cycle-skipping contribution.
 //! * `pre_pr_s` vs `skip_s` — the recorded pre-PR wall clock (from
-//!   `baselines/pre_pr4.tsv`, measured at the revision before the
-//!   allocation-free emission rework) vs the current loop. This is the PR's
-//!   end-to-end speedup and the number tracked as the repo's perf
-//!   trajectory. Override the baseline file with `LAZYDRAM_BASELINE`; when
-//!   the file is missing the columns are omitted. **The baseline was
-//!   recorded at `LAZYDRAM_SCALE=0.2`** — comparisons at any other scale
-//!   are apples-to-oranges.
+//!   `baselines/pre_pr7.tsv`, measured at the revision before the phased
+//!   multi-core tick) vs the current loop. This is the PR's end-to-end
+//!   speedup and the number tracked as the repo's perf trajectory. Override
+//!   the baseline file with `LAZYDRAM_BASELINE`; when the file is missing
+//!   the columns are omitted. **The baseline was recorded at
+//!   `LAZYDRAM_SCALE=0.2`** — comparisons at any other scale are
+//!   apples-to-oranges.
 //!
 //! # Regression gate
 //!
@@ -43,6 +43,20 @@
 //! request density — a memory-heavy stream pays for replay roughly what
 //! it pays for execution); a replay that leaves any request unserved
 //! always fails.
+//!
+//! # Intra-run parallelism smoke (`BENCH_PR7.json`)
+//!
+//! A third section times the same run at `cores=1` vs `cores=4` (the phased
+//! parallel tick, DESIGN.md §12), asserts the two produce **identical
+//! statistics**, and writes wall clocks plus the profiler breakdown — the
+//! `sync` and `idle` phases attribute the pool's barrier and park time — to
+//! `LAZYDRAM_CORES_BENCH_OUT` (default `BENCH_PR7.json`). Two optional
+//! gates: `LAZYDRAM_MAX_CORES_OVERHEAD=<ratio>` fails the run when cores=4
+//! is slower than `ratio` × cores=1 (on a 1-CPU host the pool degrades to
+//! the inline path, so the phased restructure must be near-free), and
+//! `LAZYDRAM_MIN_CORES_SPEEDUP=<ratio>` fails when cores=4 does not reach
+//! `ratio` × faster (only meaningful — and only set by `tier1.sh` — when
+//! the host actually has multiple CPUs).
 //!
 //! This is a *smoke* benchmark: single-digit runs, no statistics. It is
 //! meant to catch order-of-magnitude regressions (e.g. fast-forward silently
@@ -102,7 +116,7 @@ fn timed_run(
 /// checkout); malformed lines in a *present* file are an error.
 fn load_baseline() -> Option<Vec<(String, String, f64)>> {
     let path = std::env::var("LAZYDRAM_BASELINE")
-        .unwrap_or_else(|_| format!("{}/baselines/pre_pr4.tsv", env!("CARGO_MANIFEST_DIR")));
+        .unwrap_or_else(|_| format!("{}/baselines/pre_pr7.tsv", env!("CARGO_MANIFEST_DIR")));
     let text = std::fs::read_to_string(&path).ok()?;
     let mut rows = Vec::new();
     for line in text.lines() {
@@ -263,6 +277,93 @@ fn trace_smoke(scale: f64) -> bool {
     }
 }
 
+/// Times the same run at `cores=1` vs `cores=4`, asserts identical
+/// statistics, and writes wall clocks + profiler attribution (including the
+/// pool's `sync`/`idle` phases) to `LAZYDRAM_CORES_BENCH_OUT`. Returns
+/// `false` when an enabled gate fails: `LAZYDRAM_MAX_CORES_OVERHEAD` caps
+/// how much slower cores=4 may be (the 1-CPU inline-path check), and
+/// `LAZYDRAM_MIN_CORES_SPEEDUP` demands a real scaling win (multi-CPU
+/// hosts only — tier1.sh sets it only when `nproc > 1`).
+fn cores_smoke(scale: f64, reps: usize) -> bool {
+    const CORES_APPS: &[&str] = &["SLA", "SCP"];
+    const WIDE: usize = 4;
+    let max_overhead = ratio_from_env("LAZYDRAM_MAX_CORES_OVERHEAD");
+    let min_speedup = ratio_from_env("LAZYDRAM_MIN_CORES_SPEEDUP");
+    let sched = SchedConfig::static_dms();
+    let mut json_rows = Vec::new();
+    let mut ok = true;
+    eprintln!("\nintra-run parallelism smoke (phased tick, cores=1 vs cores={WIDE}):");
+    for app in CORES_APPS {
+        let spec = by_name(app).expect("known app");
+        let timed = |cores: usize| {
+            let run = SimBuilder::new(&spec)
+                .sched(sched.clone(), "perf")
+                .scale(scale)
+                .cores(cores)
+                .build();
+            let mut best = f64::INFINITY;
+            let mut stats = None;
+            for _ in 0..reps.max(1) {
+                let t0 = Instant::now();
+                let r = run.run();
+                best = best.min(t0.elapsed().as_secs_f64());
+                stats = Some(r.stats);
+            }
+            (best, stats.expect("at least one rep"))
+        };
+        let (one_s, one_stats) = timed(1);
+        let (wide_s, wide_stats) = timed(WIDE);
+        assert!(
+            one_stats == wide_stats,
+            "{app}: cores=1 and cores={WIDE} stats diverge — parallel tick is not \
+             result-invisible"
+        );
+        let overhead = wide_s / one_s.max(1e-9);
+        eprintln!(
+            "  {app}: cores=1 {one_s:.3}s vs cores={WIDE} {wide_s:.3}s \
+             ({overhead:.2}x; identical stats)"
+        );
+        if let Some(cap) = max_overhead {
+            if overhead > cap {
+                eprintln!(
+                    "  CORES OVERHEAD REGRESSION: {app} cores={WIDE} is {overhead:.2}x \
+                     cores=1, over the {cap}x cap"
+                );
+                ok = false;
+            }
+        }
+        if let Some(floor) = min_speedup {
+            let speedup = one_s / wide_s.max(1e-9);
+            if speedup < floor {
+                eprintln!(
+                    "  CORES SCALING REGRESSION: {app} cores={WIDE} is only {speedup:.2}x \
+                     faster than cores=1, under the {floor}x floor"
+                );
+                ok = false;
+            }
+        }
+        let mut o = JsonObject::new();
+        o.str("app", app)
+            .f64("scale", scale)
+            .u64("cores_wide", WIDE as u64)
+            .f64("cores1_s", one_s)
+            .f64("cores_wide_s", wide_s)
+            .f64("overhead_ratio", overhead)
+            .u64("core_cycles", wide_stats.core_cycles);
+        if !wide_stats.prof.is_empty() {
+            o.raw("prof_cores1", &one_stats.prof.to_json())
+                .raw("prof_cores_wide", &wide_stats.prof.to_json());
+        }
+        json_rows.push(o.finish());
+    }
+    let out = std::env::var("LAZYDRAM_CORES_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_PR7.json".to_string());
+    std::fs::write(&out, array(&json_rows) + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    eprintln!("wrote {out}");
+    ok
+}
+
 /// Parses a positive-ratio environment variable, panicking on malformed
 /// values (a silently ignored gate is worse than none).
 fn ratio_from_env(name: &str) -> Option<f64> {
@@ -397,6 +498,7 @@ fn main() {
     eprintln!("wrote {out}");
 
     let trace_ok = trace_smoke(scale);
+    let cores_ok = cores_smoke(scale, reps);
 
     if let Some(cap) = max_regression {
         let regressed: Vec<String> = ratios
@@ -422,7 +524,7 @@ fn main() {
         }
         eprintln!("perf gate passed (no app slower than {cap}x pre-PR)");
     }
-    if !trace_ok {
+    if !trace_ok || !cores_ok {
         std::process::exit(1);
     }
 }

@@ -16,9 +16,12 @@
 //! zero-sized guard and [`take`] returns an empty report — call sites need
 //! no `cfg` and the optimizer erases them. With the feature on, a phase
 //! transition is one `RDTSC` read plus a handful of `Cell` load/stores in a
-//! thread-local accumulator (the simulator is single-threaded per run;
-//! sweeps run one simulation per worker thread, so thread-local totals are
-//! per-run totals). Spans shorter than the `RDTSC` measurement floor are
+//! thread-local accumulator. Each thread accumulates independently: sweeps
+//! run one simulation per job thread, and when `LAZYDRAM_CORES > 1` the
+//! intra-run worker pool's threads each keep their own totals, drained via
+//! [`take`] when the pool shuts down and merged into the run's report
+//! ([`ProfReport::merge`]). Spans shorter than the `RDTSC` measurement
+//! floor are
 //! dropped rather than accumulated, so guard overhead is not reported as
 //! phase time; the tick→seconds scale is recovered once per [`take`].
 //!
@@ -53,10 +56,17 @@ pub enum Phase {
     FuncMem,
     /// The event-driven fast-forward scan (`next_interesting_cycle`).
     FastForward,
+    /// Main-thread barrier wait: time the coordinating thread spends
+    /// waiting for worker-pool shards to finish a parallel phase
+    /// (`LAZYDRAM_CORES > 1`; zero on the sequential path).
+    Sync,
+    /// Worker-thread idle time: time a pool worker spends waiting for the
+    /// next parallel phase to be published (zero on the sequential path).
+    Idle,
 }
 
 /// Number of [`Phase`] variants ([`Phase::ALL`]'s length).
-pub const NUM_PHASES: usize = 6;
+pub const NUM_PHASES: usize = 8;
 
 impl Phase {
     /// Every phase, in display order.
@@ -67,6 +77,8 @@ impl Phase {
         Phase::Dram,
         Phase::FuncMem,
         Phase::FastForward,
+        Phase::Sync,
+        Phase::Idle,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -78,6 +90,8 @@ impl Phase {
             Phase::Dram => "dram",
             Phase::FuncMem => "func_mem",
             Phase::FastForward => "fast_forward",
+            Phase::Sync => "sync",
+            Phase::Idle => "idle",
         }
     }
 }

@@ -35,6 +35,7 @@ mod cache;
 mod kernel;
 mod memimg;
 mod noc;
+mod pool;
 mod sim;
 mod slice;
 mod sm;
@@ -44,10 +45,14 @@ pub use cache::{AccessResult, Cache};
 pub use kernel::{
     application_error, lane_item, run_functional, Kernel, OpBuf, OpKind, WarpOp, WarpProgram,
 };
-pub use memimg::{MemoryImage, LINE_BYTES, WORDS_PER_LINE};
+pub use memimg::{MemoryImage, OverlayView, LINE_BYTES, WORDS_PER_LINE};
 pub use lazydram_common::snap::{Loader, Saver, SnapError, SnapResult};
 pub use noc::{DelayQueue, NocFull};
-pub use sim::{parse_no_skip, run_kernel, Checkpoint, RunOutcome, RunResult, SimLimits, Simulator};
+pub use pool::{parse_oversubscribe, SharedSlice, WorkerPool};
+pub use sim::{
+    cores_from_env, parse_cores, parse_no_skip, run_kernel, Checkpoint, RunOutcome, RunResult,
+    SimLimits, Simulator,
+};
 pub use trace::{
     ReplayReport, Trace, TraceEntry, TraceError, TraceSim, DEFAULT_DRAIN_GRACE,
 };

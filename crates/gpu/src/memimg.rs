@@ -400,6 +400,64 @@ impl MemoryImage {
     }
 }
 
+/// A read view of a [`MemoryImage`] patched by an ordered overlay of
+/// pending lane writes.
+///
+/// During phase A of the phased tick each SM stages its functional writes
+/// instead of committing them (the image is shared read-only across worker
+/// threads); loads issued later in the *same* SM's tick must still observe
+/// those writes to match the sequential semantics. The overlay holds the
+/// SM's staged `(addr, value)` pairs in program order — a forward scan
+/// taking the last match gives latest-write-wins. The overlay is tiny (one
+/// SM's writes from one cycle) and usually empty, so the scan is cheaper
+/// than any index.
+pub struct OverlayView<'a> {
+    base: &'a MemoryImage,
+    overlay: &'a [(u64, f32)],
+}
+
+impl<'a> OverlayView<'a> {
+    /// Wraps `base` patched by `overlay` (ordered oldest-to-newest).
+    pub fn new(base: &'a MemoryImage, overlay: &'a [(u64, f32)]) -> Self {
+        Self { base, overlay }
+    }
+
+    /// Reads the `f32` at byte address `addr`, honoring overlay writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 4-byte aligned.
+    pub fn read_f32(&self, addr: u64) -> f32 {
+        let mut v = self.base.read_f32(addr);
+        for &(a, w) in self.overlay {
+            if a == addr {
+                v = w;
+            }
+        }
+        v
+    }
+
+    /// Reads one `f32` per lane address into `out` (cleared first),
+    /// honoring overlay writes. Mirrors [`MemoryImage::read_lanes_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any address is not 4-byte aligned.
+    pub fn read_lanes_into(&self, addrs: &[u64], out: &mut Vec<f32>) {
+        self.base.read_lanes_into(addrs, out);
+        if self.overlay.is_empty() {
+            return;
+        }
+        for &(a, w) in self.overlay {
+            for (i, &addr) in addrs.iter().enumerate() {
+                if addr == a {
+                    out[i] = w;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -490,6 +548,28 @@ mod tests {
         let want: Vec<f32> = addrs.iter().map(|&a| m.read_f32(a)).collect();
         assert_eq!(got, want);
         assert_eq!(m.resident_lines(), 2);
+    }
+
+    #[test]
+    fn overlay_view_patches_reads_latest_wins() {
+        let mut m = MemoryImage::new();
+        let base = m.alloc(WORDS_PER_LINE * 2);
+        m.write_f32(base, 1.0);
+        m.write_f32(base + 4, 2.0);
+        // Two overlay writes to the same address: the later one wins.
+        let overlay = [(base, 10.0f32), (base + 8, 30.0), (base, 11.0)];
+        let v = OverlayView::new(&m, &overlay);
+        assert_eq!(v.read_f32(base), 11.0);
+        assert_eq!(v.read_f32(base + 4), 2.0);
+        assert_eq!(v.read_f32(base + 8), 30.0);
+        let addrs = [base, base + 4, base + 8, base + 12];
+        let mut got = Vec::new();
+        v.read_lanes_into(&addrs, &mut got);
+        assert_eq!(got, vec![11.0, 2.0, 30.0, 0.0]);
+        // Empty overlay degenerates to the plain image.
+        let plain = OverlayView::new(&m, &[]);
+        plain.read_lanes_into(&addrs, &mut got);
+        assert_eq!(got, vec![1.0, 2.0, 0.0, 0.0]);
     }
 
     #[test]

@@ -66,9 +66,11 @@ impl<T> DelayQueue<T> {
         self.items.len() >= self.capacity
     }
 
-    /// Remaining capacity.
+    /// Remaining capacity. Saturates at zero: the phased tick commits
+    /// staged requests past capacity (see [`DelayQueue::push_unchecked`]),
+    /// so `len` can transiently exceed `capacity`.
     pub fn free(&self) -> usize {
-        self.capacity - self.items.len()
+        self.capacity.saturating_sub(self.items.len())
     }
 
     /// Pushes an item at time `now`; it becomes poppable at `now + latency`.
@@ -82,6 +84,19 @@ impl<T> DelayQueue<T> {
         }
         self.items.push_back((now + self.latency, item));
         Ok(())
+    }
+
+    /// Pushes an item at time `now` without a capacity check.
+    ///
+    /// Used by the barrier phase of the tick: each producer reserved its
+    /// slots against a cycle-start snapshot of `free()`, and because every
+    /// producer sees the *same* snapshot the sum of reservations can exceed
+    /// the true remaining capacity by design — the queue absorbs the
+    /// overflow and backpressure surfaces through `free()` (saturating to
+    /// zero) on the next cycle. Never use this from a path that has not
+    /// reserved via a `free()` snapshot.
+    pub fn push_unchecked(&mut self, now: u64, item: T) {
+        self.items.push_back((now + self.latency, item));
     }
 
     /// Pops the next ready item at time `now`, honoring the per-cycle width.

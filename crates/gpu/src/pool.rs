@@ -1,0 +1,412 @@
+//! A persistent worker pool for the phased tick.
+//!
+//! The container is offline (no rayon/crossbeam), so this is a hand-rolled
+//! pool over [`std::thread`]. It exists for exactly one call shape: the
+//! simulator's phased tick runs the *same* closure over `shards` disjoint
+//! indices several times per simulated cycle (phase A over SMs, phase C
+//! over memory partitions, the fast-forward scan over controllers). The
+//! pool therefore optimizes for very cheap job publication — one atomic
+//! store plus a conditional wake — rather than for generality.
+//!
+//! # Determinism
+//!
+//! The pool affects *scheduling only*: which thread executes which shard,
+//! and in what order. The phased tick guarantees shards touch disjoint
+//! state (see `DESIGN.md` §12), and all cross-shard merging happens on the
+//! coordinating thread in canonical order — so results are bit-identical
+//! for every worker count, including zero.
+//!
+//! # Sizing
+//!
+//! [`WorkerPool::new`] spawns `min(requested, available_parallelism) - 1`
+//! workers (the coordinating thread participates, so `requested = 1` spawns
+//! none). Capping at the host's parallelism matters on small containers: a
+//! parked worker must be woken through a mutex/condvar on every phase, and
+//! on a single hardware thread that wake costs more per cycle than the
+//! simulation work itself. With zero workers every shard runs inline on the
+//! coordinating thread and no atomics are touched. Set
+//! `LAZYDRAM_POOL_OVERSUBSCRIBE=1` to lift the cap (strictly parsed; used
+//! by tests that must exercise real cross-thread execution on 1-CPU hosts).
+
+use lazydram_common::prof::{self, Phase};
+use lazydram_common::ProfReport;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Parses `LAZYDRAM_POOL_OVERSUBSCRIBE`-style values: `1` lifts the
+/// available-parallelism cap, `0`/unset keeps it.
+///
+/// # Errors
+///
+/// Returns a description of the expected format on anything else.
+pub fn parse_oversubscribe(s: &str) -> Result<bool, String> {
+    match s.trim() {
+        "1" => Ok(true),
+        "0" => Ok(false),
+        other => Err(format!(
+            "LAZYDRAM_POOL_OVERSUBSCRIBE={other:?} is not a flag; expected 1 or 0"
+        )),
+    }
+}
+
+/// `LAZYDRAM_POOL_OVERSUBSCRIBE` from the environment (cached; default
+/// `false`).
+///
+/// # Panics
+///
+/// Panics when the variable is set but malformed — a silently ignored
+/// typo would invisibly change what a determinism test exercises.
+fn oversubscribe_from_env() -> bool {
+    static CACHE: OnceLock<bool> = OnceLock::new();
+    *CACHE.get_or_init(|| match std::env::var("LAZYDRAM_POOL_OVERSUBSCRIBE") {
+        Ok(v) => parse_oversubscribe(&v).unwrap_or_else(|e| panic!("{e}")),
+        Err(_) => false,
+    })
+}
+
+/// Type-erased shard closure: `&dyn Fn(shard_index)`, shareable across
+/// threads. Published to workers as a pointer to a stack slot holding this
+/// fat reference (double indirection keeps the atomic word thin).
+type Job<'a> = &'a (dyn Fn(usize) + Sync);
+
+/// State shared between the coordinating thread and the workers.
+struct Shared {
+    /// Generation counter; a bump publishes a new job (or shutdown).
+    gen: AtomicU64,
+    /// Pointer to the coordinating thread's stack slot holding the current
+    /// [`Job`]. Valid from publication until `done == total` of the same
+    /// generation; workers only dereference it for shard indices claimed
+    /// from `next`, which the coordinator resets *after* storing the
+    /// pointer — so observing a claimable index implies the pointer is
+    /// current.
+    job: AtomicUsize,
+    /// Next unclaimed shard index.
+    next: AtomicUsize,
+    /// Number of shards in the current job.
+    total: AtomicUsize,
+    /// Profiler phase of the current job ([`Phase`] discriminant): each
+    /// worker opens one guard per job batch, so attribution costs one
+    /// timestamp pair per thread per phase, not one per shard.
+    phase: AtomicUsize,
+    /// Number of shards finished.
+    done: AtomicUsize,
+    /// Shutdown flag, checked together with `gen`.
+    stop: AtomicBool,
+    /// Count of workers parked on `cv` (guarded by `lock`'s critical
+    /// sections for the sleep/wake handshake).
+    sleepers: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+    /// Per-worker profiler totals, drained when each worker exits.
+    worker_prof: Mutex<ProfReport>,
+}
+
+/// The phased-tick worker pool. Dropping it joins all workers and folds
+/// their profiler totals into [`WorkerPool::take_worker_prof`]'s report —
+/// call that before drop to keep the numbers.
+pub struct WorkerPool {
+    /// `None` when zero workers were spawned (pure inline execution);
+    /// nothing to share and nothing to leak in that case.
+    shared: Option<&'static Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Creates a pool for `requested` cores (>= 1). Spawns
+    /// `min(requested, available_parallelism) - 1` workers — see the
+    /// module docs for why the cap exists and how to lift it.
+    pub fn new(requested: usize) -> Self {
+        assert!(requested >= 1, "a pool needs at least the calling thread");
+        let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let effective = if oversubscribe_from_env() {
+            requested
+        } else {
+            requested.min(avail)
+        };
+        Self::with_workers(effective - 1)
+    }
+
+    /// Builds a pool with exactly `workers` spawned threads.
+    fn with_workers(workers: usize) -> Self {
+        if workers == 0 {
+            return Self {
+                shared: None,
+                handles: Vec::new(),
+            };
+        }
+        // The shared block must outlive unpark races during teardown;
+        // leaking one small allocation per threaded pool (one pool per
+        // launch, and only when `LAZYDRAM_CORES > 1` on a multi-core host)
+        // is simpler and provably safe versus an Arc whose last owner is
+        // ambiguous mid-wake.
+        let shared: &'static Shared = Box::leak(Box::new(Shared {
+            gen: AtomicU64::new(0),
+            job: AtomicUsize::new(0),
+            next: AtomicUsize::new(0),
+            total: AtomicUsize::new(0),
+            phase: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            sleepers: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+            worker_prof: Mutex::new(ProfReport::default()),
+        }));
+        let handles = (0..workers)
+            .map(|_| std::thread::spawn(move || worker_loop(shared)))
+            .collect();
+        Self {
+            shared: Some(shared),
+            handles,
+        }
+    }
+
+    /// Number of spawned worker threads (0 means every `run` is inline).
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `f(i)` for every `i in 0..shards`, returning once all shards
+    /// finished. Shard-to-thread assignment is dynamic (atomic claim), so
+    /// `f` must only touch state owned by its shard index.
+    ///
+    /// `phase` names the profiler phase the batch is attributed to — one
+    /// guard per participating thread, so the inline (zero-worker) path
+    /// costs exactly what the old sequential loop's per-phase guard did.
+    /// The generic bound matters for the same reason: with no workers the
+    /// closure is statically dispatched and the whole shard body inlines
+    /// into the caller; type erasure happens only when the job is actually
+    /// shipped to threads.
+    pub fn run<F: Fn(usize) + Sync>(&self, shards: usize, phase: Phase, f: &F) {
+        if self.handles.is_empty() || shards <= 1 {
+            let _t = prof::enter(phase);
+            for i in 0..shards {
+                f(i);
+            }
+            return;
+        }
+        let s = self.shared.expect("threaded pool has shared state");
+        // Publish: job pointer and total first, then the claim counter,
+        // then the generation bump that wakes spinners. A worker reaches
+        // the job pointer only through a successful claim on `next`, whose
+        // reset is ordered after the pointer store (Release), so stale
+        // claims from the previous generation cannot observe the new
+        // pointer nor vice versa.
+        let job: Job<'_> = f;
+        let slot: *const Job<'_> = &job;
+        s.done.store(0, Ordering::Relaxed);
+        s.job.store(slot as usize, Ordering::Relaxed);
+        s.phase.store(phase as usize, Ordering::Relaxed);
+        s.total.store(shards, Ordering::Relaxed);
+        s.next.store(0, Ordering::Release);
+        s.gen.fetch_add(1, Ordering::SeqCst);
+        if s.sleepers.load(Ordering::SeqCst) > 0 {
+            let _g = s.lock.lock().unwrap();
+            s.cv.notify_all();
+        }
+        // The coordinator claims shards like any worker.
+        {
+            let _t = prof::enter(phase);
+            claim_loop(s);
+        }
+        // Barrier: all shards done before `job`'s stack slot dies.
+        let _t = prof::enter(Phase::Sync);
+        while s.done.load(Ordering::Acquire) < shards {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Drains the profiler totals accumulated by workers that have already
+    /// exited. Call after [`WorkerPool::shutdown`] (or drop) to fold worker
+    /// time into the run's report; without the `prof` feature the report is
+    /// always empty.
+    pub fn take_worker_prof(&self) -> ProfReport {
+        match self.shared {
+            Some(s) => std::mem::take(&mut *s.worker_prof.lock().unwrap()),
+            None => ProfReport::default(),
+        }
+    }
+
+    /// Stops and joins all workers, returning their merged profiler totals.
+    pub fn shutdown(&mut self) -> ProfReport {
+        let Some(s) = self.shared else {
+            return ProfReport::default();
+        };
+        s.stop.store(true, Ordering::SeqCst);
+        s.gen.fetch_add(1, Ordering::SeqCst);
+        {
+            let _g = s.lock.lock().unwrap();
+            s.cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        self.take_worker_prof()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        if !self.handles.is_empty() {
+            let _ = self.shutdown();
+        }
+    }
+}
+
+/// Claims and executes shards of the current job until none remain.
+fn claim_loop(s: &Shared) {
+    loop {
+        let i = s.next.fetch_add(1, Ordering::AcqRel);
+        if i >= s.total.load(Ordering::Acquire) {
+            return;
+        }
+        // SAFETY: a claimable index proves the publication sequence in
+        // `run` completed through `next.store(0, Release)`, which is
+        // ordered after the pointer store; the coordinator keeps the slot
+        // alive until `done == total`, which cannot happen before this
+        // shard reports done below.
+        let job: Job<'_> = unsafe { *((s.job.load(Ordering::Acquire)) as *const Job<'_>) };
+        job(i);
+        s.done.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Iterations of the pre-park spin: long enough to catch back-to-back
+/// phases of the same cycle without a syscall, short enough not to burn a
+/// core when the simulation pauses.
+const SPIN_ITERS: u32 = 4096;
+
+fn worker_loop(s: &'static Shared) {
+    let mut seen = 0u64;
+    loop {
+        // Wait for a new generation: spin briefly, then park. Generations
+        // are a "something new was published" signal, not a sequence a
+        // worker must observe one by one — a worker that sleeps through
+        // several of them simply joins the current job.
+        {
+            let _t = prof::enter(Phase::Idle);
+            let mut spins = 0u32;
+            while s.gen.load(Ordering::SeqCst) == seen {
+                spins += 1;
+                if spins < SPIN_ITERS {
+                    std::hint::spin_loop();
+                } else {
+                    let mut guard = s.lock.lock().unwrap();
+                    s.sleepers.fetch_add(1, Ordering::SeqCst);
+                    while s.gen.load(Ordering::SeqCst) == seen {
+                        guard = s.cv.wait(guard).unwrap();
+                    }
+                    s.sleepers.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            seen = s.gen.load(Ordering::SeqCst);
+        }
+        if s.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        {
+            let _t = prof::enter(Phase::ALL[s.phase.load(Ordering::Acquire)]);
+            claim_loop(s);
+        }
+    }
+    let local = prof::take();
+    s.worker_prof.lock().unwrap().merge(&local);
+}
+
+/// Shares `&mut [T]` across pool threads for *disjoint* per-shard access.
+///
+/// [`WorkerPool::run`] hands each shard index to exactly one executing
+/// thread, so indexing the slice by the shard index never aliases. The
+/// wrapper exists because a closure capturing `&mut [T]` cannot be `Sync`;
+/// it launders the exclusivity proof through a raw pointer and puts the
+/// aliasing obligation on the caller via the `unsafe` accessor.
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: `SharedSlice` only hands out disjoint `&mut T` (caller
+// obligation on `get`), so sharing the wrapper across threads is sound
+// whenever moving the elements themselves would be.
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps a slice for disjoint sharded access.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Exclusive access to element `i`.
+    ///
+    /// # Safety
+    ///
+    /// For the lifetime of the returned reference no other thread may call
+    /// `get(i)` with the same index. The phased tick guarantees this by
+    /// indexing only with the shard index [`WorkerPool::run`] assigned.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len);
+        // SAFETY: in-bounds by the assert; uniqueness is the caller's
+        // contract above.
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+#[cfg(test)]
+impl WorkerPool {
+    /// Test-only constructor bypassing the available-parallelism cap.
+    fn new_for_test(threads: usize) -> Self {
+        Self::with_workers(threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn parse_oversubscribe_is_strict() {
+        assert_eq!(parse_oversubscribe("1"), Ok(true));
+        assert_eq!(parse_oversubscribe(" 0 "), Ok(false));
+        assert!(parse_oversubscribe("yes").is_err());
+        assert!(parse_oversubscribe("").is_err());
+    }
+
+    #[test]
+    fn inline_pool_runs_all_shards() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.workers(), 0);
+        let mut out = vec![0u32; 17];
+        let shared = SharedSlice::new(&mut out);
+        pool.run(17, Phase::SmIssue, &|i| {
+            // SAFETY: each shard index is executed exactly once.
+            *unsafe { shared.get(i) } = i as u32 + 1;
+        });
+        assert_eq!(out, (1..=17).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn threaded_pool_runs_every_shard_exactly_once() {
+        // Force real threads even on a 1-CPU host: this is the one unit
+        // test of the cross-thread claim protocol, so the parallelism cap
+        // must not silently turn it into the inline path.
+        let mut pool = WorkerPool::new_for_test(3);
+        let counters: Vec<AtomicU32> = (0..64).map(|_| AtomicU32::new(0)).collect();
+        for round in 0..50 {
+            pool.run(counters.len(), Phase::SmIssue, &|i| {
+                counters[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, c) in counters.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), round + 1, "shard {i}");
+            }
+        }
+        let _ = pool.shutdown();
+    }
+}

@@ -10,6 +10,21 @@
 //! DRAM timing parameter and every DMS/AMS window is honored in memory cycles
 //! exactly as in the paper.
 //!
+//! # Phased parallel tick
+//!
+//! Each executed cycle runs as four phases: SMs tick in parallel against a
+//! read-only memory image, staging their outbound requests and functional
+//! writes (phase A); the staged effects commit in ascending SM order at a
+//! barrier (phase B); the six memory partitions — L2 slice, controller,
+//! DRAM channel — tick in parallel, staging replies (phase C); and the
+//! staged replies merge into the reply NoC in ascending slice order
+//! (phase D). `LAZYDRAM_CORES` (or [`Simulator::with_cores`]) sets how many
+//! threads a [`WorkerPool`] may spread phases A and C over; because the
+//! phases and the canonical merge orders *are* the semantics, every thread
+//! count — including 1, which runs everything inline — produces
+//! **bit-identical** results. See `DESIGN.md` §12 for the equivalence
+//! argument.
+//!
 //! # Event-driven fast-forward
 //!
 //! DMS deliberately *creates* long stall epochs (it delays row activations by
@@ -53,12 +68,13 @@
 use crate::kernel::Kernel;
 use crate::memimg::MemoryImage;
 use crate::noc::DelayQueue;
+use crate::pool::{SharedSlice, WorkerPool};
 use crate::slice::Slice;
 use crate::trace::{Trace, TraceEntry};
-use crate::sm::{Reply, Sm, SmCtx, SliceReq};
+use crate::sm::{Reply, Sm, SmCtx, SliceReq, SmStage};
 use lazydram_common::prof::{self, Phase};
 use lazydram_common::snap::{digest, list_frames, FrameInfo, Loader, Saver, SnapError, SnapResult};
-use lazydram_common::{AddressMap, GpuConfig, SchedConfig, SimStats};
+use lazydram_common::{AddressMap, GpuConfig, ProfReport, SchedConfig, SimStats};
 use lazydram_core::{MemoryController, Response};
 use std::sync::OnceLock;
 
@@ -103,6 +119,44 @@ fn no_skip_from_env() -> bool {
     *NO_SKIP.get_or_init(|| match std::env::var("LAZYDRAM_NO_SKIP") {
         Ok(s) => parse_no_skip(&s).unwrap_or_else(|e| panic!("{e}")),
         Err(_) => false,
+    })
+}
+
+/// Parses a `LAZYDRAM_CORES` value: how many threads (the calling thread
+/// included) the phased tick may use. Must be an integer >= 1. Results are
+/// bit-identical at every value; only wall-clock changes.
+///
+/// Kept separate from the env lookup so the validation is unit-testable.
+///
+/// # Errors
+///
+/// Returns a description of the expected format on anything else.
+pub fn parse_cores(s: &str) -> Result<usize, String> {
+    match s.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "LAZYDRAM_CORES={s:?} is not a thread count; expected an integer \
+             >= 1 (1 disables the worker pool entirely)"
+        )),
+    }
+}
+
+/// `LAZYDRAM_CORES` from the environment (cached; default 1).
+///
+/// This is the process-wide default [`Simulator::with_cores`] starts from;
+/// sweep runners read it too, to warn when `LAZYDRAM_JOBS x LAZYDRAM_CORES`
+/// oversubscribes the host.
+///
+/// # Panics
+///
+/// Panics on a malformed value instead of silently falling back to one
+/// thread — a typo here would invisibly turn a scaling experiment
+/// single-threaded.
+pub fn cores_from_env() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| match std::env::var("LAZYDRAM_CORES") {
+        Ok(s) => parse_cores(&s).unwrap_or_else(|e| panic!("{e}")),
+        Err(_) => 1,
     })
 }
 
@@ -270,7 +324,6 @@ struct LaunchMachine {
     reply_noc: Vec<DelayQueue<Reply>>,
     total_warps: usize,
     next_warp: usize,
-    next_req_id: u64,
     /// Clock-divider residue: each core cycle adds `mem_hz` units and one
     /// memory tick fires per `core_hz` units accumulated. Unlike a floating
     /// accumulator this is drift-free and can be advanced analytically
@@ -280,6 +333,18 @@ struct LaunchMachine {
     core_cycle: u64,
     ticks_executed: u64,
     cycles_skipped: u64,
+    /// Per-SM staging areas for phase A of the tick. Transient: drained at
+    /// the phase-B barrier every cycle, so they are always empty between
+    /// cycles and are never serialized.
+    stages: Vec<SmStage>,
+    /// Per-partition controller response scratch for phase C. Transient:
+    /// drained into the owning slice within the phase.
+    resp_bufs: Vec<Vec<Response>>,
+    /// Wall-clock phase totals accumulated by pool worker threads over this
+    /// launch. Transient: folded into the run statistics by
+    /// [`LaunchMachine::fold_into`], never serialized (profiling data is
+    /// excluded from checkpoints and stats equality).
+    worker_prof: ProfReport,
 }
 
 impl LaunchMachine {
@@ -314,12 +379,16 @@ impl LaunchMachine {
                 .collect(),
             total_warps,
             next_warp: 0,
-            next_req_id: 0,
             acc: 0,
             mem_time: 0,
             core_cycle: 0,
             ticks_executed: 0,
             cycles_skipped: 0,
+            stages: (0..cfg.num_sms)
+                .map(|_| SmStage::new(cfg.num_channels))
+                .collect(),
+            resp_bufs: vec![Vec::new(); cfg.num_channels],
+            worker_prof: ProfReport::default(),
         }
     }
 
@@ -350,7 +419,6 @@ impl LaunchMachine {
         s.frame("mach", 0, |s| {
             s.usize("total_warps", self.total_warps);
             s.usize("next_warp", self.next_warp);
-            s.u64("next_req_id", self.next_req_id);
             s.u64("acc", self.acc);
             s.u64("mem_time", self.mem_time);
             s.u64("core_cycle", self.core_cycle);
@@ -407,7 +475,6 @@ impl LaunchMachine {
             }
             Ok([
                 l.u64("next_warp")?,
-                l.u64("next_req_id")?,
                 l.u64("acc")?,
                 l.u64("mem_time")?,
                 l.u64("core_cycle")?,
@@ -416,12 +483,11 @@ impl LaunchMachine {
             ])
         })?;
         self.next_warp = scalars[0] as usize;
-        self.next_req_id = scalars[1];
-        self.acc = scalars[2];
-        self.mem_time = scalars[3];
-        self.core_cycle = scalars[4];
-        self.ticks_executed = scalars[5];
-        self.cycles_skipped = scalars[6];
+        self.acc = scalars[1];
+        self.mem_time = scalars[2];
+        self.core_cycle = scalars[3];
+        self.ticks_executed = scalars[4];
+        self.cycles_skipped = scalars[5];
         for (i, sm) in self.sms.iter_mut().enumerate() {
             l.frame("sm", i as u32, |l| sm.load_state(l, kernel))?;
         }
@@ -469,6 +535,7 @@ pub struct Simulator {
     limits: SimLimits,
     capture_trace: bool,
     cycle_skipping: bool,
+    cores: usize,
 }
 
 /// Outcome of driving one launch's machine.
@@ -523,6 +590,7 @@ impl Simulator {
             limits: SimLimits::default(),
             capture_trace: false,
             cycle_skipping: !no_skip_from_env(),
+            cores: cores_from_env(),
         }
     }
 
@@ -544,6 +612,24 @@ impl Simulator {
     /// either way; only wall-clock changes.
     pub fn with_cycle_skipping(mut self, enabled: bool) -> Self {
         self.cycle_skipping = enabled;
+        self
+    }
+
+    /// Overrides the phased tick's thread budget (the `LAZYDRAM_CORES`
+    /// environment default). The budget includes the calling thread, so `1`
+    /// disables the worker pool; the pool itself further caps the count at
+    /// the host's available parallelism (see [`WorkerPool::new`]).
+    ///
+    /// Results are bit-identical at every value — the setting is
+    /// deliberately *excluded* from the checkpoint config fingerprint, so a
+    /// checkpoint taken at one width resumes at any other.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cores` is zero.
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        assert!(cores >= 1, "the tick needs at least the calling thread");
+        self.cores = cores;
         self
     }
 
@@ -934,6 +1020,21 @@ impl Simulator {
 
     /// Drives one launch's machine until the launch finishes, the cycle
     /// limit trips, or the cumulative pause target is reached.
+    ///
+    /// Each executed cycle is a *phased tick* (see `DESIGN.md` §12):
+    ///
+    /// * **A** — every SM ticks against a read-only memory image and a
+    ///   private staging area (parallel over SMs);
+    /// * **B** — staged image writes and NoC requests commit in ascending
+    ///   SM order, then new warps dispatch (sequential barrier);
+    /// * **C** — every memory partition (slice + controller) ticks against
+    ///   its own queues, staging replies (parallel over partitions);
+    /// * **D** — staged replies merge into the reply NoC in ascending slice
+    ///   order (sequential barrier), and the termination check runs.
+    ///
+    /// The phases *are* the semantics at every thread count; the worker
+    /// pool only changes which thread executes a shard, so results are
+    /// bit-identical for every `cores` value.
     fn run_machine(
         &self,
         kernel: &dyn Kernel,
@@ -943,6 +1044,7 @@ impl Simulator {
         pause_at: Option<u64>,
     ) -> StepOutcome {
         let cfg = &self.cfg;
+        let mut pool = WorkerPool::new(self.cores);
         let LaunchMachine {
             map,
             sms,
@@ -952,24 +1054,31 @@ impl Simulator {
             reply_noc,
             total_warps,
             next_warp,
-            next_req_id,
             acc,
             mem_time,
             core_cycle,
             ticks_executed,
             cycles_skipped,
+            stages,
+            resp_bufs,
+            worker_prof,
         } = m;
         let total_warps = *total_warps;
+        let n_sms = sms.len();
+        let n_parts = slices.len();
         let core_hz = u64::from(cfg.core_clock_mhz);
         let mem_hz = u64::from(cfg.mem_clock_mhz);
         let limit = self.limits.max_core_cycles;
         // The pause target in this launch's local cycles; zero when the
         // target lies before this launch (pause immediately).
         let pause = pause_at.map(|t| t.saturating_sub(prior_cycles));
-        let mut hit_limit = false;
-        let mut resp_buf: Vec<Response> = Vec::new();
+        // Cycle-start request-NoC occupancy snapshot (refilled per cycle)
+        // and per-controller event scratch for the fast-forward scan; both
+        // allocated once so the loop body stays allocation-free.
+        let mut free0: Vec<usize> = Vec::with_capacity(req_noc.len());
+        let mut mc_events: Vec<u64> = vec![0; mcs.len()];
 
-        loop {
+        let outcome = loop {
             // 0. Fast-forward over provably idle cycles. Runs at the top of
             //    the iteration — before the next cycle executes — so a
             //    resumed run re-derives the remainder of a skip the pause
@@ -979,7 +1088,7 @@ impl Simulator {
                 let _t_ff = prof::enter(Phase::FastForward);
                 let mut target = next_interesting_cycle(
                     *core_cycle, limit, *acc, core_hz, mem_hz, *mem_time,
-                    sms, slices, req_noc, reply_noc, mcs,
+                    sms, slices, req_noc, reply_noc, mcs, &pool, &mut mc_events,
                 );
                 if let Some(p) = pause {
                     // Never skip past the pause point: the span up to `p`
@@ -1010,75 +1119,117 @@ impl Simulator {
 
             if let Some(p) = pause {
                 if *core_cycle >= p {
-                    return StepOutcome::Paused;
+                    break StepOutcome::Paused;
                 }
             }
 
             *core_cycle += 1;
             if *core_cycle > limit {
-                hit_limit = true;
-                break;
+                break StepOutcome::Finished { hit_limit: true };
             }
             *ticks_executed += 1;
+            let now = *core_cycle;
 
-            // 1. Deliver replies, then issue from each SM. The context is
-            //    built once per cycle; it borrows nothing from the SMs.
+            // Phase A: deliver replies and issue from each SM, one shard
+            // per SM. Every shard sees the same read-only image and the
+            // same cycle-start NoC occupancy snapshot; all effects land in
+            // the shard's private `SmStage`.
+            {
+                free0.clear();
+                free0.extend(req_noc.iter().map(|q| q.free()));
+                let sms_sh = SharedSlice::new(&mut sms[..]);
+                let replies_sh = SharedSlice::new(&mut reply_noc[..]);
+                let stages_sh = SharedSlice::new(&mut stages[..]);
+                let image_ref: &MemoryImage = image;
+                let map_ref: &AddressMap = map;
+                let free0_ref: &[usize] = &free0;
+                pool.run(n_sms, Phase::SmIssue, &|i| {
+                    // SAFETY: the pool hands each shard index to exactly
+                    // one executing thread.
+                    let sm = unsafe { sms_sh.get(i) };
+                    let replies = unsafe { replies_sh.get(i) };
+                    let stage = unsafe { stages_sh.get(i) };
+                    while let Some(reply) = replies.pop_ready(now) {
+                        sm.on_reply(reply, image_ref);
+                    }
+                    stage.begin_cycle(free0_ref);
+                    let mut ctx = SmCtx {
+                        image: image_ref,
+                        map: map_ref,
+                        kernel,
+                        stage,
+                    };
+                    sm.tick(&mut ctx);
+                });
+            }
+
+            // Phase B (barrier): commit staged effects in ascending SM
+            // order — functional writes first, then the SM's requests in
+            // stage order — and greedily dispatch new warps. The canonical
+            // order makes the result independent of phase-A scheduling.
             {
                 let _t = prof::enter(Phase::SmIssue);
-                let mut ctx = SmCtx {
-                    now: *core_cycle,
-                    image: &mut *image,
-                    map: &*map,
-                    kernel,
-                    req_noc: &mut req_noc[..],
-                };
-                for (i, sm) in sms.iter_mut().enumerate() {
-                    while let Some(reply) = reply_noc[i].pop_ready(*core_cycle) {
-                        sm.on_reply(reply, ctx.image);
+                for (sm, stage) in sms.iter_mut().zip(stages.iter_mut()) {
+                    if !stage.writes.is_empty() {
+                        image.write_lanes(&stage.writes);
                     }
-                    sm.tick(&mut ctx);
+                    for &(ch, req) in &stage.reqs {
+                        req_noc[ch].push_unchecked(now, req);
+                    }
                     while *next_warp < total_warps && sm.has_free_slot() {
-                        sm.dispatch(*next_warp, ctx.kernel.program(*next_warp));
+                        sm.dispatch(*next_warp, kernel.program(*next_warp));
                         *next_warp += 1;
                     }
                 }
             }
 
-            // 2. L2 slices.
+            // Phase C: tick each memory partition — its L2 slice, then its
+            // controller for this cycle's memory tick(s). Partitions share
+            // nothing: a slice talks only to its own controller and its own
+            // request queue, and replies are staged slice-locally.
             {
-                let _t = prof::enter(Phase::Slice);
-                for (i, slice) in slices.iter_mut().enumerate() {
-                    slice.tick(
-                        *core_cycle,
-                        &mut req_noc[i],
-                        &mut reply_noc[..],
-                        &mut mcs[i],
-                        image,
-                        map,
-                        next_req_id,
-                    );
-                }
-            }
-
-            // 3. Memory clock domain.
-            {
-                let _t = prof::enter(Phase::Controller);
                 *acc += mem_hz;
+                let mut mem_ticks = 0u64;
                 while *acc >= core_hz {
                     *acc -= core_hz;
                     *mem_time += 1;
-                    for (i, mc) in mcs.iter_mut().enumerate() {
-                        resp_buf.clear();
-                        mc.tick(&mut resp_buf);
-                        for &resp in &resp_buf {
-                            slices[i].responses.push_back(resp);
+                    mem_ticks += 1;
+                }
+                let slices_sh = SharedSlice::new(&mut slices[..]);
+                let mcs_sh = SharedSlice::new(&mut mcs[..]);
+                let req_sh = SharedSlice::new(&mut req_noc[..]);
+                let bufs_sh = SharedSlice::new(&mut resp_bufs[..]);
+                let image_ref: &MemoryImage = image;
+                let map_ref: &AddressMap = map;
+                pool.run(n_parts, Phase::Slice, &|i| {
+                    // SAFETY: one executing thread per shard index (above).
+                    let slice = unsafe { slices_sh.get(i) };
+                    let mc = unsafe { mcs_sh.get(i) };
+                    let incoming = unsafe { req_sh.get(i) };
+                    let buf = unsafe { bufs_sh.get(i) };
+                    slice.tick(now, incoming, mc, image_ref, map_ref);
+                    let _t = prof::enter(Phase::Controller);
+                    for _ in 0..mem_ticks {
+                        buf.clear();
+                        mc.tick(buf);
+                        for &resp in buf.iter() {
+                            slice.responses.push_back(resp);
                         }
                     }
+                });
+            }
+
+            // Phase D (barrier): merge staged replies into the reply NoC
+            // in ascending slice order, stalled retries first.
+            {
+                let _t = prof::enter(Phase::Slice);
+                for slice in slices.iter_mut() {
+                    slice.flush_replies(now, &mut reply_noc[..]);
                 }
             }
 
-            // 4. Termination (exact: no alignment gate, so the reported
-            //    cycle count carries no phantom tail cycles).
+            // Termination (exact: no alignment gate, so the reported
+            // cycle count carries no phantom tail cycles).
             if *next_warp >= total_warps
                 && sms.iter().all(|s| s.live_warps() == 0)
                 && req_noc.iter().all(|q| q.is_empty())
@@ -1086,11 +1237,12 @@ impl Simulator {
                 && slices.iter().all(|s| s.is_idle())
                 && mcs.iter().all(|m| m.is_idle())
             {
-                break;
+                break StepOutcome::Finished { hit_limit: false };
             }
-        }
+        };
 
-        StepOutcome::Finished { hit_limit }
+        worker_prof.merge(&pool.shutdown());
+        outcome
     }
 }
 
@@ -1156,8 +1308,10 @@ impl LaunchMachine {
         total.dram.mem_cycles = prior_cycles + launch_dram.mem_cycles;
 
         // Fold this launch's wall-clock phase breakdown into the run stats
-        // (empty unless the `prof` feature is enabled).
+        // (empty unless the `prof` feature is enabled): the coordinating
+        // thread's totals plus whatever the pool workers accumulated.
         total.prof.merge(&prof::take());
+        total.prof.merge(&std::mem::take(&mut self.worker_prof));
     }
 }
 
@@ -1180,6 +1334,8 @@ fn next_interesting_cycle(
     req_noc: &[DelayQueue<SliceReq>],
     reply_noc: &[DelayQueue<Reply>],
     mcs: &mut [MemoryController],
+    pool: &WorkerPool,
+    mc_events: &mut [u64],
 ) -> u64 {
     let mut next = limit.saturating_add(1);
     if next <= now + 1 || sms.iter().any(Sm::has_work) || slices.iter().any(Slice::has_work) {
@@ -1214,11 +1370,26 @@ fn next_interesting_cycle(
     if next == now + 1 {
         return next;
     }
-    // Memory-side events arrive in memory cycles; map the j-th future
-    // memory tick back to the core cycle whose accumulator step fires it:
-    // the smallest k >= 1 with acc + k * mem_hz >= j * core_hz.
-    for mc in mcs.iter_mut() {
-        if let Some(me) = mc.next_event_cycle() {
+    // Memory-side events arrive in memory cycles. Each controller's scan
+    // (in-flight completions, DMS expiries, window boundaries) is the
+    // expensive part, so it runs as one pool shard per controller; the
+    // min-reduce below happens on the coordinating thread, which keeps the
+    // result deterministic regardless of shard scheduling.
+    {
+        let n_mcs = mcs.len();
+        let mcs_sh = SharedSlice::new(mcs);
+        let events_sh = SharedSlice::new(mc_events);
+        pool.run(n_mcs, Phase::FastForward, &|i| {
+            // SAFETY: one executing thread per shard index.
+            let mc = unsafe { mcs_sh.get(i) };
+            *unsafe { events_sh.get(i) } = mc.next_event_cycle().unwrap_or(u64::MAX);
+        });
+    }
+    // Map the j-th future memory tick back to the core cycle whose
+    // accumulator step fires it: the smallest k >= 1 with
+    // acc + k * mem_hz >= j * core_hz.
+    for &me in mc_events.iter() {
+        if me != u64::MAX {
             debug_assert!(me > mem_time, "memory event must lie in the future");
             let j = u128::from(me - mem_time);
             let need = j * u128::from(core_hz) - u128::from(acc);
@@ -1266,5 +1437,20 @@ mod tests {
         assert!(parse_no_skip("yes").is_err());
         assert!(parse_no_skip("").is_err());
         assert!(parse_no_skip("2").is_err());
+    }
+
+    #[test]
+    fn parse_cores_accepts_positive_integers() {
+        assert_eq!(parse_cores("1"), Ok(1));
+        assert_eq!(parse_cores(" 8 "), Ok(8));
+    }
+
+    #[test]
+    fn parse_cores_rejects_garbage() {
+        assert!(parse_cores("0").is_err());
+        assert!(parse_cores("").is_err());
+        assert!(parse_cores("-2").is_err());
+        assert!(parse_cores("all").is_err());
+        assert!(parse_cores("1.5").is_err());
     }
 }

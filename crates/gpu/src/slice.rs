@@ -37,6 +37,14 @@ pub(crate) struct Slice {
     wb_buffer: VecDeque<u64>,
     /// Replies that could not enter the reply NoC yet.
     reply_retry: VecDeque<(usize, Reply)>,
+    /// Replies produced this cycle (phase C), merged into the reply NoC at
+    /// the phase-D barrier by [`Slice::flush_replies`]. Always empty
+    /// between cycles.
+    staged_replies: Vec<(usize, Reply)>,
+    /// Per-slice request-id counter; ids are globally unique via the
+    /// slice-id tag in the low bits (see [`Slice::alloc_id`]), so slices
+    /// allocate ids concurrently without coordination.
+    next_id: u64,
     /// Approximate contents of L2-resident approximated lines (reuse mode).
     approx_store: FastMap<u64, [f32; 32]>,
     /// Reads that returned VP-predicted values.
@@ -47,6 +55,7 @@ pub(crate) struct Slice {
 
 impl Slice {
     pub fn new(id: usize, cfg: &GpuConfig, sched: &SchedConfig) -> Self {
+        assert!(id < 8, "slice id {id} does not fit the 3-bit request-id tag");
         Self {
             id,
             l2: Cache::new(cfg.l2_bytes, cfg.l2_ways, cfg.line_bytes),
@@ -58,10 +67,22 @@ impl Slice {
             responses: VecDeque::new(),
             wb_buffer: VecDeque::new(),
             reply_retry: VecDeque::new(),
+            staged_replies: Vec::new(),
+            next_id: 0,
             approx_store: FastMap::default(),
             approx_replies: 0,
             trace: None,
         }
+    }
+
+    /// Allocates the next request id: the slice-local counter shifted past
+    /// a 3-bit slice tag. Ids are globally unique and monotonic per slice,
+    /// and — unlike a machine-global counter — independent of the order in
+    /// which slices tick, which is what lets phase C run slices on worker
+    /// threads without renumbering requests.
+    fn alloc_id(&mut self) -> RequestId {
+        self.next_id += 1;
+        RequestId((self.next_id << 3) | self.id as u64)
     }
 
     pub fn l2(&self) -> &Cache {
@@ -119,25 +140,17 @@ impl Slice {
         vals
     }
 
-    fn send_reply(
-        &mut self,
-        now: u64,
-        sm: usize,
-        reply: Reply,
-        reply_noc: &mut [DelayQueue<Reply>],
-    ) {
-        if reply_noc[sm].push(now, reply).is_err() {
-            self.reply_retry.push_back((sm, reply));
-        }
+    /// Stages a reply for the phase-D merge into the reply NoC.
+    fn send_reply(&mut self, sm: usize, reply: Reply) {
+        self.staged_replies.push((sm, reply));
     }
 
-    fn forward_write(&mut self, line: u64, space: MemSpace, map: &AddressMap, mc: &mut MemoryController, next_id: &mut u64) -> bool {
+    fn forward_write(&mut self, line: u64, space: MemSpace, map: &AddressMap, mc: &mut MemoryController) -> bool {
         if !mc.can_accept() {
             return false;
         }
-        *next_id += 1;
         let req = Request {
-            id: RequestId(*next_id),
+            id: self.alloc_id(),
             addr: line,
             loc: map.decompose(line),
             kind: AccessKind::Write,
@@ -160,36 +173,33 @@ impl Slice {
         }
     }
 
-    fn fill_l2(&mut self, line: u64, map: &AddressMap, mc: &mut MemoryController, next_id: &mut u64) {
+    fn fill_l2(&mut self, line: u64, map: &AddressMap, mc: &mut MemoryController) {
         if let Some((victim, dirty)) = self.l2.fill(line, false) {
             self.approx_store.remove(&victim);
-            if dirty && !self.forward_write(victim, MemSpace::Other, map, mc, next_id) {
+            if dirty && !self.forward_write(victim, MemSpace::Other, map, mc) {
                 self.wb_buffer.push_back(victim);
             }
         }
     }
 
-    /// One core cycle of slice work.
-    #[allow(clippy::too_many_arguments)]
+    /// One core cycle of slice work (phase C of the phased tick). Touches
+    /// only partition-local state — this slice, its controller, its
+    /// incoming queue — plus the shared image read-only, so the six
+    /// partitions tick concurrently. Replies are staged;
+    /// [`Slice::flush_replies`] merges them into the reply NoC at the
+    /// phase-D barrier.
     pub fn tick(
         &mut self,
         now: u64,
         incoming: &mut DelayQueue<SliceReq>,
-        reply_noc: &mut [DelayQueue<Reply>],
         mc: &mut MemoryController,
         image: &MemoryImage,
         map: &AddressMap,
-        next_id: &mut u64,
     ) {
-        // 0. Retry stalled replies and writebacks first (oldest work).
-        while let Some((sm, reply)) = self.reply_retry.pop_front() {
-            if reply_noc[sm].push(now, reply).is_err() {
-                self.reply_retry.push_front((sm, reply));
-                break;
-            }
-        }
+        // 0. Retry stalled writebacks first (oldest work). Stalled replies
+        // are retried in flush_replies, ahead of this cycle's.
         while let Some(&line) = self.wb_buffer.front() {
-            if self.forward_write(line, MemSpace::Other, map, mc, next_id) {
+            if self.forward_write(line, MemSpace::Other, map, mc) {
                 self.wb_buffer.pop_front();
             } else {
                 break;
@@ -203,18 +213,18 @@ impl Slice {
                 self.approx_replies += 1;
                 let vals = self.predict(line, image);
                 if self.approx_reuse {
-                    self.fill_l2(line, map, mc, next_id);
+                    self.fill_l2(line, map, mc);
                     self.approx_store.insert(line, vals);
                 }
                 Reply { line, values: Some(vals) }
             } else {
-                self.fill_l2(line, map, mc, next_id);
+                self.fill_l2(line, map, mc);
                 self.approx_store.remove(&line);
                 Reply { line, values: None }
             };
             if let Some(waiters) = self.mshr.remove(&line) {
                 for sm in waiters {
-                    self.send_reply(now, sm, reply, reply_noc);
+                    self.send_reply(sm, reply);
                 }
             }
         }
@@ -239,7 +249,7 @@ impl Slice {
                     // Write-through, no allocate: forward to DRAM. Count the
                     // miss only when the request actually proceeds, so
                     // backpressure retries do not inflate the statistics.
-                    if !self.forward_write(req.line, MemSpace::Global, map, mc, next_id) {
+                    if !self.forward_write(req.line, MemSpace::Global, map, mc) {
                         incoming.push_front(now, req);
                         break;
                     }
@@ -254,7 +264,7 @@ impl Slice {
                     self.approx_replies += 1;
                 }
                 let reply = Reply { line: req.line, values };
-                self.send_reply(now, req.sm, reply, reply_noc);
+                self.send_reply(req.sm, reply);
             } else if let Some(waiters) = self.mshr.get_mut(&req.line) {
                 waiters.push(req.sm);
                 let r = self.l2.commit(slot, false); // merged miss
@@ -262,9 +272,8 @@ impl Slice {
             } else if self.mshr.len() < self.mshr_capacity && mc.can_accept() {
                 let r = self.l2.commit(slot, false);
                 debug_assert_eq!(r, AccessResult::Miss);
-                *next_id += 1;
                 let dram_req = Request {
-                    id: RequestId(*next_id),
+                    id: self.alloc_id(),
                     addr: req.line,
                     loc: map.decompose(req.line),
                     kind: AccessKind::Read,
@@ -280,7 +289,24 @@ impl Slice {
                 break;
             }
         }
-        let _ = self.id;
+    }
+
+    /// Phase D: merges this slice's replies into the reply NoC, retries
+    /// first (oldest work, matching the sequential loop's step 0), then the
+    /// replies staged this cycle. Runs on the coordinating thread in
+    /// ascending slice order, so the NoC contents are canonical.
+    pub fn flush_replies(&mut self, now: u64, reply_noc: &mut [DelayQueue<Reply>]) {
+        while let Some((sm, reply)) = self.reply_retry.pop_front() {
+            if reply_noc[sm].push(now, reply).is_err() {
+                self.reply_retry.push_front((sm, reply));
+                break;
+            }
+        }
+        for (sm, reply) in self.staged_replies.drain(..) {
+            if reply_noc[sm].push(now, reply).is_err() {
+                self.reply_retry.push_back((sm, reply));
+            }
+        }
     }
 
     /// Serializes the slice's dynamic state: L2 contents, MSHR table,
@@ -288,6 +314,11 @@ impl Slice {
     /// approximate-line store and (when capturing) the request trace.
     /// Configuration (capacities, VP radius, reuse mode) is not written.
     pub fn save_state(&self, s: &mut Saver) {
+        debug_assert!(
+            self.staged_replies.is_empty(),
+            "checkpoints are taken between cycles, after the phase-D flush"
+        );
+        s.u64("next_id", self.next_id);
         s.u64("approx_replies", self.approx_replies);
         s.frame("l2", 0, |s| self.l2.save_state(s));
         let mut lines: Vec<u64> = self.mshr.keys().copied().collect();
@@ -340,6 +371,8 @@ impl Slice {
     ///
     /// Returns an error when the snapshot bytes are malformed.
     pub fn load_state(&mut self, l: &mut Loader<'_>) -> SnapResult<()> {
+        self.next_id = l.u64("next_id")?;
+        self.staged_replies.clear();
         self.approx_replies = l.u64("approx_replies")?;
         l.frame("l2", 0, |l| self.l2.load_state(l))?;
         let n_mshr = l.seq("mshr", 16)?;
@@ -449,9 +482,9 @@ mod tests {
         sm: usize,
         max: u64,
     ) -> Reply {
-        let mut next_id = 0;
         for now in 1..max {
-            slice.tick(now, incoming, replies, mc, image, map, &mut next_id);
+            slice.tick(now, incoming, mc, image, map);
+            slice.flush_replies(now, replies);
             pump_mc(mc, slice);
             if let Some(r) = replies[sm].pop_ready(now) {
                 return r;
@@ -485,8 +518,8 @@ mod tests {
         incoming
             .push(500, SliceReq { sm: 1, line: 0x10_0000, write: false, approximable: false })
             .unwrap();
-        let mut next_id = 100;
-        slice.tick(501, &mut incoming, &mut replies, &mut mc, &image, &map, &mut next_id);
+        slice.tick(501, &mut incoming, &mut mc, &image, &map);
+        slice.flush_replies(501, &mut replies);
         assert!(replies[1].pop_ready(501).is_some());
         assert_eq!(mc.channel().stats().reads, 1, "L2 hit must not touch DRAM");
     }
@@ -498,8 +531,8 @@ mod tests {
         incoming
             .push(0, SliceReq { sm: 0, line: 0x10_0000, write: true, approximable: false })
             .unwrap();
-        let mut next_id = 0;
-        slice.tick(1, &mut incoming, &mut replies, &mut mc, &image, &map, &mut next_id);
+        slice.tick(1, &mut incoming, &mut mc, &image, &map);
+        slice.flush_replies(1, &mut replies);
         while !mc.is_idle() {
             pump_mc(&mut mc, &mut slice);
         }
@@ -560,8 +593,8 @@ mod tests {
         incoming
             .push(3_000, SliceReq { sm: 0, line: 0x13_0000, write: false, approximable: true })
             .unwrap();
-        let mut next_id = 500;
-        slice.tick(3_001, &mut incoming, &mut replies, &mut mc, &image, &map, &mut next_id);
+        slice.tick(3_001, &mut incoming, &mut mc, &image, &map);
+        slice.flush_replies(3_001, &mut replies);
         let r = replies[0].pop_ready(3_001).expect("hit replies same cycle");
         assert_eq!(r.values.expect("approx data on reuse")[5], 42.0);
     }
@@ -576,7 +609,6 @@ mod tests {
         let map = AddressMap::new(&cfg);
         let mut incoming = DelayQueue::new(0, 8192, 8192);
         let mut replies: Vec<DelayQueue<Reply>> = vec![DelayQueue::new(0, 8192, 8192)];
-        let mut next_id = 0;
         // Fill one L2 set (8 ways) with dirty lines, then displace them.
         // Lines mapping to set 0: stride = sets(128) * 128 B = 16 KiB.
         let mut now = 0;
@@ -586,13 +618,15 @@ mod tests {
             incoming.push(now, SliceReq { sm: 0, line, write: false, approximable: false }).unwrap();
             for _ in 0..400 {
                 now += 1;
-                slice.tick(now, &mut incoming, &mut replies, &mut mc, &image, &map, &mut next_id);
+                slice.tick(now, &mut incoming, &mut mc, &image, &map);
+                slice.flush_replies(now, &mut replies);
                 pump_mc(&mut mc, &mut slice);
             }
             // Dirty it.
             incoming.push(now, SliceReq { sm: 0, line, write: true, approximable: false }).unwrap();
             now += 1;
-            slice.tick(now, &mut incoming, &mut replies, &mut mc, &image, &map, &mut next_id);
+            slice.tick(now, &mut incoming, &mut mc, &image, &map);
+            slice.flush_replies(now, &mut replies);
         }
         // 9 fills into an 8-way set → at least one dirty eviction → ≥1 write.
         while !mc.is_idle() {

@@ -16,7 +16,7 @@
 
 use crate::cache::{AccessResult, Cache};
 use crate::kernel::{Kernel, OpBuf, OpKind, WarpProgram};
-use crate::memimg::MemoryImage;
+use crate::memimg::{MemoryImage, OverlayView};
 use crate::noc::DelayQueue;
 use lazydram_common::snap::{Loader, Saver, SnapError, SnapResult};
 use lazydram_common::FastMap;
@@ -139,14 +139,74 @@ impl WarpSlot {
     }
 }
 
-/// Mutable context an SM needs while ticking.
+/// Per-SM staging area for one cycle of the phased tick.
+///
+/// During phase A every SM ticks against a *read-only* memory image and a
+/// cycle-start snapshot of the request-NoC occupancy; its side effects —
+/// outbound slice requests and functional store writes — accumulate here
+/// and are committed at the phase-B barrier in ascending SM order, making
+/// the machine state independent of how SMs were scheduled onto threads.
+pub(crate) struct SmStage {
+    /// `(channel, request)` in stage order; phase B pushes them into the
+    /// per-channel `req_noc` queues in exactly this order.
+    pub reqs: Vec<(usize, SliceReq)>,
+    /// Functional lane writes in program order; phase B commits them to
+    /// the shared [`MemoryImage`]. Until then they overlay this SM's own
+    /// reads (see [`OverlayView`]).
+    pub writes: Vec<(u64, f32)>,
+    /// This SM's local view of request-NoC free slots: the cycle-start
+    /// snapshot minus what this SM has staged this cycle. Every SM sees
+    /// the *same* snapshot, so reservations are interleaving-independent;
+    /// the queues absorb the (bounded) oversubscription via
+    /// `push_unchecked`.
+    free: Vec<usize>,
+}
+
+impl SmStage {
+    pub fn new(channels: usize) -> Self {
+        Self {
+            reqs: Vec::new(),
+            writes: Vec::new(),
+            free: vec![0; channels],
+        }
+    }
+
+    /// Resets the stage for a new cycle against the given cycle-start
+    /// free-slot snapshot (one entry per request-NoC channel).
+    pub fn begin_cycle(&mut self, free0: &[usize]) {
+        self.reqs.clear();
+        self.writes.clear();
+        self.free.clear();
+        self.free.extend_from_slice(free0);
+    }
+
+    /// Free request-NoC slots on `ch` as this SM sees them.
+    pub fn free(&self, ch: usize) -> usize {
+        self.free[ch]
+    }
+
+    /// Stages a request on `ch`, consuming one reserved slot.
+    pub fn push_req(&mut self, ch: usize, req: SliceReq) {
+        debug_assert!(self.free[ch] > 0, "staging past the reserved snapshot");
+        self.free[ch] -= 1;
+        self.reqs.push((ch, req));
+    }
+
+    /// Stages functional store writes for the phase-B commit.
+    pub fn stage_writes(&mut self, writes: &[(u64, f32)]) {
+        self.writes.extend_from_slice(writes);
+    }
+}
+
+/// Context an SM needs while ticking (phase A of the phased tick). The
+/// image is shared read-only across concurrently ticking SMs; all side
+/// effects go through `stage`.
 pub(crate) struct SmCtx<'a> {
-    pub now: u64,
-    pub image: &'a mut MemoryImage,
+    pub image: &'a MemoryImage,
     pub map: &'a AddressMap,
     pub kernel: &'a dyn Kernel,
-    /// Request queues toward each L2 slice (indexed by channel).
-    pub req_noc: &'a mut [DelayQueue<SliceReq>],
+    /// This SM's staging area for the cycle.
+    pub stage: &'a mut SmStage,
 }
 
 /// Visits the set bits of `mask` in rotated index order — `start..128`, then
@@ -355,7 +415,10 @@ impl Sm {
                 slot.wait.approx.push((reply.line, vals));
             }
             if slot.wait.pending.is_empty() {
-                Self::complete_load(slot, image, &mut self.approximated_loads);
+                // Replies are delivered before the SM ticks, so no writes
+                // of this cycle are staged yet — the plain image is the
+                // coherent view.
+                Self::complete_load(slot, &OverlayView::new(image, &[]), &mut self.approximated_loads);
                 self.refresh_masks(idx);
             }
         }
@@ -363,7 +426,7 @@ impl Sm {
         self.waiter_pool.push(waiters);
     }
 
-    fn complete_load(slot: &mut WarpSlot, image: &MemoryImage, approx_ctr: &mut u64) {
+    fn complete_load(slot: &mut WarpSlot, view: &OverlayView<'_>, approx_ctr: &mut u64) {
         debug_assert!(
             matches!(slot.state, WarpState::Waiting),
             "complete_load on non-waiting warp"
@@ -372,7 +435,7 @@ impl Sm {
         if wait.approx.is_empty() {
             // Exact load: one line resolution per coalesced line, refilling
             // the slot's buffer in place.
-            image.read_lanes_into(&wait.lane_addrs, last_loaded);
+            view.read_lanes_into(&wait.lane_addrs, last_loaded);
         } else {
             // Every approximated line covers at least one lane (pending
             // lines come from the lane coalescing), so reaching this branch
@@ -383,7 +446,7 @@ impl Sm {
                 let line = addr & !127;
                 match wait.approx.iter().find(|(l, _)| *l == line) {
                     Some((_, vals)) => last_loaded.push(vals[((addr % 128) / 4) as usize]),
-                    None => last_loaded.push(image.read_f32(addr)),
+                    None => last_loaded.push(view.read_f32(addr)),
                 }
             }
             *approx_ctr += 1;
@@ -565,8 +628,9 @@ impl Sm {
         let WarpSlot { state, wait, last_loaded, .. } = &mut self.slots[idx];
         if wait.pending.is_empty() {
             // Pure L1 hit: values available for the next issue of this warp,
-            // assembled line-at-a-time into the slot's reusable buffer.
-            ctx.image.read_lanes_into(addrs, last_loaded);
+            // assembled line-at-a-time into the slot's reusable buffer. The
+            // overlay makes stores staged earlier this cycle visible.
+            OverlayView::new(ctx.image, &ctx.stage.writes).read_lanes_into(addrs, last_loaded);
             *state = WarpState::Ready;
         } else {
             wait.lane_addrs.clear();
@@ -602,19 +666,17 @@ impl Sm {
             } else if let Some(waiters) = self.mshr.get_mut(&l) {
                 waiters.push(idx);
             } else if self.mshr.len() < self.mshr_capacity
-                && !ctx.req_noc[ctx.map.channel_of(l)].is_full()
+                && ctx.stage.free(ctx.map.channel_of(l)) > 0
             {
-                ctx.req_noc[ctx.map.channel_of(l)]
-                    .push(
-                        ctx.now,
-                        SliceReq {
-                            sm: self.id,
-                            line: l,
-                            write: false,
-                            approximable: ctx.kernel.approximable(l),
-                        },
-                    )
-                    .expect("fullness checked");
+                ctx.stage.push_req(
+                    ctx.map.channel_of(l),
+                    SliceReq {
+                        sm: self.id,
+                        line: l,
+                        write: false,
+                        approximable: ctx.kernel.approximable(l),
+                    },
+                );
                 let mut waiters = self.waiter_pool.pop().unwrap_or_default();
                 waiters.push(idx);
                 self.mshr.insert(l, waiters);
@@ -624,7 +686,7 @@ impl Sm {
             }
         }
         unsent.truncate(still_len);
-        let image = &*ctx.image;
+        let view = OverlayView::new(ctx.image, &ctx.stage.writes);
         let slot = &mut self.slots[idx];
         let wait = &mut slot.wait;
         wait.unsent = unsent;
@@ -634,7 +696,7 @@ impl Sm {
             }
         }
         if wait.pending.is_empty() {
-            Self::complete_load(slot, image, &mut self.approximated_loads);
+            Self::complete_load(slot, &view, &mut self.approximated_loads);
         }
     }
 
@@ -668,31 +730,30 @@ impl Sm {
     fn commit_store(&mut self, idx: usize, ctx: &mut SmCtx<'_>) -> bool {
         let sm_id = self.id;
         let slot = &mut self.slots[idx];
-        // Structural check before any side effect.
+        // Structural check before any side effect, against this SM's view
+        // of the cycle-start occupancy snapshot.
         if slot
             .store
             .per_slice
             .iter()
-            .any(|&(slice, count)| ctx.req_noc[slice].free() < count)
+            .any(|&(slice, count)| ctx.stage.free(slice) < count)
         {
             slot.store_parked = true;
             return false;
         }
         slot.store_parked = false;
         let store = &slot.store;
-        ctx.image.write_lanes(&store.writes);
+        ctx.stage.stage_writes(&store.writes);
         for &l in &store.lines {
-            ctx.req_noc[ctx.map.channel_of(l)]
-                .push(
-                    ctx.now,
-                    SliceReq {
-                        sm: sm_id,
-                        line: l,
-                        write: true,
-                        approximable: false,
-                    },
-                )
-                .expect("capacity checked above");
+            ctx.stage.push_req(
+                ctx.map.channel_of(l),
+                SliceReq {
+                    sm: sm_id,
+                    line: l,
+                    write: true,
+                    approximable: false,
+                },
+            );
         }
         self.instructions += store.writes.len().div_ceil(32) as u64;
         // Write-through: the warp does not wait for stores.
@@ -963,18 +1024,43 @@ mod tests {
         (sm, image, map, kernel, noc)
     }
 
+    /// One phased cycle for a single SM: tick against a stage, then commit
+    /// the staged writes and requests the way phase B of the master loop
+    /// does.
+    fn run_cycle(
+        sm: &mut Sm,
+        now: u64,
+        image: &mut MemoryImage,
+        map: &AddressMap,
+        kernel: &dyn Kernel,
+        noc: &mut [DelayQueue<SliceReq>],
+    ) {
+        let free0: Vec<usize> = noc.iter().map(|q| q.free()).collect();
+        let mut stage = SmStage::new(noc.len());
+        stage.begin_cycle(&free0);
+        {
+            let mut ctx = SmCtx { image, map, kernel, stage: &mut stage };
+            sm.tick(&mut ctx);
+        }
+        if !stage.writes.is_empty() {
+            image.write_lanes(&stage.writes);
+        }
+        for &(ch, req) in &stage.reqs {
+            noc[ch].push_unchecked(now, req);
+        }
+    }
+
     #[test]
     fn load_coalesces_and_blocks_warp() {
         let (mut sm, mut image, map, kernel, mut noc) = setup();
         sm.dispatch(0, kernel.program(0));
-        let mut ctx = SmCtx { now: 1, image: &mut image, map: &map, kernel: &kernel, req_noc: &mut noc };
-        sm.tick(&mut ctx);
+        run_cycle(&mut sm, 1, &mut image, &map, &kernel, &mut noc);
         // 32 floats = 128 B = 1 line → 1 request on its home slice.
-        let total: usize = ctx.req_noc.iter().map(|q| q.len()).sum();
+        let total: usize = noc.iter().map(|q| q.len()).sum();
         assert_eq!(total, 1);
         assert_eq!(sm.instructions, 1);
         // Warp is blocked: nothing more issues.
-        sm.tick(&mut ctx);
+        run_cycle(&mut sm, 2, &mut image, &map, &kernel, &mut noc);
         assert_eq!(sm.instructions, 1);
     }
 
@@ -983,16 +1069,10 @@ mod tests {
         let (mut sm, mut image, map, kernel, mut noc) = setup();
         let base = kernel.base;
         sm.dispatch(0, kernel.program(0));
-        {
-            let mut ctx = SmCtx { now: 1, image: &mut image, map: &map, kernel: &kernel, req_noc: &mut noc };
-            sm.tick(&mut ctx);
-        }
+        run_cycle(&mut sm, 1, &mut image, &map, &kernel, &mut noc);
         sm.on_reply(Reply { line: base, values: None }, &image);
-        {
-            let mut ctx = SmCtx { now: 2, image: &mut image, map: &map, kernel: &kernel, req_noc: &mut noc };
-            sm.tick(&mut ctx); // store issues
-            sm.tick(&mut ctx); // finish
-        }
+        run_cycle(&mut sm, 2, &mut image, &map, &kernel, &mut noc); // store issues
+        run_cycle(&mut sm, 3, &mut image, &map, &kernel, &mut noc); // finish
         assert_eq!(image.read_f32(base + 128 + 4), 2.0);
         assert_eq!(sm.live_warps(), 0);
         assert_eq!(sm.approximated_loads, 0);
@@ -1005,16 +1085,10 @@ mod tests {
         let (mut sm, mut image, map, kernel, mut noc) = setup();
         let base = kernel.base;
         sm.dispatch(0, kernel.program(0));
-        {
-            let mut ctx = SmCtx { now: 1, image: &mut image, map: &map, kernel: &kernel, req_noc: &mut noc };
-            sm.tick(&mut ctx);
-        }
+        run_cycle(&mut sm, 1, &mut image, &map, &kernel, &mut noc);
         sm.on_reply(Reply { line: base, values: Some([7.0; 32]) }, &image);
-        {
-            let mut ctx = SmCtx { now: 2, image: &mut image, map: &map, kernel: &kernel, req_noc: &mut noc };
-            sm.tick(&mut ctx);
-            sm.tick(&mut ctx);
-        }
+        run_cycle(&mut sm, 2, &mut image, &map, &kernel, &mut noc);
+        run_cycle(&mut sm, 3, &mut image, &map, &kernel, &mut noc);
         // Stored values come from the prediction, not the image.
         assert_eq!(image.read_f32(base + 128), 14.0);
         assert_eq!(sm.approximated_loads, 1);
@@ -1057,15 +1131,14 @@ mod tests {
             (0..6).map(|_| DelayQueue::new(0, 64, 8)).collect();
         sm.dispatch(0, kernel.program(0));
         sm.dispatch(1, kernel.program(1));
-        let mut ctx = SmCtx { now: 1, image: &mut image, map: &map, kernel: &kernel, req_noc: &mut noc };
-        sm.tick(&mut ctx); // both warps issue their load (issue_width = 2)
-        let total: usize = ctx.req_noc.iter().map(|q| q.len()).sum();
+        run_cycle(&mut sm, 1, &mut image, &map, &kernel, &mut noc);
+        // Both warps issue their load (issue_width = 2).
+        let total: usize = noc.iter().map(|q| q.len()).sum();
         assert_eq!(total, 1, "second warp's identical line must merge");
         let base = kernel.inner.base;
         sm.on_reply(Reply { line: base, values: None }, &image);
-        let mut ctx = SmCtx { now: 2, image: &mut image, map: &map, kernel: &kernel, req_noc: &mut noc };
-        sm.tick(&mut ctx);
-        sm.tick(&mut ctx);
+        run_cycle(&mut sm, 2, &mut image, &map, &kernel, &mut noc);
+        run_cycle(&mut sm, 3, &mut image, &map, &kernel, &mut noc);
         assert_eq!(sm.live_warps(), 0, "both warps must complete");
     }
 
@@ -1080,18 +1153,16 @@ mod tests {
             q.push(0, SliceReq { sm: 9, line: 0, write: false, approximable: false }).unwrap();
         }
         sm.dispatch(0, kernel.program(0));
-        let mut ctx = SmCtx { now: 1, image: &mut image, map: &map, kernel: &kernel, req_noc: &mut noc };
-        sm.tick(&mut ctx);
+        run_cycle(&mut sm, 1, &mut image, &map, &kernel, &mut noc);
         // The load issues (instruction retired) but its miss request cannot
         // leave yet: no MSHR is allocated, the line sits in `unsent`.
         assert_eq!(sm.instructions, 1, "load issues despite backpressure");
         assert!(sm.mshr.is_empty(), "no MSHR allocated while the NoC is full");
         // Free the queue; the deferred request drains on a later tick.
-        for q in ctx.req_noc.iter_mut() {
+        for q in noc.iter_mut() {
             let _ = q.pop_ready(1);
         }
-        ctx.now = 2;
-        sm.tick(&mut ctx);
+        run_cycle(&mut sm, 2, &mut image, &map, &kernel, &mut noc);
         assert_eq!(sm.mshr.len(), 1, "deferred miss sent once space freed");
         assert!(sm.mshr.contains_key(&base));
     }

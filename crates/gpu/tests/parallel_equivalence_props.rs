@@ -1,0 +1,139 @@
+//! Property test: the phased parallel tick is result-invisible — any
+//! `LAZYDRAM_CORES` width produces the same outputs, statistics, DRAM
+//! traces, and checkpoint digests as the single-core walk.
+//!
+//! The phased tick (DESIGN.md §12) is the *semantics* at every width;
+//! `cores` only selects how many worker threads execute the independent
+//! shards. These properties pin that claim down on randomly generated
+//! synthetic kernels, randomly drawn scheduler configurations, and random
+//! pause points, including cross-width checkpoint/resume round-trips
+//! (pause at cores=N, resume at cores=1, and vice versa).
+//!
+//! On hosts where `available_parallelism() == 1` the pool degrades to the
+//! inline path regardless of `cores`; `tests/pool_threads.rs` forces real
+//! worker threads via `LAZYDRAM_POOL_OVERSUBSCRIBE` in its own process.
+
+mod synth;
+
+use lazydram_common::GpuConfig;
+use lazydram_gpu::{RunOutcome, SimLimits, Simulator};
+use proptest::prelude::*;
+use synth::{scheme, SynthKernel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn parallel_tick_matches_single_core(
+        warps in 1usize..25,
+        rounds in 1u32..6,
+        stride in 1u64..97,
+        compute in 0u32..9,
+        pick in 0u8..6,
+        dms_delay in 1u32..2049,
+        ams_th in 0u32..16,
+        cores in 2usize..5,
+        skip in proptest::arbitrary::any::<bool>(),
+    ) {
+        let sched = scheme(pick, dms_delay, ams_th);
+        let limits = SimLimits {
+            max_core_cycles: 2_000_000,
+        };
+        let build = || SynthKernel {
+            warps,
+            rounds,
+            stride,
+            compute,
+            words: 2048,
+            approx: pick >= 3,
+            base: 0,
+        };
+        let run = |cores: usize| {
+            let mut kernel = build();
+            Simulator::new(GpuConfig::default(), sched.clone())
+                .with_limits(limits)
+                .with_trace_capture(true)
+                .with_cycle_skipping(skip)
+                .with_cores(cores)
+                .run(&mut kernel)
+        };
+        let one = run(1);
+        let many = run(cores);
+        prop_assert_eq!(one.hit_cycle_limit, many.hit_cycle_limit);
+        prop_assert_eq!(&one.output, &many.output);
+        prop_assert!(one.trace == many.trace, "DRAM traces differ");
+        prop_assert!(
+            one.stats == many.stats,
+            "stats differ:\none:  {:?}\nmany: {:?}",
+            one.stats,
+            many.stats
+        );
+    }
+
+    #[test]
+    fn checkpoints_are_identical_and_portable_across_cores(
+        warps in 1usize..25,
+        rounds in 1u32..6,
+        stride in 1u64..97,
+        pick in 0u8..6,
+        cores in 2usize..5,
+        frac in 1u64..4,
+    ) {
+        let sched = scheme(pick, 700, 4);
+        let limits = SimLimits {
+            max_core_cycles: 2_000_000,
+        };
+        let build = || SynthKernel {
+            warps,
+            rounds,
+            stride,
+            compute: 2,
+            words: 2048,
+            approx: pick >= 3,
+            base: 0,
+        };
+        let sim = |cores: usize| {
+            Simulator::new(GpuConfig::default(), sched.clone())
+                .with_limits(limits)
+                .with_cores(cores)
+        };
+
+        // Uninterrupted single-core run fixes the ground truth.
+        let full = sim(1).run(&mut build());
+        let pause_at = (full.stats.core_cycles * frac / 4).max(1);
+
+        let o1 = sim(1).run_until(&mut build(), pause_at);
+        let on = sim(cores).run_until(&mut build(), pause_at);
+        if let (RunOutcome::Paused(ck1), RunOutcome::Paused(ckn)) = (&o1, &on) {
+            // The serialized machine state must not depend on the width
+            // that produced it.
+            prop_assert_eq!(ck1.digest(), ckn.digest(), "checkpoint digests differ");
+
+            // Cross-width resume: cores=N checkpoint finishes at cores=1
+            // (and vice versa) exactly as the uninterrupted run did.
+            for (ck, resume_cores) in [(ckn, 1usize), (ck1, cores)] {
+                let mut kernel = build();
+                let resumed = sim(resume_cores)
+                    .resume(&mut kernel, ck)
+                    .expect("checkpoint from the same build must restore");
+                prop_assert_eq!(&resumed.output, &full.output);
+                prop_assert_eq!(resumed.hit_cycle_limit, full.hit_cycle_limit);
+                prop_assert!(
+                    resumed.stats == full.stats,
+                    "resumed stats differ:\nresumed: {:?}\nfull:    {:?}",
+                    resumed.stats,
+                    full.stats
+                );
+            }
+        } else {
+            // The run finished before the pause point (tiny kernel); both
+            // widths must at least agree on the completed result.
+            let (RunOutcome::Done(r1), RunOutcome::Done(rn)) = (o1, on) else {
+                return Err(TestCaseError::fail(
+                    "one width paused while the other finished",
+                ));
+            };
+            prop_assert_eq!(&r1.output, &rn.output);
+            prop_assert!(r1.stats == rn.stats, "stats differ");
+        }
+    }
+}

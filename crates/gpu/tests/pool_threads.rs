@@ -1,0 +1,67 @@
+//! Bit-identity with *real* worker threads.
+//!
+//! `WorkerPool` caps its thread count at `available_parallelism() - 1`, so on
+//! a single-CPU host every `cores` value degrades to the inline path and the
+//! other equivalence suites never exercise cross-thread staging. This binary
+//! sets `LAZYDRAM_POOL_OVERSUBSCRIBE=1` — in its own process, before any pool
+//! is constructed, so the `OnceLock` caches the override — to force genuine
+//! worker threads and re-check the cores=1 vs cores=4 equivalence through
+//! them.
+//!
+//! Keep this file a single `#[test]`: the env var is process-global.
+
+use lazydram_common::{GpuConfig, SimStats};
+use lazydram_gpu::{SimLimits, Simulator, Trace, WorkerPool};
+
+mod synth;
+
+use synth::{scheme, SynthKernel};
+
+fn run(cores: usize, pick: u8) -> (Vec<f32>, SimStats, Option<Trace>) {
+    let mut kernel = SynthKernel {
+        warps: 24,
+        rounds: 4,
+        stride: 13,
+        compute: 3,
+        words: 2048,
+        approx: pick >= 3,
+        base: 0,
+    };
+    let r = Simulator::new(GpuConfig::default(), scheme(pick, 700, 4))
+        .with_limits(SimLimits {
+            max_core_cycles: 2_000_000,
+        })
+        .with_trace_capture(true)
+        .with_cores(cores)
+        .run(&mut kernel);
+    assert!(!r.hit_cycle_limit, "synthetic kernel must finish");
+    (r.output, r.stats, r.trace)
+}
+
+#[test]
+fn real_worker_threads_are_bit_identical() {
+    std::env::set_var("LAZYDRAM_POOL_OVERSUBSCRIBE", "1");
+
+    // Guard the premise: with the override in place the pool must spawn
+    // genuine workers even on a single-CPU host, or this test silently
+    // collapses into the inline path the other suites already cover.
+    {
+        let mut pool = WorkerPool::new(4);
+        assert_eq!(pool.workers(), 3, "oversubscribe override not in effect");
+        pool.shutdown();
+    }
+
+    for pick in [0u8, 2, 5] {
+        let (out1, stats1, trace1) = run(1, pick);
+        let (out4, stats4, trace4) = run(4, pick);
+        assert_eq!(out1, out4, "outputs diverge with real threads (pick={pick})");
+        assert!(
+            stats1 == stats4,
+            "stats diverge with real threads (pick={pick}):\ncores=1: {stats1:?}\ncores=4: {stats4:?}"
+        );
+        assert!(
+            trace1 == trace4,
+            "DRAM traces diverge with real threads (pick={pick})"
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Shared synthetic kernel for the equivalence test binaries
+//! (`parallel_equivalence_props`, `pool_threads`). Mirrors the one in
+//! `fast_forward_props.rs`: `rounds` iterations of compute → strided load →
+//! store per warp, parameters drawn by the caller, data from a fixed ramp —
+//! so every execution mode under comparison sees identical work.
+
+use lazydram_common::{AmsMode, DmsMode, SchedConfig};
+use lazydram_gpu::{Kernel, Loader, MemoryImage, OpBuf, Saver, SnapResult, WarpProgram};
+
+/// One warp: `rounds` iterations of compute → strided load → store.
+pub struct SynthProgram {
+    warp_id: u64,
+    base: u64,
+    words: u64,
+    rounds: u32,
+    round: u32,
+    stride: u64,
+    compute: u32,
+    phase: u8,
+    acc: f32,
+}
+
+impl SynthProgram {
+    fn lane_addr(&self, lane: u64) -> u64 {
+        let idx = (self.warp_id * 131 + u64::from(self.round) * self.stride + lane * 7) % self.words;
+        self.base + idx * 4
+    }
+}
+
+impl WarpProgram for SynthProgram {
+    fn next(&mut self, loaded: &[f32], out: &mut OpBuf) {
+        self.acc += loaded.iter().sum::<f32>();
+        if self.round >= self.rounds {
+            out.set_finished();
+            return;
+        }
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                if self.compute == 0 {
+                    self.next(&[], out);
+                    return;
+                }
+                out.set_compute(self.compute);
+            }
+            1 => {
+                self.phase = 2;
+                out.begin_load()
+                    .extend((0..8).map(|lane| self.lane_addr(lane)));
+            }
+            _ => {
+                self.phase = 0;
+                let round = u64::from(self.round);
+                self.round += 1;
+                let addr = self.base + ((self.warp_id * 17 + round) % self.words) * 4;
+                out.begin_store().push((addr, self.acc + round as f32));
+            }
+        }
+    }
+
+    fn save_state(&self, s: &mut Saver) {
+        s.u32("round", self.round);
+        s.u8("phase", self.phase);
+        s.f32("acc", self.acc);
+    }
+
+    fn load_state(&mut self, l: &mut Loader<'_>) -> SnapResult<()> {
+        self.round = l.u32("round")?;
+        self.phase = l.u8("phase")?;
+        self.acc = l.f32("acc")?;
+        Ok(())
+    }
+}
+
+/// Random-but-deterministic kernel over a fixed data ramp.
+pub struct SynthKernel {
+    pub warps: usize,
+    pub rounds: u32,
+    pub stride: u64,
+    pub compute: u32,
+    pub words: u64,
+    pub approx: bool,
+    pub base: u64,
+}
+
+impl Kernel for SynthKernel {
+    fn name(&self) -> &str {
+        "synthetic"
+    }
+
+    fn setup(&mut self, mem: &mut MemoryImage) {
+        self.base = mem.alloc(self.words as usize);
+        for i in 0..self.words {
+            mem.write_f32(self.base + i * 4, (i % 97) as f32 * 0.5 - 3.0);
+        }
+    }
+
+    fn total_warps(&self) -> usize {
+        self.warps
+    }
+
+    fn program(&self, warp_id: usize) -> Box<dyn WarpProgram> {
+        Box::new(SynthProgram {
+            warp_id: warp_id as u64,
+            base: self.base,
+            words: self.words,
+            rounds: self.rounds,
+            round: 0,
+            stride: self.stride,
+            compute: self.compute,
+            phase: 0,
+            acc: 0.0,
+        })
+    }
+
+    fn approximable(&self, _addr: u64) -> bool {
+        self.approx
+    }
+
+    fn output(&self, mem: &MemoryImage) -> Vec<f32> {
+        mem.read_slice(self.base, self.words.min(128) as usize)
+    }
+}
+
+/// One of six scheduler shapes (baseline, static/dynamic DMS and AMS, both).
+pub fn scheme(pick: u8, dms_delay: u32, ams_th: u32) -> SchedConfig {
+    let mut s = SchedConfig::default();
+    match pick % 6 {
+        0 => {}
+        1 => s.dms = DmsMode::Static(dms_delay),
+        2 => s.dms = DmsMode::paper_dynamic(),
+        3 => s.ams = AmsMode::Static(ams_th.max(1)),
+        4 => s.ams = AmsMode::paper_dynamic(),
+        _ => {
+            s.dms = DmsMode::Static(dms_delay);
+            s.ams = AmsMode::Static(ams_th.max(1));
+        }
+    }
+    s
+}

@@ -217,6 +217,7 @@ pub struct SimBuilder {
     limits: SimLimits,
     trace: bool,
     skip: Option<bool>,
+    cores: Option<usize>,
     checkpoints: Option<CheckpointPolicy>,
 }
 
@@ -234,6 +235,7 @@ impl SimBuilder {
             limits: SimLimits::default(),
             trace: false,
             skip: None,
+            cores: None,
             checkpoints: None,
         }
     }
@@ -281,6 +283,16 @@ impl SimBuilder {
     /// `LAZYDRAM_NO_SKIP` is set).
     pub fn cycle_skipping(mut self, enabled: bool) -> Self {
         self.skip = Some(enabled);
+        self
+    }
+
+    /// Overrides the phased tick's thread budget (default:
+    /// `LAZYDRAM_CORES`, itself defaulting to 1). Results are bit-identical
+    /// at every value, so — like `cycle_skipping` — the setting is excluded
+    /// from the checkpoint filename tag: a sweep resumed at a different
+    /// width picks up its parked checkpoints.
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.cores = Some(cores);
         self
     }
 
@@ -336,6 +348,9 @@ impl SimBuilder {
             .with_trace_capture(self.trace);
         if let Some(skip) = self.skip {
             sim = sim.with_cycle_skipping(skip);
+        }
+        if let Some(cores) = self.cores {
+            sim = sim.with_cores(cores);
         }
         SimRun {
             app: self.app,

@@ -13,11 +13,20 @@
 use crate::programs::{MatVecConfig, MatVecOrientation, MatVecProgram, MatmulConfig, MatmulProgram, LANES};
 use crate::util::Region;
 use lazydram_gpu::{Kernel, MemoryImage, WarpProgram};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock};
 
 /// Shared base-address cell between dependent launches of one app.
-pub(crate) type Shared<T> = Rc<RefCell<T>>;
+///
+/// An `RwLock`, not a `RefCell`: [`Kernel`] is `Sync` so the phased tick
+/// can query `approximable` from worker threads concurrently. Writes happen
+/// only in `setup`, strictly before any cycle of that launch ticks, so the
+/// read lock in the hot path is never contended by a writer.
+pub(crate) type Shared<T> = Arc<RwLock<T>>;
+
+/// Builds a [`Shared`] cell.
+pub(crate) fn shared<T>(v: T) -> Shared<T> {
+    Arc::new(RwLock::new(v))
+}
 
 // ---------------------------------------------------------------------------
 // GEMM
@@ -58,7 +67,7 @@ impl Gemm {
             n,
             name: "GEMM",
             range: (-1.0, 1.0),
-            st: Rc::new(RefCell::new(GemmArrays::default())),
+            st: shared(GemmArrays::default()),
             allocates: true,
             seed: 0xA11CE,
         }
@@ -94,7 +103,7 @@ impl Kernel for Gemm {
             let a = Region::alloc_smooth(mem, n2, self.seed, lo, hi);
             let b = Region::alloc_smooth(mem, n2, self.seed + 1, lo, hi);
             let c = Region::alloc(mem, n2);
-            *self.st.borrow_mut() = GemmArrays { a, b, c };
+            *self.st.write().unwrap() = GemmArrays { a, b, c };
         }
     }
 
@@ -103,7 +112,7 @@ impl Kernel for Gemm {
     }
 
     fn program(&self, warp_id: usize) -> Box<dyn WarpProgram> {
-        let st = self.st.borrow();
+        let st = self.st.read().unwrap();
         Box::new(MatmulProgram::new(
             warp_id,
             MatmulConfig {
@@ -117,12 +126,12 @@ impl Kernel for Gemm {
     }
 
     fn approximable(&self, addr: u64) -> bool {
-        let st = self.st.borrow();
+        let st = self.st.read().unwrap();
         st.a.contains(addr) || st.b.contains(addr)
     }
 
     fn output(&self, mem: &MemoryImage) -> Vec<f32> {
-        self.st.borrow().c.read(mem)
+        self.st.read().unwrap().c.read(mem)
     }
 }
 
@@ -130,8 +139,8 @@ impl Kernel for Gemm {
 pub fn two_mm(n: usize) -> Vec<Box<dyn Kernel>> {
     // Launch 1 allocates A, B and writes D; launch 2 allocates C lazily by
     // reusing the fresh-allocation path with its own cell, then rewires.
-    let st1: Shared<GemmArrays> = Rc::new(RefCell::new(GemmArrays::default()));
-    let st2: Shared<GemmArrays> = Rc::new(RefCell::new(GemmArrays::default()));
+    let st1: Shared<GemmArrays> = shared(GemmArrays::default());
+    let st2: Shared<GemmArrays> = shared(GemmArrays::default());
     struct Wire {
         inner: Gemm,
         from: Shared<GemmArrays>,
@@ -145,11 +154,11 @@ pub fn two_mm(n: usize) -> Vec<Box<dyn Kernel>> {
         fn setup(&mut self, mem: &mut MemoryImage) {
             // D (the previous product) becomes this launch's A; allocate a
             // fresh right operand and output.
-            let d = self.from.borrow().c;
+            let d = self.from.read().unwrap().c;
             let n2 = self.n * self.n;
             let c = Region::alloc_smooth(mem, n2, self.seed, -1.0, 1.0);
             let e = Region::alloc(mem, n2);
-            *self.inner.st.borrow_mut() = GemmArrays { a: d, b: c, c: e };
+            *self.inner.st.write().unwrap() = GemmArrays { a: d, b: c, c: e };
         }
         fn total_warps(&self) -> usize {
             self.inner.total_warps()
@@ -177,9 +186,9 @@ pub fn two_mm(n: usize) -> Vec<Box<dyn Kernel>> {
 
 /// Builds the 3MM app: `E = A × B`, `F = C × D`, `G = E × F`.
 pub fn three_mm(n: usize) -> Vec<Box<dyn Kernel>> {
-    let st1: Shared<GemmArrays> = Rc::new(RefCell::new(GemmArrays::default()));
-    let st2: Shared<GemmArrays> = Rc::new(RefCell::new(GemmArrays::default()));
-    let st3: Shared<GemmArrays> = Rc::new(RefCell::new(GemmArrays::default()));
+    let st1: Shared<GemmArrays> = shared(GemmArrays::default());
+    let st2: Shared<GemmArrays> = shared(GemmArrays::default());
+    let st3: Shared<GemmArrays> = shared(GemmArrays::default());
     struct Join {
         inner: Gemm,
         left: Shared<GemmArrays>,
@@ -191,10 +200,10 @@ pub fn three_mm(n: usize) -> Vec<Box<dyn Kernel>> {
             self.inner.name()
         }
         fn setup(&mut self, mem: &mut MemoryImage) {
-            let e = self.left.borrow().c;
-            let f = self.right.borrow().c;
+            let e = self.left.read().unwrap().c;
+            let f = self.right.read().unwrap().c;
             let g = Region::alloc(mem, self.n * self.n);
-            *self.inner.st.borrow_mut() = GemmArrays { a: e, b: f, c: g };
+            *self.inner.st.write().unwrap() = GemmArrays { a: e, b: f, c: g };
         }
         fn total_warps(&self) -> usize {
             self.inner.total_warps()
@@ -265,7 +274,7 @@ impl Kernel for MvLaunch {
             let x2 = Region::alloc_smooth(mem, n, self.seed + 2, lo, hi);
             let y1 = Region::alloc(mem, n);
             let y2 = Region::alloc(mem, n);
-            *self.st.borrow_mut() = MvArrays { a, x1, x2, y1, y2 };
+            *self.st.write().unwrap() = MvArrays { a, x1, x2, y1, y2 };
         }
     }
 
@@ -274,7 +283,7 @@ impl Kernel for MvLaunch {
     }
 
     fn program(&self, warp_id: usize) -> Box<dyn WarpProgram> {
-        let st = self.st.borrow();
+        let st = self.st.read().unwrap();
         let (x, y) = if self.second { (st.x2, st.y2) } else { (st.x1, st.y1) };
         Box::new(MatVecProgram::new(
             warp_id,
@@ -290,12 +299,12 @@ impl Kernel for MvLaunch {
     }
 
     fn approximable(&self, addr: u64) -> bool {
-        let st = self.st.borrow();
+        let st = self.st.read().unwrap();
         st.a.contains(addr) || st.x1.contains(addr) || st.x2.contains(addr)
     }
 
     fn output(&self, mem: &MemoryImage) -> Vec<f32> {
-        let st = self.st.borrow();
+        let st = self.st.read().unwrap();
         if self.concat_output {
             let mut out = st.y1.read(mem);
             out.extend(st.y2.read(mem));
@@ -309,7 +318,7 @@ impl Kernel for MvLaunch {
 /// Builds MVT: `y1 = A·x1` (row-thrashing) then `y2 = Aᵀ·x2` (coalesced);
 /// output is the concatenation of both vectors.
 pub fn mvt(n: usize) -> Vec<Box<dyn Kernel>> {
-    let st: Shared<MvArrays> = Rc::new(RefCell::new(MvArrays::default()));
+    let st: Shared<MvArrays> = shared(MvArrays::default());
     vec![
         Box::new(MvLaunch {
             name: "MVT",
@@ -338,7 +347,7 @@ pub fn mvt(n: usize) -> Vec<Box<dyn Kernel>> {
 
 /// Builds ATAX: `tmp = A·x` then `y = Aᵀ·tmp`.
 pub fn atax(n: usize) -> Vec<Box<dyn Kernel>> {
-    let st: Shared<MvArrays> = Rc::new(RefCell::new(MvArrays::default()));
+    let st: Shared<MvArrays> = shared(MvArrays::default());
     struct Second {
         inner: MvLaunch,
     }
@@ -348,7 +357,7 @@ pub fn atax(n: usize) -> Vec<Box<dyn Kernel>> {
         }
         fn setup(&mut self, mem: &mut MemoryImage) {
             // Second pass reads the first pass's output: x2 := y1.
-            let mut st = self.inner.st.borrow_mut();
+            let mut st = self.inner.st.write().unwrap();
             st.x2 = st.y1;
             drop(st);
             self.inner.setup(mem);
@@ -396,7 +405,7 @@ pub fn atax(n: usize) -> Vec<Box<dyn Kernel>> {
 
 /// Builds BICG: `q = A·p` and `s = Aᵀ·r`; output is the concatenation.
 pub fn bicg(n: usize) -> Vec<Box<dyn Kernel>> {
-    let st: Shared<MvArrays> = Rc::new(RefCell::new(MvArrays::default()));
+    let st: Shared<MvArrays> = shared(MvArrays::default());
     vec![
         Box::new(MvLaunch {
             name: "BICG",
@@ -435,7 +444,7 @@ mod tests {
         let mut g = Gemm::new(n);
         let (out, img) = run_functional(&mut g);
         assert_eq!(out.len(), n * n);
-        let st = g.st.borrow();
+        let st = g.st.read().unwrap();
         let a = st.a.read(&img);
         let b = st.b.read(&img);
         for (i, j) in [(0usize, 0usize), (13, 57), (63, 63)] {
@@ -448,7 +457,7 @@ mod tests {
     fn gemm_annotates_inputs_not_output() {
         let mut g = Gemm::new(32);
         let (_, _) = run_functional(&mut g);
-        let st = *g.st.borrow();
+        let st = *g.st.read().unwrap();
         assert!(g.approximable(st.a.base));
         assert!(g.approximable(st.b.base + 64));
         assert!(!g.approximable(st.c.base));

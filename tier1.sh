@@ -75,6 +75,22 @@ fi
 ls "$CKPT_TMP/traces"/*.trace > /dev/null
 echo "captured + replayed sweeps byte-identical; replay cells present"
 
+echo "== tier1: multi-core determinism smoke =="
+# The phased parallel tick must be result-invisible: the same fig04/SCP
+# sweep at LAZYDRAM_CORES=1 and LAZYDRAM_CORES=4 must produce byte-identical
+# stdout and JSONL. (On a 1-CPU host cores=4 degrades to the inline path —
+# the same phased code, minus threads; tests/pool_threads.rs covers real
+# workers. On a multi-core host this exercises genuine cross-thread staging.)
+LAZYDRAM_APPS=SCP LAZYDRAM_SCALE=0.05 LAZYDRAM_QUIET=1 LAZYDRAM_CORES=1 \
+LAZYDRAM_RESULTS="$CKPT_TMP/cores1.jsonl" \
+    cargo bench -q -p lazydram-bench --bench fig04_delay_sweep > "$CKPT_TMP/cores1.out"
+LAZYDRAM_APPS=SCP LAZYDRAM_SCALE=0.05 LAZYDRAM_QUIET=1 LAZYDRAM_CORES=4 \
+LAZYDRAM_RESULTS="$CKPT_TMP/cores4.jsonl" \
+    cargo bench -q -p lazydram-bench --bench fig04_delay_sweep > "$CKPT_TMP/cores4.out"
+cmp "$CKPT_TMP/cores1.jsonl" "$CKPT_TMP/cores4.jsonl"
+cmp "$CKPT_TMP/cores1.out" "$CKPT_TMP/cores4.out"
+echo "cores=1 and cores=4 sweeps byte-identical (stdout + JSONL)"
+
 echo "== tier1: divergence-bisection smoke =="
 # The bisection tool must find a concrete first divergent cycle between two
 # Static-DMS delays on SLA (it exercises run_until/resume_until chaining).
@@ -83,7 +99,7 @@ cargo run -q --release -p lazydram-bench --bin dbg_diverge -- SLA 128 256 0.05 4
 
 echo "== tier1: timed smoke sweep (BENCH_PR4.json) =="
 # Per-app wall clock with profiler phase breakdown, checked against the
-# pre-PR baseline (crates/bench/baselines/pre_pr4.tsv, recorded at
+# pre-PR baseline (crates/bench/baselines/pre_pr7.tsv, recorded at
 # LAZYDRAM_SCALE=0.2). Fails loudly when any app runs slower than 2x its
 # pre-PR wall clock — an order-of-magnitude-style cap (matching perf_smoke's
 # stated purpose) because host CPU steal on shared 1-vCPU containers can
@@ -93,11 +109,21 @@ echo "== tier1: timed smoke sweep (BENCH_PR4.json) =="
 # acceptance floor — at least one app's sweep must replay >= 5x faster
 # than execution-driven — and on a zero-unserved-requests assertion
 # inside the bench.
+# It then times the phased parallel tick (BENCH_PR7.json): cores=1 vs
+# cores=4 on the same run, asserting identical statistics. On this 1-CPU
+# container the pool degrades to the inline path, so the gate is an
+# overhead cap — cores=4 must stay within 1.15x of cores=1; on a real
+# multi-core host the run must additionally scale >= 2x at 4 cores.
+if [ "$(nproc 2>/dev/null || echo 1)" -gt 1 ]; then
+    export LAZYDRAM_MIN_CORES_SPEEDUP="${LAZYDRAM_MIN_CORES_SPEEDUP:-2.0}"
+fi
 LAZYDRAM_SCALE="${LAZYDRAM_SCALE:-0.2}" \
 LAZYDRAM_BENCH_OUT="${LAZYDRAM_BENCH_OUT:-$PWD/BENCH_PR4.json}" \
 LAZYDRAM_MAX_REGRESSION="${LAZYDRAM_MAX_REGRESSION:-2.0}" \
 LAZYDRAM_TRACE_BENCH_OUT="${LAZYDRAM_TRACE_BENCH_OUT:-$PWD/BENCH_PR6.json}" \
 LAZYDRAM_MIN_TRACE_SPEEDUP="${LAZYDRAM_MIN_TRACE_SPEEDUP:-5.0}" \
+LAZYDRAM_CORES_BENCH_OUT="${LAZYDRAM_CORES_BENCH_OUT:-$PWD/BENCH_PR7.json}" \
+LAZYDRAM_MAX_CORES_OVERHEAD="${LAZYDRAM_MAX_CORES_OVERHEAD:-1.15}" \
     cargo bench -q -p lazydram-bench --bench perf_smoke --features prof
 
 echo "== tier1: OK =="
