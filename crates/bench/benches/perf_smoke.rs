@@ -58,12 +58,27 @@
 //! `ratio` × faster (only meaningful — and only set by `tier1.sh` — when
 //! the host actually has multiple CPUs).
 //!
+//! # Result-cache smoke (`BENCH_PR8.json`)
+//!
+//! A fourth section runs a fig04-style delay sweep against a fresh
+//! content-addressed store twice — cold (populating it) and warm (served
+//! from it by a fresh runner, so every hit takes the disk path) — asserts
+//! the warm measurements equal the cold ones and that the warm run
+//! simulated nothing, and writes both wall clocks plus the store counters
+//! to `LAZYDRAM_CACHE_BENCH_OUT` (default `BENCH_PR8.json`). With
+//! `LAZYDRAM_MIN_CACHE_SPEEDUP=<ratio>` set (tier1.sh uses 10), the
+//! benchmark exits non-zero unless the warm sweep beats the cold one by at
+//! least the ratio — the PR 8 acceptance floor.
+//!
 //! This is a *smoke* benchmark: single-digit runs, no statistics. It is
 //! meant to catch order-of-magnitude regressions (e.g. fast-forward silently
 //! disengaging, a hash map sneaking back onto the lane path), not
 //! single-digit-percent drifts.
 
-use lazydram_bench::{scale_from_env, SimBuilder, TraceSim};
+use lazydram_bench::{
+    scale_from_env, CacheMode, CachePolicy, MeasureSpec, Measurement, SimBuilder, SweepRunner,
+    TraceSim,
+};
 use lazydram_common::json::{array, JsonObject};
 use lazydram_common::{DmsMode, GpuConfig, SchedConfig};
 use lazydram_energy::{EnergyModel, MemoryTech};
@@ -364,6 +379,109 @@ fn cores_smoke(scale: f64, reps: usize) -> bool {
     ok
 }
 
+/// Runs the same fig04-style delay sweep cold (fresh store) and warm (fresh
+/// runner, same store — pure disk-hit path), asserts warm results equal cold
+/// ones, and writes wall clocks + store counters to
+/// `LAZYDRAM_CACHE_BENCH_OUT`. Returns `false` when
+/// `LAZYDRAM_MIN_CACHE_SPEEDUP` is set and the warm sweep misses it.
+fn cache_smoke(scale: f64) -> bool {
+    let delays = [64u32, 128, 256, 512, 1024, 2048];
+    let min_speedup = ratio_from_env("LAZYDRAM_MIN_CACHE_SPEEDUP");
+    let dir = std::env::temp_dir().join(format!("lazydram_cache_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = GpuConfig::default();
+    let app = by_name("SCP").expect("known app");
+    // Fresh runner per pass: the warm run starts with an empty in-memory hot
+    // tier, so every hit exercises the decode-and-verify disk path — the one
+    // a new process across sweeps would take.
+    let sweep = || {
+        let runner = SweepRunner::with_workers(1)
+            .quiet()
+            .with_cache(Some(CachePolicy::new(&dir, CacheMode::Auto)));
+        let t0 = Instant::now();
+        let bases = runner.baselines(std::slice::from_ref(&app), &cfg, scale);
+        let base = bases[0].as_ref().expect("baseline runs").clone();
+        let specs: Vec<MeasureSpec> = delays
+            .iter()
+            .map(|&x| {
+                MeasureSpec::new(
+                    SimBuilder::new(&app)
+                        .gpu(cfg.clone())
+                        .sched(
+                            SchedConfig { dms: DmsMode::Static(x), ..SchedConfig::baseline() },
+                            format!("DMS({x})"),
+                        )
+                        .scale(scale),
+                    base.exact.clone(),
+                )
+            })
+            .collect();
+        let cells: Vec<Measurement> = runner
+            .measure_all(specs)
+            .into_iter()
+            .map(|r| r.expect("cell runs"))
+            .collect();
+        let counters = runner.cache().expect("cache attached").stats();
+        (t0.elapsed().as_secs_f64(), cells, counters)
+    };
+    let (cold_s, cold_cells, cold_stats) = sweep();
+    let (warm_s, warm_cells, warm_stats) = sweep();
+    let jobs = 1 + delays.len() as u64;
+    assert_eq!(cold_stats.published, jobs, "cold sweep publishes every cell");
+    assert_eq!(
+        (warm_stats.hits(), warm_stats.misses),
+        (jobs, 0),
+        "warm sweep must be served entirely from the store"
+    );
+    for (c, w) in cold_cells.iter().zip(&warm_cells) {
+        // `cached` is in-process provenance, and SimStats equality already
+        // ignores the wall-clock profiler (absent from stored entries).
+        let mut w = w.clone();
+        w.cached = c.cached;
+        assert!(
+            w == *c,
+            "{}/{}: warm measurement diverges from the cold run",
+            c.app,
+            c.scheme
+        );
+    }
+    let speedup = cold_s / warm_s.max(1e-9);
+    eprintln!("\nresult-cache smoke (fig04-style delay sweep, cold vs warm store):");
+    eprintln!(
+        "  SCP: cold {cold_s:.3}s vs warm {warm_s:.3}s ({speedup:.1}x; warm served \
+         {hits}/{jobs} jobs from disk)",
+        hits = warm_stats.hits(),
+    );
+    let mut o = JsonObject::new();
+    o.str("app", "SCP")
+        .f64("scale", scale)
+        .u64("jobs", jobs)
+        .f64("cold_s", cold_s)
+        .f64("warm_s", warm_s)
+        .f64("speedup", speedup)
+        .u64("cold_published", cold_stats.published)
+        .u64("warm_disk_hits", warm_stats.disk_hits)
+        .u64("warm_misses", warm_stats.misses)
+        .u64("bytes_written", cold_stats.bytes_written)
+        .u64("bytes_read", warm_stats.bytes_read);
+    let out = std::env::var("LAZYDRAM_CACHE_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_PR8.json".to_string());
+    std::fs::write(&out, array(&[o.finish()]) + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    eprintln!("wrote {out}");
+    let _ = std::fs::remove_dir_all(&dir);
+    match min_speedup {
+        Some(floor) if speedup < floor => {
+            eprintln!(
+                "CACHE SPEEDUP REGRESSION: warm sweep is only {speedup:.1}x faster than \
+                 cold, under the {floor}x floor"
+            );
+            false
+        }
+        _ => true,
+    }
+}
+
 /// Parses a positive-ratio environment variable, panicking on malformed
 /// values (a silently ignored gate is worse than none).
 fn ratio_from_env(name: &str) -> Option<f64> {
@@ -499,6 +617,7 @@ fn main() {
 
     let trace_ok = trace_smoke(scale);
     let cores_ok = cores_smoke(scale, reps);
+    let cache_ok = cache_smoke(scale);
 
     if let Some(cap) = max_regression {
         let regressed: Vec<String> = ratios
@@ -524,7 +643,7 @@ fn main() {
         }
         eprintln!("perf gate passed (no app slower than {cap}x pre-PR)");
     }
-    if !trace_ok || !cores_ok {
+    if !trace_ok || !cores_ok || !cache_ok {
         std::process::exit(1);
     }
 }

@@ -16,14 +16,16 @@ use lazydram_gpu::{application_error, Trace};
 use lazydram_workloads::{exact_output, AppSpec};
 
 pub mod runner;
+pub mod store;
 
 pub use lazydram_common::Scheme;
 pub use lazydram_gpu::{ReplayReport, TraceError, TraceSim};
 pub use lazydram_workloads::{
-    parse_checkpoint_every, parse_trace_mode, CheckpointPolicy, SimBuilder, SimRun, TraceMode,
-    TracePolicy, DEFAULT_CHECKPOINT_EVERY,
+    parse_cache_mode, parse_checkpoint_every, parse_trace_mode, CacheMode, CachePolicy,
+    CheckpointPolicy, SimBuilder, SimRun, TraceMode, TracePolicy, DEFAULT_CHECKPOINT_EVERY,
 };
 pub use runner::{Baseline, Job, JobFailure, JobResult, MeasureSpec, SweepRunner};
+pub use store::{CacheStats, EntryInfo, Fidelity, Store};
 
 /// Default work scale for the benchmark harnesses. Chosen so the whole
 /// evaluation runs on a laptop in minutes while every app still issues
@@ -102,7 +104,10 @@ pub fn bw_util(stats: &SimStats, channels: usize) -> f64 {
 }
 
 /// All metrics the paper reports for one (app, scheme) run.
-#[derive(Debug, Clone)]
+///
+/// Equality compares every reported field (via [`SimStats`]'s equality,
+/// which ignores the wall-clock profiler attribution).
+#[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
     /// Application name.
     pub app: String,
@@ -128,6 +133,15 @@ pub struct Measurement {
     /// (MC + DRAM only): the DRAM-side metrics are real, but `ipc` and
     /// `app_error` are reported as 0 — replay never runs the GPU.
     pub replayed: bool,
+    /// `true` when this measurement was served from the content-addressed
+    /// result store ([`store::Store`]) instead of being simulated.
+    ///
+    /// In-process provenance only: deliberately **excluded** from
+    /// [`Measurement::to_json`] and the store's serialized bytes, so a warm
+    /// sweep's stdout tables and `LAZYDRAM_RESULTS` JSONL are byte-identical
+    /// to a cold one. Surfaces on stderr progress notes and in the
+    /// end-of-sweep cache summary instead.
+    pub cached: bool,
 }
 
 impl Measurement {
@@ -198,6 +212,7 @@ pub fn try_measure_traced(
         row_energy_pj,
         truncated: r.hit_cycle_limit,
         replayed: false,
+        cached: false,
         stats: r.stats,
     };
     Ok((m, r.trace))
@@ -232,6 +247,7 @@ pub fn try_measure_replay(run: &SimRun, trace: &Trace) -> Result<Measurement, St
         row_energy_pj,
         truncated: false,
         replayed: true,
+        cached: false,
         stats: report.stats,
     })
 }
@@ -373,8 +389,10 @@ mod tests {
             row_energy_pj: 1e6,
             truncated: false,
             replayed: false,
+            cached: false,
         };
         let j = m.to_json();
+        assert!(!j.contains("cached"), "cache provenance must not leak into JSONL: {j}");
         for key in [
             "\"record\":\"measurement\"",
             "\"app\":\"GEMM\"",

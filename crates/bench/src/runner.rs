@@ -48,18 +48,34 @@
 //!   `app_error` as 0 (open-loop replay has no core side); a replay that
 //!   cannot serve every recorded request is a [`JobFailure`], never a
 //!   silently smaller result.
+//! * **Result cache** — with `LAZYDRAM_CACHE_DIR` set (behavior via
+//!   `LAZYDRAM_CACHE_MODE`: `auto` (default), `require`, `refresh`, `off`),
+//!   every finished `(app × scheme × config)` cell is published to the
+//!   content-addressed [`Store`](crate::store) and later sweeps — any
+//!   harness, any process — serve it from disk instead of re-simulating.
+//!   Cache hits are byte-identical to execution (the
+//!   [`Measurement::cached`] provenance flag never enters stdout or the
+//!   JSONL), flagged `[cache hit]` on the progress line, and tallied in the
+//!   end-of-sweep summary. `require` turns a miss into a [`JobFailure`]
+//!   with a remediation hint; `refresh` re-simulates and overwrites. See
+//!   [`crate::store`] for the key structure and the lock-free multi-process
+//!   publish protocol.
+//! * **End-of-sweep summary** — dropping the runner prints one stderr line
+//!   (jobs run, failures, elapsed wall clock, cache counters), suppressed
+//!   under `LAZYDRAM_QUIET` or when no jobs ran.
 
+use crate::store::{Fidelity, Store};
 use crate::{try_measure, try_measure_replay, try_measure_traced, Measurement};
 use lazydram_common::json::JsonObject;
 use lazydram_common::{GpuConfig, Scheme};
 use lazydram_gpu::Trace;
-use lazydram_workloads::{exact_output, AppSpec, CheckpointPolicy, SimBuilder, TraceMode,
-                         TracePolicy};
+use lazydram_workloads::{exact_output, AppSpec, CacheMode, CachePolicy, CheckpointPolicy,
+                         SimBuilder, TraceMode, TracePolicy};
 use std::collections::HashMap;
 use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -146,8 +162,12 @@ pub struct SweepRunner {
     results: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
     checkpoints: Option<CheckpointPolicy>,
     traces: Option<TracePolicy>,
+    cache: Option<Store>,
     baselines: Mutex<HashMap<BaselineKey, Arc<OnceLock<Arc<Baseline>>>>>,
     trace_cache: Mutex<HashMap<PathBuf, TraceCell>>,
+    jobs_run: AtomicU64,
+    jobs_failed: AtomicU64,
+    started: Instant,
 }
 
 /// Parses a `LAZYDRAM_JOBS` value: a positive worker count.
@@ -178,7 +198,8 @@ impl SweepRunner {
         };
         let runner = Self::with_workers(workers)
             .with_checkpoints(CheckpointPolicy::from_env_or_die())
-            .with_traces(TracePolicy::from_env_or_die());
+            .with_traces(TracePolicy::from_env_or_die())
+            .with_cache(CachePolicy::from_env_or_die());
         // The two parallelism knobs multiply: each of the LAZYDRAM_JOBS
         // sweep workers runs its own simulator, and each simulator spins up
         // LAZYDRAM_CORES-wide intra-run phases. jobs × cores beyond the
@@ -211,8 +232,12 @@ impl SweepRunner {
             results: None,
             checkpoints: None,
             traces: None,
+            cache: None,
             baselines: Mutex::new(HashMap::new()),
             trace_cache: Mutex::new(HashMap::new()),
+            jobs_run: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            started: Instant::now(),
         }
     }
 
@@ -230,6 +255,29 @@ impl SweepRunner {
     pub fn with_traces(mut self, policy: Option<TracePolicy>) -> Self {
         self.traces = policy;
         self
+    }
+
+    /// Attaches (or clears) the content-addressed result cache: sweep cells
+    /// consult the [`Store`] before simulating and publish finished
+    /// measurements into it. A policy in [`CacheMode::Off`] detaches the
+    /// cache entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the store directory cannot be created.
+    pub fn with_cache(mut self, policy: Option<CachePolicy>) -> Self {
+        self.cache = match policy {
+            Some(p) if p.mode != CacheMode::Off => {
+                Some(Store::open(&p.dir, p.mode).unwrap_or_else(|e| panic!("{e}")))
+            }
+            _ => None,
+        };
+        self
+    }
+
+    /// The attached result store, when caching is enabled.
+    pub fn cache(&self) -> Option<&Store> {
+        self.cache.as_ref()
     }
 
     /// Enables the JSONL results file (truncates `path`).
@@ -291,19 +339,23 @@ impl SweepRunner {
                     let outcome = catch_unwind(AssertUnwindSafe(work));
                     let elapsed = job_start.elapsed();
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    self.jobs_run.fetch_add(1, Ordering::Relaxed);
                     let (res, status, annotation) = match outcome {
                         Ok(v) => {
                             let a = note.as_ref().map_or_else(String::new, |f| f(&v));
                             (Ok(v), "ok", a)
                         }
-                        Err(payload) => (
-                            Err(JobFailure {
-                                label: labels[i].clone(),
-                                message: panic_message(payload.as_ref()),
-                            }),
-                            "FAILED",
-                            String::new(),
-                        ),
+                        Err(payload) => {
+                            self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                            (
+                                Err(JobFailure {
+                                    label: labels[i].clone(),
+                                    message: panic_message(payload.as_ref()),
+                                }),
+                                "FAILED",
+                                String::new(),
+                            )
+                        }
                     };
                     if !self.quiet {
                         eprintln!(
@@ -350,15 +402,30 @@ impl SweepRunner {
             let capture = self.traces.as_ref().is_some_and(|p| {
                 p.mode != TraceMode::Replay && !p.path_for(app.name, cfg, scale).exists()
             });
-            let run = SimBuilder::new(app)
+            let builder = SimBuilder::new(app)
                 .gpu(cfg.clone())
                 .scheme(Scheme::Baseline)
                 .scale(scale)
                 .checkpoints(self.checkpoints.clone())
-                .trace(capture)
-                .build();
+                .trace(capture);
+            // A pending trace capture forces execution in auto mode — a
+            // cache hit can serve the measurement but not park the trace
+            // the sweep cells will want. `require` mode still looks up (it
+            // promises a simulation-free sweep; replay cells then hit the
+            // cache too, so the missing trace never matters).
+            let skip_lookup = capture && self.cache.as_ref().is_some_and(|s| s.mode() != CacheMode::Require);
+            if !skip_lookup {
+                match self.cache_lookup(&builder, Fidelity::Execute) {
+                    Ok(Some(measurement)) => return Arc::new(Baseline { measurement, exact }),
+                    Ok(None) => {}
+                    Err(e) => panic!("{e}"),
+                }
+            }
+            let key = Store::cell_key(builder.cell_digest(), Fidelity::Execute);
+            let run = builder.build();
             let (measurement, trace) =
                 try_measure_traced(&run, &exact).unwrap_or_else(|e| panic!("{e}"));
+            self.cache_publish(key, &measurement);
             if let (Some(policy), Some(trace)) = (&self.traces, trace) {
                 let path = policy.path_for(app.name, cfg, scale);
                 std::fs::create_dir_all(&policy.dir).unwrap_or_else(|e| {
@@ -457,7 +524,10 @@ impl SweepRunner {
             .zip(labels)
             .map(|(res, label)| match res {
                 Ok(Ok(m)) => Ok(m),
-                Ok(Err(message)) => Err(JobFailure { label, message }),
+                Ok(Err(message)) => {
+                    self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                    Err(JobFailure { label, message })
+                }
                 Err(f) => Err(f),
             })
             .collect();
@@ -472,8 +542,16 @@ impl SweepRunner {
     }
 
     /// One sweep cell: open-loop trace replay when the policy and store
-    /// allow it, execution-driven otherwise.
+    /// allow it, execution-driven otherwise — behind the result cache.
+    ///
+    /// The route (replay vs. execute) is resolved **before** the cache is
+    /// consulted, for two reasons: the cache key's fidelity flavor must
+    /// match the bytes the cell would actually produce (replay zeroes
+    /// `ipc`/`app_error`), and a replay-mode cell whose trace is missing
+    /// must fail identically whether or not some earlier sweep published an
+    /// entry — warm and cold runs stay byte-identical.
     fn measure_one(&self, builder: SimBuilder, exact: &[f32]) -> Result<Measurement, String> {
+        let mut replay_path = None;
         if let Some(policy) = &self.traces {
             if policy.mode != TraceMode::Capture {
                 let path = policy.path_for(
@@ -482,10 +560,8 @@ impl SweepRunner {
                     builder.work_scale(),
                 );
                 if path.exists() {
-                    let trace = self.load_trace(&path, builder.gpu_config())?;
-                    return try_measure_replay(&builder.build(), &trace);
-                }
-                if policy.mode == TraceMode::Replay {
+                    replay_path = Some(path);
+                } else if policy.mode == TraceMode::Replay {
                     return Err(format!(
                         "no captured trace at {} (run the sweep once with \
                          LAZYDRAM_TRACE_MODE=auto or capture to record it)",
@@ -497,7 +573,61 @@ impl SweepRunner {
                 // to the execution-driven path.
             }
         }
-        try_measure(&builder.build(), exact)
+        let fidelity = if replay_path.is_some() { Fidelity::Replay } else { Fidelity::Execute };
+        if let Some(m) = self.cache_lookup(&builder, fidelity)? {
+            return Ok(m);
+        }
+        let key = Store::cell_key(builder.cell_digest(), fidelity);
+        let m = match replay_path {
+            Some(path) => {
+                let trace = self.load_trace(&path, builder.gpu_config())?;
+                try_measure_replay(&builder.build(), &trace)?
+            }
+            None => try_measure(&builder.build(), exact)?,
+        };
+        self.cache_publish(key, &m);
+        Ok(m)
+    }
+
+    /// Consults the result store for one configured cell. `Ok(Some)` is a
+    /// hit (with [`Measurement::cached`] set); `Ok(None)` means simulate
+    /// (store off, `refresh` mode, or a plain miss); `Err` is a `require`-
+    /// mode miss with a remediation hint.
+    fn cache_lookup(
+        &self,
+        builder: &SimBuilder,
+        fidelity: Fidelity,
+    ) -> Result<Option<Measurement>, String> {
+        let Some(store) = &self.cache else { return Ok(None) };
+        if store.mode() == CacheMode::Refresh {
+            return Ok(None);
+        }
+        let key = Store::cell_key(builder.cell_digest(), fidelity);
+        let app = builder.app().name;
+        let scheme = builder.scheme_label();
+        match store.lookup(key, app, scheme) {
+            Some(m) => Ok(Some(m)),
+            None if store.mode() == CacheMode::Require => Err(format!(
+                "no cache entry for {app}/{scheme} (key {key:#018x}) in {} and \
+                 LAZYDRAM_CACHE_MODE=require forbids simulating; populate the store by \
+                 re-running with LAZYDRAM_CACHE_MODE=auto, or point LAZYDRAM_CACHE_DIR \
+                 at a store that already holds this sweep",
+                store.dir().display()
+            )),
+            None => Ok(None),
+        }
+    }
+
+    /// Publishes a finished cell into the result store. Publish failures
+    /// cost only future cache hits, never the sweep: they are reported as a
+    /// stderr warning (unless quiet), not raised.
+    fn cache_publish(&self, key: u64, m: &Measurement) {
+        let Some(store) = &self.cache else { return };
+        if let Err(e) = store.publish(key, m) {
+            if !self.quiet {
+                eprintln!("warning: {e}");
+            }
+        }
     }
 
     fn record_measurement(&self, m: &Measurement) {
@@ -525,11 +655,47 @@ impl SweepRunner {
     }
 }
 
+impl Drop for SweepRunner {
+    /// Prints the end-of-sweep summary line: jobs run, failures, elapsed
+    /// wall clock, and the cache counters. On stderr (like the progress
+    /// lines, so stdout tables stay byte-identical); suppressed when quiet
+    /// or when the runner never ran a job.
+    fn drop(&mut self) {
+        let jobs = self.jobs_run.load(Ordering::Relaxed);
+        if self.quiet || jobs == 0 {
+            return;
+        }
+        let failed = self.jobs_failed.load(Ordering::Relaxed);
+        let cache = match &self.cache {
+            Some(store) => {
+                let s = store.stats();
+                format!(
+                    "cache: {} hits ({} disk + {} hot), {} misses, {} published, {} rejected",
+                    s.hits(),
+                    s.disk_hits,
+                    s.hot_hits,
+                    s.misses,
+                    s.published,
+                    s.rejected
+                )
+            }
+            None => "cache: off".to_string(),
+        };
+        eprintln!(
+            "sweep summary: {jobs} jobs, {failed} failed, {elapsed:.1}s elapsed; {cache}",
+            elapsed = self.started.elapsed().as_secs_f64()
+        );
+    }
+}
+
 /// Renders the fast-forward annotation for a measurement's progress line
 /// (empty when the event-driven loop never skipped, e.g. `LAZYDRAM_NO_SKIP`);
-/// trace-replayed cells are flagged instead, since they skip the GPU wholesale.
+/// cache-served and trace-replayed cells are flagged instead, since they
+/// skip the simulation (wholly or GPU-side).
 fn skip_note(m: &Measurement) -> String {
-    if m.replayed {
+    if m.cached {
+        " [cache hit]".to_string()
+    } else if m.replayed {
         " [trace replay]".to_string()
     } else if m.stats.cycles_skipped == 0 {
         String::new()

@@ -41,6 +41,20 @@ pub mod rng;
 pub mod snap;
 pub mod stats;
 
+/// Version of the *simulation semantics*: the mapping from a fully specified
+/// `(app, scheme, machine config, scale)` cell to its measured results.
+///
+/// The content-addressed result store (`lazydram-bench::store`) folds this
+/// constant into every cache key, so bumping it invalidates all previously
+/// published entries at once. The contract, pinned by the golden-output test
+/// (`tests/semantics_golden.rs`): **any PR that changes what a simulation
+/// computes — timing, scheduling, energy, workload inputs, statistics — must
+/// bump this constant** (the golden test fails until it does). PRs that only
+/// change *how fast* the same results are produced (fast-forward, parallel
+/// tick, allocation work) leave it untouched; their bit-identity suites prove
+/// cached entries are still exact.
+pub const SEMANTICS_VERSION: u64 = 1;
+
 pub use addr::{AddressMap, Location};
 pub use fasthash::{FastMap, FastSet};
 pub use config::{AmsMode, Arbiter, DmsMode, DramTimings, GpuConfig, RowPolicy, SchedConfig, Scheme};

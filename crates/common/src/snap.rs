@@ -372,6 +372,15 @@ impl Saver {
         self.u64(label, len as u64);
     }
 
+    /// Writes a labeled UTF-8 string: `u64` length + raw bytes.
+    pub fn str(&mut self, label: &str, v: &str) {
+        if let Some(sink) = &mut self.labels {
+            sink.record(label, format!("{v:?}"));
+        }
+        self.buf.extend_from_slice(&(v.len() as u64).to_le_bytes());
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
     /// Writes a frame: `tag` (≤ 4 bytes, space-padded), `index`, payload
     /// length, then the payload produced by `body`. Frames nest freely.
     ///
@@ -578,6 +587,16 @@ impl<'a> Loader<'a> {
         Ok(())
     }
 
+    /// Reads a UTF-8 string written by [`Saver::str`]; rejects invalid UTF-8.
+    pub fn str(&mut self, label: &str) -> SnapResult<String> {
+        let len = self.seq(label, 1)?;
+        let bytes = self.take(label, len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| SnapError::Malformed {
+            label: label.into(),
+            why: format!("invalid UTF-8: {e}"),
+        })
+    }
+
     /// Peeks the next frame header without consuming it. Returns `None` at
     /// end of buffer.
     pub fn peek_frame(&self) -> SnapResult<Option<(String, u32, usize)>> {
@@ -686,6 +705,34 @@ mod tests {
         l.u64s("k", &mut us).unwrap();
         assert_eq!(us, vec![9, 8]);
         assert!(l.is_done());
+    }
+
+    #[test]
+    fn strings_round_trip_and_reject_bad_utf8() {
+        let mut s = Saver::new();
+        s.str("app", "SCP");
+        s.str("scheme", "Dyn-DMS+Dyn-AMS");
+        s.str("empty", "");
+        let bytes = s.finish();
+        let mut l = Loader::new(&bytes);
+        assert_eq!(l.str("app").unwrap(), "SCP");
+        assert_eq!(l.str("scheme").unwrap(), "Dyn-DMS+Dyn-AMS");
+        assert_eq!(l.str("empty").unwrap(), "");
+        assert!(l.is_done());
+
+        let mut s = Saver::new();
+        s.str("x", "ab");
+        let mut bytes = s.finish();
+        bytes[8] = 0xFF; // not valid UTF-8
+        let mut l = Loader::new(&bytes);
+        assert!(matches!(l.str("x"), Err(SnapError::Malformed { .. })));
+
+        // Truncated string payloads are an error, not a panic.
+        let mut s = Saver::new();
+        s.str("x", "hello");
+        let bytes = s.finish();
+        let mut l = Loader::new(&bytes[..10]);
+        assert!(l.str("x").is_err());
     }
 
     #[test]

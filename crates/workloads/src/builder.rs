@@ -156,6 +156,105 @@ impl TracePolicy {
     }
 }
 
+/// What the content-addressed result store does on lookup and publish (the
+/// `LAZYDRAM_CACHE_MODE` knob; the store itself lives in
+/// `lazydram-bench::store`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Cache disabled even when `LAZYDRAM_CACHE_DIR` is set (an explicit
+    /// escape hatch; unsetting the directory does the same).
+    Off,
+    /// Serve hits, simulate misses, publish the results — the default.
+    Auto,
+    /// Never simulate: a miss is a loud per-job error with a remediation
+    /// hint (run once in `auto` mode to populate the store).
+    Require,
+    /// Never serve: re-simulate every cell and overwrite its entry
+    /// (rebuild a store after a semantics bump, or distrust old entries).
+    Refresh,
+}
+
+/// Parses a `LAZYDRAM_CACHE_MODE` value (case-insensitive: `off`, `auto`,
+/// `require`, `refresh`).
+///
+/// Kept separate from [`CachePolicy::from_env`] so the validation is
+/// unit-testable, following the `parse_scale`/`parse_trace_mode` pattern.
+///
+/// # Errors
+///
+/// Returns a message naming the valid modes on anything else.
+pub fn parse_cache_mode(s: &str) -> Result<CacheMode, String> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "off" => Ok(CacheMode::Off),
+        "auto" => Ok(CacheMode::Auto),
+        "require" => Ok(CacheMode::Require),
+        "refresh" => Ok(CacheMode::Refresh),
+        _ => Err(format!(
+            "LAZYDRAM_CACHE_MODE={s:?} is not a cache mode; expected off, auto, require, \
+             or refresh"
+        )),
+    }
+}
+
+/// Where the content-addressed result store lives and how it is used.
+#[derive(Debug, Clone)]
+pub struct CachePolicy {
+    /// Directory holding one `.meas` entry per published cell.
+    pub dir: PathBuf,
+    /// Lookup/publish behavior.
+    pub mode: CacheMode,
+}
+
+impl CachePolicy {
+    /// A policy over `dir` in the given mode.
+    pub fn new(dir: impl Into<PathBuf>, mode: CacheMode) -> Self {
+        Self { dir: dir.into(), mode }
+    }
+
+    /// Builds the policy from `LAZYDRAM_CACHE_DIR` / `LAZYDRAM_CACHE_MODE`.
+    /// Returns `Ok(None)` when caching is not requested (no directory, or an
+    /// explicit `LAZYDRAM_CACHE_MODE=off`), and an error (never a silent
+    /// fallback) when the variables are malformed — including a non-`off`
+    /// `LAZYDRAM_CACHE_MODE` without a directory, which would otherwise be
+    /// dead configuration.
+    ///
+    /// # Errors
+    ///
+    /// See above.
+    pub fn from_env() -> Result<Option<Self>, String> {
+        Self::resolve(
+            std::env::var("LAZYDRAM_CACHE_DIR").ok(),
+            std::env::var("LAZYDRAM_CACHE_MODE").ok(),
+        )
+    }
+
+    /// [`CachePolicy::from_env`] over explicit variable values (the
+    /// unit-testable core — tests cannot mutate the process environment
+    /// safely under the parallel test harness).
+    fn resolve(dir: Option<String>, mode: Option<String>) -> Result<Option<Self>, String> {
+        let dir = dir.filter(|s| !s.trim().is_empty());
+        let mode = match mode {
+            Some(s) => Some(parse_cache_mode(&s)?),
+            None => None,
+        };
+        match (dir, mode) {
+            (_, Some(CacheMode::Off)) | (None, None) => Ok(None),
+            (None, Some(m)) => Err(format!(
+                "LAZYDRAM_CACHE_MODE={m:?} is set but LAZYDRAM_CACHE_DIR is not; \
+                 set the directory too (or unset the mode)"
+            )),
+            (Some(d), mode) => Ok(Some(Self::new(d, mode.unwrap_or(CacheMode::Auto)))),
+        }
+    }
+
+    /// [`CachePolicy::from_env`], panicking on malformed variables (matching
+    /// the checkpoint/trace-policy handling: a loud error beats a silently
+    /// uncached — or silently wrongly-keyed — overnight sweep).
+    pub fn from_env_or_die() -> Option<Self> {
+        Self::from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
 /// Where and how often [`SimRun::run`] checkpoints a simulation.
 #[derive(Debug, Clone)]
 pub struct CheckpointPolicy {
@@ -321,6 +420,28 @@ impl SimBuilder {
     /// The work scale.
     pub fn work_scale(&self) -> f64 {
         self.scale
+    }
+
+    /// Content digest of this *cell*: everything that determines the
+    /// simulation's results — app, scheme label, scale bits, machine config,
+    /// scheduling policy, safety limits. Deliberately **excludes** the knobs
+    /// proven result-invariant by the bit-identity suites (`cycle_skipping`,
+    /// `cores`, trace capture), so the result store keyed on this digest
+    /// serves hits across them. The checkpoint tag (which guards *trajectory*
+    /// resumption, not results) keeps including them.
+    pub fn cell_digest(&self) -> u64 {
+        digest(
+            format!(
+                "{}|{}|{:x}|{:?}|{:?}|{:?}",
+                self.app.name,
+                self.label,
+                self.scale.to_bits(),
+                self.cfg,
+                self.sched,
+                self.limits,
+            )
+            .as_bytes(),
+        )
     }
 
     /// Finalizes the configuration into a runnable [`SimRun`].
@@ -529,6 +650,7 @@ impl SimRun {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
 
     #[test]
     fn parse_checkpoint_every_accepts_positive_counts() {
@@ -610,6 +732,70 @@ mod tests {
         assert!(
             name.chars().all(|ch| ch.is_ascii_alphanumeric() || ch == '-' || ch == '.' || ch == '_'),
             "unsafe trace file name {name:?}"
+        );
+    }
+
+    #[test]
+    fn parse_cache_mode_accepts_known_modes() {
+        assert_eq!(parse_cache_mode("off"), Ok(CacheMode::Off));
+        assert_eq!(parse_cache_mode(" Auto "), Ok(CacheMode::Auto));
+        assert_eq!(parse_cache_mode("REQUIRE"), Ok(CacheMode::Require));
+        assert_eq!(parse_cache_mode("refresh"), Ok(CacheMode::Refresh));
+    }
+
+    #[test]
+    fn parse_cache_mode_rejects_garbage() {
+        for bad in ["", "on", "auto,require", "1", "rw"] {
+            let err = parse_cache_mode(bad).unwrap_err();
+            assert!(err.contains("off, auto, require, or refresh"), "{err}");
+        }
+    }
+
+    #[test]
+    fn cache_policy_resolution_is_strict() {
+        let some = |s: &str| Some(s.to_string());
+        // Not requested at all, or explicitly off.
+        assert!(CachePolicy::resolve(None, None).unwrap().is_none());
+        assert!(CachePolicy::resolve(some("  "), None).unwrap().is_none());
+        assert!(CachePolicy::resolve(some("/tmp/c"), some("off")).unwrap().is_none());
+        assert!(CachePolicy::resolve(None, some("off")).unwrap().is_none());
+        // Directory alone defaults to auto; explicit modes stick.
+        let p = CachePolicy::resolve(some("/tmp/c"), None).unwrap().unwrap();
+        assert_eq!((p.dir.as_path(), p.mode), (Path::new("/tmp/c"), CacheMode::Auto));
+        let p = CachePolicy::resolve(some("/tmp/c"), some("REQUIRE")).unwrap().unwrap();
+        assert_eq!(p.mode, CacheMode::Require);
+        // Dead configuration and garbage fail loudly, never silently.
+        let err = CachePolicy::resolve(None, some("auto")).unwrap_err();
+        assert!(err.contains("LAZYDRAM_CACHE_DIR is not"), "{err}");
+        let err = CachePolicy::resolve(some("/tmp/c"), some("cached")).unwrap_err();
+        assert!(err.contains("not a cache mode"), "{err}");
+    }
+
+    #[test]
+    fn cell_digest_tracks_results_not_speed_knobs() {
+        let app = crate::suite::by_name("SCP").expect("app");
+        let base = SimBuilder::new(&app).scheme(Scheme::DynCombo);
+        let d = base.clone().cell_digest();
+        // Result-invariant knobs (proven by the bit-identity suites) do not
+        // split the cache namespace…
+        assert_eq!(d, base.clone().cycle_skipping(false).cell_digest());
+        assert_eq!(d, base.clone().cores(4).cell_digest());
+        assert_eq!(d, base.clone().trace(true).cell_digest());
+        // …while anything that changes the measured results does.
+        assert_ne!(d, base.clone().scale(0.5).cell_digest());
+        assert_ne!(d, base.clone().scheme(Scheme::StaticDms).cell_digest());
+        assert_ne!(
+            d,
+            base.clone()
+                .gpu(GpuConfig { pending_queue_size: 16, ..GpuConfig::default() })
+                .cell_digest()
+        );
+        // scheme() and an equivalent sched() agree (same policy, same label).
+        assert_eq!(
+            d,
+            SimBuilder::new(&app)
+                .sched(SchedConfig::dyn_combo(), "Dyn-DMS+Dyn-AMS")
+                .cell_digest()
         );
     }
 

@@ -8,9 +8,17 @@ set -euo pipefail
 cd /root/repo
 export LAZYDRAM_SCALE=${LAZYDRAM_SCALE:-0.5}
 export LAZYDRAM_JOBS=${LAZYDRAM_JOBS:-$(nproc)}
+# Share one content-addressed result store across all 19 harnesses: the
+# baselines (and any repeated cell) simulate once in the first harness that
+# needs them and come back as cache hits everywhere else. Point
+# LAZYDRAM_CACHE_DIR at a persistent directory to carry the store across
+# whole sweep invocations too.
+export LAZYDRAM_CACHE_DIR=${LAZYDRAM_CACHE_DIR:-$(mktemp -d /tmp/lazydram-cache.XXXXXX)}
+export LAZYDRAM_CACHE_MODE=${LAZYDRAM_CACHE_MODE:-auto}
 
 # Fail loudly (and cheaply) on compile errors before the sweep starts.
-cargo build --release -p lazydram-bench --benches
+# The root binary rides along for the `lazydram cache stats` report below.
+cargo build --release -p lazydram-bench --benches -p lazydram
 
 {
 echo "### lazydram reproduction sweep — LAZYDRAM_SCALE=$LAZYDRAM_SCALE, LAZYDRAM_JOBS=$LAZYDRAM_JOBS"
@@ -23,5 +31,7 @@ for b in tab01_config fig08_drop_accuracy fig12_main fig04_delay_sweep tab02_cla
 done
 echo; echo "##### bench: micro_structs"
 cargo bench -q -p lazydram-bench --bench micro_structs | head -60
+echo; echo "##### result store"
+LAZYDRAM_CACHE_DIR="$LAZYDRAM_CACHE_DIR" ./target/release/lazydram cache stats
 echo "### sweep complete"
 } > /root/repo/bench_output.txt 2>&1

@@ -7,8 +7,11 @@
 //! lazydram schemes <APP> [--scale F]    all six paper schemes side by side
 //! lazydram capture <APP> <FILE> [--scale F]   record the baseline request trace
 //! lazydram replay <FILE> [--scheme S]   open-loop MC+DRAM replay of a trace
+//! lazydram cache <stats | ls | gc --max-bytes N | clear>
+//!                                       administer the result store (LAZYDRAM_CACHE_DIR)
 //! ```
 
+use lazydram::bench::{CacheMode, EntryInfo, Store};
 use lazydram::common::{DmsMode, GpuConfig, SchedConfig};
 use lazydram::energy::{EnergyModel, MemoryTech};
 use lazydram::gpu::{application_error, Trace, TraceSim};
@@ -136,6 +139,91 @@ fn cmd_replay(path: &Path, scheme: &str) {
     }
 }
 
+/// Opens the result store named by `LAZYDRAM_CACHE_DIR` for administration
+/// (the mode knob only affects sweeps, not `cache` subcommands).
+fn cache_store() -> Store {
+    let dir = std::env::var("LAZYDRAM_CACHE_DIR")
+        .ok()
+        .filter(|s| !s.trim().is_empty())
+        .unwrap_or_else(|| {
+            eprintln!("LAZYDRAM_CACHE_DIR is not set; point it at the result store to administer");
+            std::process::exit(2);
+        });
+    Store::open(&dir, CacheMode::Auto).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    })
+}
+
+fn entry_age(e: &EntryInfo) -> String {
+    match e.used.and_then(|t| t.elapsed().ok()) {
+        Some(d) => format!("{}s ago", d.as_secs()),
+        None => "-".to_string(),
+    }
+}
+
+fn cmd_cache(args: &[String]) {
+    let store = cache_store();
+    let entries = |msg: &str| -> Vec<EntryInfo> {
+        store.entries().unwrap_or_else(|e| {
+            eprintln!("{msg}: {e}");
+            std::process::exit(1);
+        })
+    };
+    match args.get(1).map(String::as_str) {
+        Some("stats") => {
+            let es = entries("cannot stat store");
+            let bytes: u64 = es.iter().map(|e| e.bytes).sum();
+            let invalid = es.iter().filter(|e| e.identity.is_err()).count();
+            println!("store {}", store.dir().display());
+            println!("  entries {:>12}", es.len());
+            println!("  invalid {:>12}", invalid);
+            println!("  bytes   {:>12}", bytes);
+        }
+        Some("ls") => {
+            for e in entries("cannot list store") {
+                let what = match &e.identity {
+                    Ok((app, scheme)) => format!("{app}/{scheme}"),
+                    Err(err) => format!("INVALID ({err})"),
+                };
+                let name = e.path.file_name().map_or_else(
+                    || e.path.display().to_string(),
+                    |n| n.to_string_lossy().into_owned(),
+                );
+                println!("{:>10}  {:>12}  {:<28} {}", e.bytes, entry_age(&e), what, name);
+            }
+        }
+        Some("gc") => {
+            let max_bytes: u64 = parse_flag(args, "--max-bytes")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("usage: lazydram cache gc --max-bytes N (a byte budget, e.g. 104857600)");
+                    std::process::exit(2);
+                });
+            let evicted = store.gc(max_bytes).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            let freed: u64 = evicted.iter().map(|e| e.bytes).sum();
+            for e in &evicted {
+                println!("evicted {}", e.path.display());
+            }
+            println!("gc: evicted {} entries, freed {freed} bytes", evicted.len());
+        }
+        Some("clear") => {
+            let n = store.clear().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            println!("cleared {n} files from {}", store.dir().display());
+        }
+        _ => {
+            eprintln!("usage: lazydram cache <stats | ls | gc --max-bytes N | clear>");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale: f64 = parse_flag(&args, "--scale").and_then(|s| s.parse().ok()).unwrap_or(0.5);
@@ -154,10 +242,12 @@ fn main() {
             let scheme = parse_flag(&args, "--scheme").unwrap_or_else(|| "baseline".into());
             cmd_replay(Path::new(&args[1]), &scheme);
         }
+        Some("cache") => cmd_cache(&args),
         _ => {
             eprintln!(
                 "usage: lazydram <apps | run APP [--scheme S] | sweep APP | schemes APP | \
-                 capture APP FILE | replay FILE [--scheme S]> [--scale F]"
+                 capture APP FILE | replay FILE [--scheme S] | \
+                 cache <stats|ls|gc --max-bytes N|clear>> [--scale F]"
             );
             std::process::exit(2);
         }

@@ -11,7 +11,9 @@
 //! * [`gpu`] — the execution-driven GPU substrate (SMs, caches, interconnect,
 //!   value prediction, trace capture/replay);
 //! * [`workloads`] — the 20-application evaluation suite of Table II;
-//! * [`energy`] — the GPUWattch-style DRAM energy model.
+//! * [`energy`] — the GPUWattch-style DRAM energy model;
+//! * [`bench`] — the parallel sweep runner and the content-addressed
+//!   result store shared by the figure harnesses and the CLI.
 //!
 //! The crate root also re-exports the high-level entry points — the
 //! [`SimBuilder`] facade, the [`Scheme`] constructors, the
@@ -33,6 +35,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub use lazydram_bench as bench;
 pub use lazydram_common as common;
 pub use lazydram_core as core;
 pub use lazydram_dram as dram;

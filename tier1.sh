@@ -91,6 +91,34 @@ cmp "$CKPT_TMP/cores1.jsonl" "$CKPT_TMP/cores4.jsonl"
 cmp "$CKPT_TMP/cores1.out" "$CKPT_TMP/cores4.out"
 echo "cores=1 and cores=4 sweeps byte-identical (stdout + JSONL)"
 
+echo "== tier1: result-cache smoke =="
+# Cross-sweep caching must be invisible in the results: the same fig04/SCP
+# sweep runs cold (populating the store) and warm (served from it); stdout
+# and JSONL must be byte-identical, the warm run must actually hit (the
+# end-of-sweep summary reports the counters), and nothing may fail. A
+# require-mode pass proves the store alone can serve the whole sweep.
+LAZYDRAM_APPS=SCP LAZYDRAM_SCALE=0.05 LAZYDRAM_QUIET=1 \
+LAZYDRAM_RESULTS="$CKPT_TMP/cc.jsonl" \
+LAZYDRAM_CACHE_DIR="$CKPT_TMP/cache" \
+    cargo bench -q -p lazydram-bench --bench fig04_delay_sweep > "$CKPT_TMP/cc.out"
+LAZYDRAM_APPS=SCP LAZYDRAM_SCALE=0.05 \
+LAZYDRAM_RESULTS="$CKPT_TMP/cw.jsonl" \
+LAZYDRAM_CACHE_DIR="$CKPT_TMP/cache" \
+    cargo bench -q -p lazydram-bench --bench fig04_delay_sweep > "$CKPT_TMP/cw.out" 2> "$CKPT_TMP/cw.err"
+cmp "$CKPT_TMP/cc.jsonl" "$CKPT_TMP/cw.jsonl"
+cmp "$CKPT_TMP/cc.out" "$CKPT_TMP/cw.out"
+grep -E 'cache: [1-9][0-9]* hits' "$CKPT_TMP/cw.err" > /dev/null || {
+    echo "warm sweep reported no cache hits" >&2; cat "$CKPT_TMP/cw.err" >&2; exit 1; }
+if grep -q '"record":"failure"' "$CKPT_TMP/cw.jsonl"; then
+    echo "cache smoke produced failure records" >&2; exit 1
+fi
+LAZYDRAM_APPS=SCP LAZYDRAM_SCALE=0.05 LAZYDRAM_QUIET=1 \
+LAZYDRAM_RESULTS="$CKPT_TMP/cr.jsonl" \
+LAZYDRAM_CACHE_DIR="$CKPT_TMP/cache" LAZYDRAM_CACHE_MODE=require \
+    cargo bench -q -p lazydram-bench --bench fig04_delay_sweep > /dev/null
+cmp "$CKPT_TMP/cc.jsonl" "$CKPT_TMP/cr.jsonl"
+echo "cold + warm + require-mode sweeps byte-identical; warm run hit the store"
+
 echo "== tier1: divergence-bisection smoke =="
 # The bisection tool must find a concrete first divergent cycle between two
 # Static-DMS delays on SLA (it exercises run_until/resume_until chaining).
@@ -114,6 +142,11 @@ echo "== tier1: timed smoke sweep (BENCH_PR4.json) =="
 # container the pool degrades to the inline path, so the gate is an
 # overhead cap — cores=4 must stay within 1.15x of cores=1; on a real
 # multi-core host the run must additionally scale >= 2x at 4 cores.
+# Finally it times the content-addressed result store (BENCH_PR8.json):
+# the same delay sweep cold (populating a fresh store) vs warm (served
+# entirely from disk by a fresh runner), asserting identical measurements
+# and gating on the PR 8 acceptance floor — the warm sweep must run at
+# least 10x faster than the cold one.
 if [ "$(nproc 2>/dev/null || echo 1)" -gt 1 ]; then
     export LAZYDRAM_MIN_CORES_SPEEDUP="${LAZYDRAM_MIN_CORES_SPEEDUP:-2.0}"
 fi
@@ -124,6 +157,8 @@ LAZYDRAM_TRACE_BENCH_OUT="${LAZYDRAM_TRACE_BENCH_OUT:-$PWD/BENCH_PR6.json}" \
 LAZYDRAM_MIN_TRACE_SPEEDUP="${LAZYDRAM_MIN_TRACE_SPEEDUP:-5.0}" \
 LAZYDRAM_CORES_BENCH_OUT="${LAZYDRAM_CORES_BENCH_OUT:-$PWD/BENCH_PR7.json}" \
 LAZYDRAM_MAX_CORES_OVERHEAD="${LAZYDRAM_MAX_CORES_OVERHEAD:-1.15}" \
+LAZYDRAM_CACHE_BENCH_OUT="${LAZYDRAM_CACHE_BENCH_OUT:-$PWD/BENCH_PR8.json}" \
+LAZYDRAM_MIN_CACHE_SPEEDUP="${LAZYDRAM_MIN_CACHE_SPEEDUP:-10}" \
     cargo bench -q -p lazydram-bench --bench perf_smoke --features prof
 
 echo "== tier1: OK =="
