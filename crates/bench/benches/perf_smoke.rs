@@ -15,13 +15,13 @@
 //! * `noskip_s` vs `skip_s` — the naive loop vs fast-forward *within this
 //!   tree*. This isolates the cycle-skipping contribution.
 //! * `pre_pr_s` vs `skip_s` — the recorded pre-PR wall clock (from
-//!   `baselines/pre_pr7.tsv`, measured at the revision before the phased
-//!   multi-core tick) vs the current loop. This is the PR's end-to-end
-//!   speedup and the number tracked as the repo's perf trajectory. Override
-//!   the baseline file with `LAZYDRAM_BASELINE`; when the file is missing
-//!   the columns are omitted. **The baseline was recorded at
-//!   `LAZYDRAM_SCALE=0.2`** — comparisons at any other scale are
-//!   apples-to-oranges.
+//!   `baselines/pre_pr9.tsv`, measured at the revision before the analytic
+//!   compute-burst fast-forward) vs the current loop. This is the PR's
+//!   end-to-end speedup and the number tracked as the repo's perf
+//!   trajectory. Override the baseline file with `LAZYDRAM_BASELINE`; when
+//!   the file is missing the columns are omitted. **The baseline was
+//!   recorded at `LAZYDRAM_SCALE=0.2`** — comparisons at any other scale
+//!   are apples-to-oranges.
 //!
 //! # Regression gate
 //!
@@ -70,6 +70,17 @@
 //! benchmark exits non-zero unless the warm sweep beats the cold one by at
 //! least the ratio — the PR 8 acceptance floor.
 //!
+//! # Compute-skip smoke (`BENCH_PR9.json`)
+//!
+//! A fifth section distils the main sweep into the PR 9 trajectory file
+//! (`LAZYDRAM_PR9_BENCH_OUT`, default `BENCH_PR9.json`): per (app, scheme)
+//! the wall-clock ratio against `pre_pr9.tsv`, the skip fraction split into
+//! idle vs analytic compute skips, and — when built with `--features prof` —
+//! the `sm_issue` phase wall clock against the pre-PR column recorded in
+//! the baseline file (the phase the analytic fast-forward attacks). The
+//! per-app regression gate stays `LAZYDRAM_MAX_REGRESSION` on the main
+//! sweep; this section only records.
+//!
 //! This is a *smoke* benchmark: single-digit runs, no statistics. It is
 //! meant to catch order-of-magnitude regressions (e.g. fast-forward silently
 //! disengaging, a hash map sneaking back onto the lane path), not
@@ -96,9 +107,12 @@ struct Row {
     skip_s: f64,
     noskip_s: f64,
     pre_pr_s: Option<f64>,
+    pre_sm_issue_s: Option<f64>,
     skip_pct: f64,
+    compute_skip_pct: f64,
     core_cycles: u64,
     cycles_skipped: u64,
+    compute_cycles_skipped: u64,
     prof: lazydram_common::ProfReport,
 }
 
@@ -126,12 +140,21 @@ fn timed_run(
     (best, stats.expect("at least one rep"))
 }
 
-/// Loads `app\tscheme\tsecs` lines from the pre-PR baseline file; `#` lines
-/// are comments. Returns `None` when the file is absent (e.g. a stripped
-/// checkout); malformed lines in a *present* file are an error.
-fn load_baseline() -> Option<Vec<(String, String, f64)>> {
+/// One `app\tscheme\tsecs[\tsm_issue_secs]` line of the pre-PR baseline.
+struct BaselineRow {
+    app: String,
+    scheme: String,
+    secs: f64,
+    /// Pre-PR `sm_issue` profiler phase seconds (the optional 4th column).
+    sm_issue_s: Option<f64>,
+}
+
+/// Loads the pre-PR baseline file; `#` lines are comments. Returns `None`
+/// when the file is absent (e.g. a stripped checkout); malformed lines in a
+/// *present* file are an error.
+fn load_baseline() -> Option<Vec<BaselineRow>> {
     let path = std::env::var("LAZYDRAM_BASELINE")
-        .unwrap_or_else(|_| format!("{}/baselines/pre_pr7.tsv", env!("CARGO_MANIFEST_DIR")));
+        .unwrap_or_else(|_| format!("{}/baselines/pre_pr9.tsv", env!("CARGO_MANIFEST_DIR")));
     let text = std::fs::read_to_string(&path).ok()?;
     let mut rows = Vec::new();
     for line in text.lines() {
@@ -146,7 +169,11 @@ fn load_baseline() -> Option<Vec<(String, String, f64)>> {
         let secs: f64 = secs
             .parse()
             .unwrap_or_else(|e| panic!("bad seconds in {path}: {line:?} ({e})"));
-        rows.push((app.to_string(), scheme.to_string(), secs));
+        let sm_issue_s = it.next().map(|s| {
+            s.parse()
+                .unwrap_or_else(|e| panic!("bad sm_issue seconds in {path}: {line:?} ({e})"))
+        });
+        rows.push(BaselineRow { app: app.to_string(), scheme: scheme.to_string(), secs, sm_issue_s });
     }
     Some(rows)
 }
@@ -482,6 +509,60 @@ fn cache_smoke(scale: f64) -> bool {
     }
 }
 
+/// Distils the main sweep into the PR 9 trajectory file: per-(app, scheme)
+/// wall-clock ratio vs `pre_pr9.tsv`, the idle/compute skip split, and the
+/// `sm_issue` phase delta against the pre-PR column when both profiles
+/// exist. Records only; the regression gate runs on the main sweep.
+fn pr9_smoke(rows: &[Row], scale: f64) {
+    use lazydram_common::prof::Phase;
+    let mut json_rows = Vec::new();
+    eprintln!("\ncompute-skip smoke (analytic compute-burst fast-forward, PR 9 trajectory):");
+    for r in rows {
+        let sm_issue_s =
+            (!r.prof.is_empty()).then(|| r.prof.get(Phase::SmIssue));
+        let mut o = JsonObject::new();
+        o.str("app", r.app)
+            .str("scheme", r.scheme)
+            .f64("scale", scale)
+            .f64("fast_s", r.skip_s)
+            .f64("skip_pct", r.skip_pct)
+            .f64("compute_skip_pct", r.compute_skip_pct)
+            .f64("idle_skip_pct", r.skip_pct - r.compute_skip_pct)
+            .u64("core_cycles", r.core_cycles)
+            .u64("cycles_skipped", r.cycles_skipped)
+            .u64("compute_cycles_skipped", r.compute_cycles_skipped);
+        if let Some(b) = r.pre_pr_s {
+            o.f64("pre_pr_s", b).f64("speedup_vs_pre_pr", b / r.skip_s.max(1e-9));
+        }
+        if let Some(cur) = sm_issue_s {
+            o.f64("sm_issue_s", cur);
+            if let Some(pre) = r.pre_sm_issue_s {
+                o.f64("pre_sm_issue_s", pre).f64("sm_issue_delta_s", pre - cur);
+            }
+        }
+        eprintln!(
+            "  {}/{}: {:.1}% skipped ({:.1}% compute bursts){}{}",
+            r.app,
+            r.scheme,
+            r.skip_pct,
+            r.compute_skip_pct,
+            r.pre_pr_s
+                .map_or_else(String::new, |b| format!(", {:.1}x vs pre-PR", b / r.skip_s.max(1e-9))),
+            match (sm_issue_s, r.pre_sm_issue_s) {
+                (Some(cur), Some(pre)) =>
+                    format!(", sm_issue {pre:.3}s -> {cur:.3}s"),
+                _ => String::new(),
+            },
+        );
+        json_rows.push(o.finish());
+    }
+    let out =
+        std::env::var("LAZYDRAM_PR9_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR9.json".to_string());
+    std::fs::write(&out, array(&json_rows) + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    eprintln!("wrote {out}");
+}
+
 /// Parses a positive-ratio environment variable, panicking on malformed
 /// values (a silently ignored gate is worse than none).
 fn ratio_from_env(name: &str) -> Option<f64> {
@@ -515,16 +596,16 @@ fn main() {
         for app in APPS {
             let (noskip_s, _) = timed_run(app, sched, scale, false, reps);
             let (skip_s, stats) = timed_run(app, sched, scale, true, reps);
-            let pre_pr_s = baseline.as_ref().and_then(|b| {
-                b.iter()
-                    .find(|(a, s, _)| a == app && s == scheme_label)
-                    .map(|&(_, _, secs)| secs)
-            });
+            let pre = baseline
+                .as_ref()
+                .and_then(|b| b.iter().find(|r| r.app == *app && r.scheme == *scheme_label));
+            let pre_pr_s = pre.map(|r| r.secs);
             eprintln!(
                 "{app}/{scheme_label}: naive {noskip_s:.3}s, fast-forward {skip_s:.3}s \
-                 ({speedup:.1}x, skipped {pct:.1}% of cycles{vs})",
+                 ({speedup:.1}x, skipped {pct:.1}% of cycles, {cpct:.1}% as compute bursts{vs})",
                 speedup = noskip_s / skip_s.max(1e-9),
                 pct = 100.0 * stats.skip_fraction(),
+                cpct = 100.0 * stats.compute_skip_fraction(),
                 vs = match pre_pr_s {
                     Some(b) => format!(", {:.1}x vs pre-PR", b / skip_s.max(1e-9)),
                     None => String::new(),
@@ -536,9 +617,12 @@ fn main() {
                 skip_s,
                 noskip_s,
                 pre_pr_s,
+                pre_sm_issue_s: pre.and_then(|r| r.sm_issue_s),
                 skip_pct: 100.0 * stats.skip_fraction(),
+                compute_skip_pct: 100.0 * stats.compute_skip_fraction(),
                 core_cycles: stats.core_cycles,
                 cycles_skipped: stats.cycles_skipped,
+                compute_cycles_skipped: stats.compute_cycles_skipped,
                 prof: stats.prof.clone(),
             });
         }
@@ -546,12 +630,12 @@ fn main() {
 
     println!();
     println!(
-        "{:<14} {:<11} {:>9} {:>9} {:>9} {:>8} {:>8}",
-        "app", "scheme", "pre_pr_s", "naive_s", "fast_s", "speedup", "skip%"
+        "{:<14} {:<11} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8}",
+        "app", "scheme", "pre_pr_s", "naive_s", "fast_s", "speedup", "skip%", "cskip%"
     );
     for r in &rows {
         println!(
-            "{:<14} {:<11} {:>9} {:>9.3} {:>9.3} {:>7.1}x {:>7.1}%",
+            "{:<14} {:<11} {:>9} {:>9.3} {:>9.3} {:>7.1}x {:>7.1}% {:>7.1}%",
             r.app,
             r.scheme,
             r.pre_pr_s.map_or_else(|| "-".into(), |b| format!("{b:.3}")),
@@ -559,6 +643,7 @@ fn main() {
             r.skip_s,
             r.pre_pr_s.unwrap_or(r.noskip_s) / r.skip_s.max(1e-9),
             r.skip_pct,
+            r.compute_skip_pct,
         );
     }
     let ratios: Vec<(usize, f64)> = rows
@@ -598,8 +683,10 @@ fn main() {
                 .f64("skip_s", r.skip_s)
                 .f64("speedup_vs_naive", r.noskip_s / r.skip_s.max(1e-9))
                 .f64("skip_pct", r.skip_pct)
+                .f64("compute_skip_pct", r.compute_skip_pct)
                 .u64("core_cycles", r.core_cycles)
-                .u64("cycles_skipped", r.cycles_skipped);
+                .u64("cycles_skipped", r.cycles_skipped)
+                .u64("compute_cycles_skipped", r.compute_cycles_skipped);
             if let Some(b) = r.pre_pr_s {
                 o.f64("pre_pr_s", b)
                     .f64("speedup_vs_pre_pr", b / r.skip_s.max(1e-9));
@@ -614,6 +701,8 @@ fn main() {
     std::fs::write(&out, array(&json_rows) + "\n")
         .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     eprintln!("wrote {out}");
+
+    pr9_smoke(&rows, scale);
 
     let trace_ok = trace_smoke(scale);
     let cores_ok = cores_smoke(scale, reps);

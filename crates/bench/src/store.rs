@@ -58,8 +58,9 @@ use std::sync::{Arc, Mutex};
 
 /// Wire-format version of a store entry. Bump on any layout change; readers
 /// reject entries from a different version (and `auto` mode re-simulates and
-/// overwrites them).
-pub const STORE_VERSION: u16 = 1;
+/// overwrites them). v2: the embedded `SimStats` frame gained the
+/// `compute_cycles_skipped` counter (PR 9 skip-accounting split).
+pub const STORE_VERSION: u16 = 2;
 
 /// Filename extension of a store entry.
 pub const ENTRY_EXT: &str = "meas";

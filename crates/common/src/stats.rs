@@ -312,6 +312,11 @@ pub struct SimStats {
     /// Core cycles the event-driven loop fast-forwarded over without
     /// executing any component (zero when skipping is disabled).
     pub cycles_skipped: u64,
+    /// The subset of `cycles_skipped` spanning *busy* cycles: spans where at
+    /// least one SM's `Computing` warps were advanced analytically instead
+    /// of being provably idle. Zero when compute skipping is disabled
+    /// (`LAZYDRAM_NO_COMPUTE_SKIP=1`) or skipping is off entirely.
+    pub compute_cycles_skipped: u64,
     /// Core cycles actually executed by the master loop. With skipping off
     /// this equals `core_cycles`; with skipping on,
     /// `ticks_executed + cycles_skipped` covers the simulated span.
@@ -342,6 +347,7 @@ impl PartialEq for SimStats {
             l2_misses,
             approximated_loads,
             cycles_skipped,
+            compute_cycles_skipped,
             ticks_executed,
             ams_declines,
             ams_accepts,
@@ -356,6 +362,7 @@ impl PartialEq for SimStats {
             && *l2_misses == other.l2_misses
             && *approximated_loads == other.approximated_loads
             && *cycles_skipped == other.cycles_skipped
+            && *compute_cycles_skipped == other.compute_cycles_skipped
             && *ticks_executed == other.ticks_executed
             && *ams_declines == other.ams_declines
             && *ams_accepts == other.ams_accepts
@@ -375,6 +382,23 @@ impl SimStats {
             0.0
         } else {
             self.cycles_skipped as f64 / self.core_cycles as f64
+        }
+    }
+
+    /// The subset of `cycles_skipped` spanning provably *idle* cycles — the
+    /// PR 2 skipper's territory, as opposed to analytically replayed
+    /// compute bursts.
+    pub fn idle_cycles_skipped(&self) -> u64 {
+        self.cycles_skipped - self.compute_cycles_skipped
+    }
+
+    /// Fraction of simulated core cycles fast-forwarded through *busy*
+    /// compute bursts (analytic round-robin replay rather than idleness).
+    pub fn compute_skip_fraction(&self) -> f64 {
+        if self.core_cycles == 0 {
+            0.0
+        } else {
+            self.compute_cycles_skipped as f64 / self.core_cycles as f64
         }
     }
 
@@ -400,6 +424,7 @@ impl SimStats {
             l2_misses,
             approximated_loads,
             cycles_skipped,
+            compute_cycles_skipped,
             ticks_executed,
             ams_declines,
             ams_accepts,
@@ -414,6 +439,7 @@ impl SimStats {
         s.u64("l2_misses", *l2_misses);
         s.u64("approximated_loads", *approximated_loads);
         s.u64("cycles_skipped", *cycles_skipped);
+        s.u64("compute_cycles_skipped", *compute_cycles_skipped);
         s.u64("ticks_executed", *ticks_executed);
         s.u64s("ams_declines", ams_declines);
         s.u64("ams_accepts", *ams_accepts);
@@ -434,6 +460,7 @@ impl SimStats {
         self.l2_misses = l.u64("l2_misses")?;
         self.approximated_loads = l.u64("approximated_loads")?;
         self.cycles_skipped = l.u64("cycles_skipped")?;
+        self.compute_cycles_skipped = l.u64("compute_cycles_skipped")?;
         self.ticks_executed = l.u64("ticks_executed")?;
         l.u64s("ams_declines", &mut self.ams_declines)?;
         self.ams_accepts = l.u64("ams_accepts")?;
@@ -451,6 +478,7 @@ impl SimStats {
             .u64("l2_misses", self.l2_misses)
             .u64("approximated_loads", self.approximated_loads)
             .u64("cycles_skipped", self.cycles_skipped)
+            .u64("compute_cycles_skipped", self.compute_cycles_skipped)
             .u64("ticks_executed", self.ticks_executed)
             .u64("ams_accepts", self.ams_accepts)
             .u64_array("ams_declines", &self.ams_declines)

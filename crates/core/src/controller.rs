@@ -156,10 +156,9 @@ impl MemoryController {
     pub fn tick(&mut self, out: &mut Vec<Response>) {
         self.now += 1;
         let now = self.now;
-        {
-            let _t = prof::enter(Phase::Dram);
-            self.channel.advance_to(now);
-        }
+        // Not worth a profiler tag: `advance_to` is a single max(), and a
+        // per-tick prof guard would cost more than the work it measures.
+        self.channel.advance_to(now);
 
         // Window profilers.
         let busy = self.channel.stats().bus_busy_cycles;
@@ -212,8 +211,11 @@ impl MemoryController {
                 self.channel.refresh(now);
                 return;
             }
-            for bank in 0..self.channel.num_banks() {
-                if self.channel.open_row(bank).is_some() && self.channel.can_precharge(bank, now) {
+            let mut open = self.channel.open_banks();
+            while open != 0 {
+                let bank = open.trailing_zeros() as usize;
+                open &= open - 1;
+                if self.channel.can_precharge(bank, now) {
                     self.channel.precharge(bank, now);
                     return;
                 }
@@ -242,19 +244,20 @@ impl MemoryController {
         }
         // Closed-page policy precharges open rows as soon as tRAS allows,
         // even with an empty queue — tick until they are closed.
-        if self.row_policy == RowPolicy::Closed
-            && (0..self.channel.num_banks()).any(|b| self.channel.open_row(b).is_some())
-        {
+        if self.row_policy == RowPolicy::Closed && self.channel.open_banks() != 0 {
             return Some(now + 1);
         }
         if !self.queue.is_empty() {
             // A pending row-buffer hit can legalize on bus/bank timing
-            // alone (never DMS-gated) — treat as imminent.
-            for bank in 0..self.channel.num_banks() {
-                if let Some(row) = self.channel.open_row(bank) {
-                    if self.queue.any_for_row(bank, row) {
-                        return Some(now + 1);
-                    }
+            // alone (never DMS-gated) — treat as imminent. Only banks that
+            // are both open and have pending requests can host one.
+            let mut scan = self.channel.open_banks() & self.queue.bank_mask();
+            while scan != 0 {
+                let bank = scan.trailing_zeros() as usize;
+                scan &= scan - 1;
+                let row = self.channel.open_row(bank).expect("bank in open mask");
+                if self.queue.any_for_row(bank, row) {
+                    return Some(now + 1);
                 }
             }
             // Row misses only: nothing can issue until the DMS delay
@@ -310,7 +313,6 @@ impl MemoryController {
     /// All selection queries are O(banks) thanks to the indexed queue.
     fn schedule(&mut self, out: &mut Vec<Response>) {
         let now = self.now;
-        let nbanks = self.channel.num_banks();
 
         // Pass 1: a CAS for an open row. FR-FCFS picks the oldest hit across
         // all banks; strict FCFS only serves the globally oldest request
@@ -318,10 +320,13 @@ impl MemoryController {
         let mut best: Option<(u64, RequestId, usize)> = None;
         match self.arbiter {
             Arbiter::FrFcfs => {
-                for bank in 0..nbanks {
-                    let Some(row) = self.channel.open_row(bank) else {
-                        continue;
-                    };
+                // A hit needs an open row and pending work in that bank:
+                // scan only the intersection of the two occupancy masks.
+                let mut scan = self.channel.open_banks() & self.queue.bank_mask();
+                while scan != 0 {
+                    let bank = scan.trailing_zeros() as usize;
+                    scan &= scan - 1;
+                    let row = self.channel.open_row(bank).expect("bank in open mask");
                     let Some((seq, req)) = self.queue.oldest_for_row(bank, row) else {
                         continue;
                     };
@@ -364,14 +369,14 @@ impl MemoryController {
         // requests left, immediately (not gated by DMS — closing is not a
         // new row opening), even when the queue is empty.
         if self.row_policy == RowPolicy::Closed {
-            for bank in 0..nbanks {
-                if let Some(open) = self.channel.open_row(bank) {
-                    if !self.queue.any_for_row(bank, open)
-                        && self.channel.can_precharge(bank, now)
-                    {
-                        self.channel.precharge(bank, now);
-                        return;
-                    }
+            let mut scan = self.channel.open_banks();
+            while scan != 0 {
+                let bank = scan.trailing_zeros() as usize;
+                scan &= scan - 1;
+                let open = self.channel.open_row(bank).expect("bank in open mask");
+                if !self.queue.any_for_row(bank, open) && self.channel.can_precharge(bank, now) {
+                    self.channel.precharge(bank, now);
+                    return;
                 }
             }
         }
@@ -394,10 +399,18 @@ impl MemoryController {
         // whose row is closed (→ ACT) or whose open row has no pending
         // requests left (→ PRE, open-row policy). Under strict FCFS only
         // the globally oldest request is a candidate.
-        let mut cands: Vec<(u64, usize, bool)> = Vec::with_capacity(nbanks);
+        // Stack-allocated: `nbanks` ≤ 64 (asserted at construction), and the
+        // scheduler runs every busy memory cycle — no heap traffic here.
+        let mut cands = [(0u64, 0usize, false); 64];
+        let mut ncands = 0;
         match self.arbiter {
             Arbiter::FrFcfs => {
-                for bank in 0..nbanks {
+                // Only banks with pending requests can produce a candidate
+                // (`oldest_for_bank` is None for the rest).
+                let mut scan = self.queue.bank_mask();
+                while scan != 0 {
+                    let bank = scan.trailing_zeros() as usize;
+                    scan &= scan - 1;
                     let needs_pre = match self.channel.open_row(bank) {
                         Some(open) => {
                             if self.queue.any_for_row(bank, open) {
@@ -408,10 +421,11 @@ impl MemoryController {
                         None => false,
                     };
                     if let Some((seq, _)) = self.queue.oldest_for_bank(bank) {
-                        cands.push((seq, bank, needs_pre));
+                        cands[ncands] = (seq, bank, needs_pre);
+                        ncands += 1;
                     }
                 }
-                cands.sort_unstable();
+                cands[..ncands].sort_unstable();
             }
             Arbiter::Fcfs => {
                 // Strict FCFS manages rows only for the globally oldest
@@ -421,14 +435,20 @@ impl MemoryController {
                     let bank = req.loc.flat_bank(self.queue_banks_per_group());
                     match self.channel.open_row(bank) {
                         Some(open) if open == req.loc.row => {} // hit pending timing
-                        Some(_) => cands.push((0, bank, true)),
-                        None => cands.push((0, bank, false)),
+                        Some(_) => {
+                            cands[0] = (0, bank, true);
+                            ncands = 1;
+                        }
+                        None => {
+                            cands[0] = (0, bank, false);
+                            ncands = 1;
+                        }
                     }
                 }
             }
         }
 
-        for (i, &(_, bank, needs_pre)) in cands.iter().enumerate() {
+        for (i, &(_, bank, needs_pre)) in cands[..ncands].iter().enumerate() {
             if i == 0 {
                 // AMS inspects only the oldest row-management candidate
                 // (the request about to cause the next activation).

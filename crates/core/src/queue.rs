@@ -127,6 +127,12 @@ pub struct PendingQueue {
     /// Per-flat-bank list of live slab slots — a handful of entries, scanned
     /// linearly.
     bank_rows: Vec<Vec<u32>>,
+    /// Live request count per flat bank. Derived (maintained by
+    /// `push`/`remove`, rebuilt on restore, never serialized).
+    bank_live: Vec<u32>,
+    /// Bit `b` set iff `bank_live[b] > 0` — lets the scheduler's per-cycle
+    /// scans visit only banks that actually have pending work.
+    bank_mask: u64,
 }
 
 impl PendingQueue {
@@ -139,6 +145,7 @@ impl PendingQueue {
     pub fn new(capacity: usize, banks: usize, banks_per_group: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
         assert!(banks > 0, "need at least one bank");
+        assert!(banks <= 64, "the bank bitmask caps a channel at 64 banks");
         Self {
             capacity,
             banks_per_group,
@@ -150,7 +157,14 @@ impl PendingQueue {
             rows: Vec::new(),
             free_rows: Vec::new(),
             bank_rows: vec![Vec::new(); banks],
+            bank_live: vec![0; banks],
+            bank_mask: 0,
         }
+    }
+
+    /// Bitmask of flat banks with at least one pending request.
+    pub fn bank_mask(&self) -> u64 {
+        self.bank_mask
     }
 
     /// Slab slot of `(bank, row)` if that row has live requests.
@@ -242,6 +256,8 @@ impl PendingQueue {
         self.live.trim();
         self.arrival.push_back((seq, req));
         self.bank_fifo[bank].push_back((seq, req));
+        self.bank_live[bank] += 1;
+        self.bank_mask |= 1 << bank;
         let slot = self.find_or_alloc_row(bank, row);
         let entry = &mut self.rows[slot as usize];
         entry.fifo.push_back((seq, req));
@@ -311,12 +327,18 @@ impl PendingQueue {
         if req.is_global_read() {
             entry.global_reads -= 1;
         }
-        if entry.count == 0 {
+        let row_emptied = entry.count == 0;
+        let bank = self.flat_bank(&req);
+        self.bank_live[bank] -= 1;
+        if self.bank_live[bank] == 0 {
+            self.bank_mask &= !(1 << bank);
+        }
+        if row_emptied {
             // Free the slot immediately: drop the FIFO's stale entries now
             // (the capacity is kept for reuse) and unlink it from the bank.
+            let entry = &mut self.rows[slot as usize];
             debug_assert_eq!(entry.global_reads, 0);
             entry.fifo.clear();
-            let bank = self.flat_bank(&req);
             let pos = self.bank_rows[bank]
                 .iter()
                 .position(|&s| s == slot)
@@ -476,6 +498,16 @@ impl PendingQueue {
             slots.clear();
             for _ in 0..k {
                 slots.push(l.u32("slot")?);
+            }
+        }
+        // Rebuild the derived per-bank occupancy (never serialized): each
+        // bank's live count is the sum of its linked rows' counts.
+        self.bank_mask = 0;
+        for (bank, slots) in self.bank_rows.iter().enumerate() {
+            let live: u32 = slots.iter().map(|&s| self.rows[s as usize].count).sum();
+            self.bank_live[bank] = live;
+            if live > 0 {
+                self.bank_mask |= 1 << bank;
             }
         }
         Ok(())

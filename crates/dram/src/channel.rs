@@ -13,6 +13,10 @@ pub struct Channel {
     timings: DramTimings,
     banks: Vec<Bank>,
     banks_per_group: usize,
+    /// Bit `b` set iff bank `b` has an open row. Derived from `banks`
+    /// (maintained by `activate`/`precharge`/`drain`, rebuilt on restore,
+    /// never serialized); lets per-cycle scans visit only open banks.
+    open_banks: u64,
     /// Earliest cycle the next `ACT` to *any* bank is legal (tRRD).
     next_act_ok: u64,
     /// Cycle of the most recent command, for the 1-command/cycle bus.
@@ -41,10 +45,15 @@ pub struct Channel {
 impl Channel {
     /// Creates an idle channel per the GPU configuration.
     pub fn new(cfg: &GpuConfig) -> Self {
+        assert!(
+            cfg.banks_per_channel <= 64,
+            "the open-bank bitmask caps a channel at 64 banks"
+        );
         Self {
             timings: cfg.timings,
             banks: (0..cfg.banks_per_channel).map(|_| Bank::new()).collect(),
             banks_per_group: cfg.banks_per_channel / cfg.bank_groups,
+            open_banks: 0,
             next_act_ok: 0,
             last_cmd_cycle: None,
             bus_free: 0,
@@ -82,6 +91,11 @@ impl Channel {
     /// The row currently open in `bank`, if any.
     pub fn open_row(&self, bank: usize) -> Option<u32> {
         self.banks[bank].open_row()
+    }
+
+    /// Bitmask of banks with an open row (bit `b` ⇔ `open_row(b).is_some()`).
+    pub fn open_banks(&self) -> u64 {
+        self.open_banks
     }
 
     /// Read-only view of a bank.
@@ -134,6 +148,7 @@ impl Channel {
     pub fn activate(&mut self, bank: usize, row: u32, now: u64) {
         debug_assert!(self.can_activate(bank, now), "illegal ACT at {now}");
         self.banks[bank].activate(row, now, &self.timings);
+        self.open_banks |= 1 << bank;
         self.next_act_ok = now + u64::from(self.timings.t_rrd);
         self.last_cmd_cycle = Some(now);
         // Rotate the tFAW ring: overwrite the oldest entry.
@@ -156,6 +171,7 @@ impl Channel {
     pub fn precharge(&mut self, bank: usize, now: u64) {
         debug_assert!(self.can_precharge(bank, now), "illegal PRE at {now}");
         let rec = self.banks[bank].precharge(now, &self.timings);
+        self.open_banks &= !(1 << bank);
         self.last_cmd_cycle = Some(now);
         self.stats.precharges += 1;
         self.record_closed(rec.served, rec.read_only);
@@ -340,6 +356,13 @@ impl Channel {
         for (i, b) in self.banks.iter_mut().enumerate() {
             l.frame("bank", i as u32, |l| b.load_state(l))?;
         }
+        // Rebuild the derived open-bank mask (never serialized).
+        self.open_banks = 0;
+        for (i, b) in self.banks.iter().enumerate() {
+            if b.open_row().is_some() {
+                self.open_banks |= 1 << i;
+            }
+        }
         self.next_act_ok = l.u64("next_act_ok")?;
         let has_last_cmd = l.bool("has_last_cmd")?;
         let last_cmd = l.u64("last_cmd_cycle")?;
@@ -385,6 +408,7 @@ impl Channel {
                 self.record_closed(rec.served, rec.read_only);
             }
         }
+        self.open_banks = 0;
     }
 }
 

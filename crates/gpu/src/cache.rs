@@ -48,6 +48,11 @@ pub struct Cache {
     sets: Vec<Vec<Way>>,
     ways: usize,
     line_bytes: u64,
+    /// `log2(line_bytes)` — set indexing runs on shift/mask instead of
+    /// 64-bit division (the lookup/probe path is the simulator's hottest).
+    line_shift: u32,
+    /// `num_sets - 1` (set count is asserted to be a power of two).
+    set_mask: u64,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -67,10 +72,13 @@ impl Cache {
         assert_eq!(lines % ways, 0, "cache geometry must divide evenly");
         let num_sets = lines / ways;
         assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
         Self {
             sets: vec![Vec::with_capacity(ways); num_sets],
             ways,
             line_bytes: line_bytes as u64,
+            line_shift: line_bytes.trailing_zeros(),
+            set_mask: (num_sets - 1) as u64,
             tick: 0,
             hits: 0,
             misses: 0,
@@ -92,8 +100,9 @@ impl Cache {
         self.misses
     }
 
+    #[inline]
     fn set_of(&self, line: u64) -> usize {
-        ((line / self.line_bytes) % self.sets.len() as u64) as usize
+        ((line >> self.line_shift) & self.set_mask) as usize
     }
 
     fn line_of(&self, addr: u64) -> u64 {

@@ -50,7 +50,8 @@ pub use lazydram_common::snap::{Loader, Saver, SnapError, SnapResult};
 pub use noc::{DelayQueue, NocFull};
 pub use pool::{parse_oversubscribe, SharedSlice, WorkerPool};
 pub use sim::{
-    cores_from_env, parse_cores, parse_no_skip, run_kernel, Checkpoint, RunOutcome, RunResult,
+    cores_from_env, parse_cores, parse_no_compute_skip, parse_no_skip, run_kernel, Checkpoint,
+    RunOutcome, RunResult,
     SimLimits, Simulator,
 };
 pub use trace::{

@@ -122,6 +122,43 @@ fn no_skip_from_env() -> bool {
     })
 }
 
+/// Parses a `LAZYDRAM_NO_COMPUTE_SKIP` value: `1`/`true` restrict
+/// fast-forward to provably idle spans (the PR 2 behavior), `0`/`false`
+/// keep the analytic compute-burst skip enabled.
+///
+/// Kept separate from the env lookup so the validation is unit-testable.
+///
+/// # Errors
+///
+/// Returns a description of the expected format on anything else.
+pub fn parse_no_compute_skip(s: &str) -> Result<bool, String> {
+    match s.trim() {
+        "1" | "true" => Ok(true),
+        "0" | "false" => Ok(false),
+        _ => Err(format!(
+            "LAZYDRAM_NO_COMPUTE_SKIP={s:?} is not a boolean; expected 1/true \
+             to restrict fast-forward to idle spans or 0/false to keep the \
+             analytic compute-burst skip enabled"
+        )),
+    }
+}
+
+/// Whether `LAZYDRAM_NO_COMPUTE_SKIP` disables compute-burst skipping for
+/// this process. The escape hatch exists so `dbg_diverge` can bisect a
+/// compute-skip slip against the idle-only schedule.
+///
+/// # Panics
+///
+/// Panics on a malformed value instead of silently picking a loop mode (the
+/// modes are result-identical but differ wildly in wall-clock).
+fn no_compute_skip_from_env() -> bool {
+    static NO_COMPUTE_SKIP: OnceLock<bool> = OnceLock::new();
+    *NO_COMPUTE_SKIP.get_or_init(|| match std::env::var("LAZYDRAM_NO_COMPUTE_SKIP") {
+        Ok(s) => parse_no_compute_skip(&s).unwrap_or_else(|e| panic!("{e}")),
+        Err(_) => false,
+    })
+}
+
 /// Parses a `LAZYDRAM_CORES` value: how many threads (the calling thread
 /// included) the phased tick may use. Must be an integer >= 1. Results are
 /// bit-identical at every value; only wall-clock changes.
@@ -333,6 +370,9 @@ struct LaunchMachine {
     core_cycle: u64,
     ticks_executed: u64,
     cycles_skipped: u64,
+    /// The subset of `cycles_skipped` classified as compute-skip: spans
+    /// where at least one SM replayed `Computing` warps analytically.
+    compute_cycles_skipped: u64,
     /// Per-SM staging areas for phase A of the tick. Transient: drained at
     /// the phase-B barrier every cycle, so they are always empty between
     /// cycles and are never serialized.
@@ -384,6 +424,7 @@ impl LaunchMachine {
             core_cycle: 0,
             ticks_executed: 0,
             cycles_skipped: 0,
+            compute_cycles_skipped: 0,
             stages: (0..cfg.num_sms)
                 .map(|_| SmStage::new(cfg.num_channels))
                 .collect(),
@@ -416,7 +457,7 @@ impl LaunchMachine {
 
     /// Serializes the machine as a flat sequence of per-component frames.
     fn save_frames(&self, s: &mut Saver) {
-        s.frame("mach", 0, |s| {
+        s.frame("mach", 1, |s| {
             s.usize("total_warps", self.total_warps);
             s.usize("next_warp", self.next_warp);
             s.u64("acc", self.acc);
@@ -424,6 +465,7 @@ impl LaunchMachine {
             s.u64("core_cycle", self.core_cycle);
             s.u64("ticks_executed", self.ticks_executed);
             s.u64("cycles_skipped", self.cycles_skipped);
+            s.u64("compute_cycles_skipped", self.compute_cycles_skipped);
         });
         for (i, sm) in self.sms.iter().enumerate() {
             s.frame("sm", i as u32, |s| sm.save_state(s));
@@ -462,7 +504,7 @@ impl LaunchMachine {
     /// their dynamic state loaded into them.
     fn load_frames(&mut self, l: &mut Loader<'_>, kernel: &dyn Kernel) -> SnapResult<()> {
         let expect_warps = self.total_warps;
-        let scalars = l.frame("mach", 0, |l| {
+        let scalars = l.frame("mach", 1, |l| {
             let tw = l.usize("total_warps")?;
             if tw != expect_warps {
                 return Err(SnapError::Malformed {
@@ -480,6 +522,7 @@ impl LaunchMachine {
                 l.u64("core_cycle")?,
                 l.u64("ticks_executed")?,
                 l.u64("cycles_skipped")?,
+                l.u64("compute_cycles_skipped")?,
             ])
         })?;
         self.next_warp = scalars[0] as usize;
@@ -488,6 +531,7 @@ impl LaunchMachine {
         self.core_cycle = scalars[3];
         self.ticks_executed = scalars[4];
         self.cycles_skipped = scalars[5];
+        self.compute_cycles_skipped = scalars[6];
         for (i, sm) in self.sms.iter_mut().enumerate() {
             l.frame("sm", i as u32, |l| sm.load_state(l, kernel))?;
         }
@@ -535,6 +579,7 @@ pub struct Simulator {
     limits: SimLimits,
     capture_trace: bool,
     cycle_skipping: bool,
+    compute_skipping: bool,
     cores: usize,
 }
 
@@ -590,6 +635,7 @@ impl Simulator {
             limits: SimLimits::default(),
             capture_trace: false,
             cycle_skipping: !no_skip_from_env(),
+            compute_skipping: !no_compute_skip_from_env(),
             cores: cores_from_env(),
         }
     }
@@ -612,6 +658,15 @@ impl Simulator {
     /// either way; only wall-clock changes.
     pub fn with_cycle_skipping(mut self, enabled: bool) -> Self {
         self.cycle_skipping = enabled;
+        self
+    }
+
+    /// Forces analytic compute-burst skipping on or off, overriding the
+    /// `LAZYDRAM_NO_COMPUTE_SKIP` environment default. Only effective while
+    /// cycle skipping itself is enabled; results are bit-identical either
+    /// way, only wall-clock changes.
+    pub fn with_compute_skipping(mut self, enabled: bool) -> Self {
+        self.compute_skipping = enabled;
         self
     }
 
@@ -819,8 +874,13 @@ impl Simulator {
     fn config_digest(&self) -> u64 {
         digest(
             format!(
-                "{:?}|{:?}|{:?}|{}|{}",
-                self.cfg, self.sched, self.limits, self.capture_trace, self.cycle_skipping
+                "{:?}|{:?}|{:?}|{}|{}|{}",
+                self.cfg,
+                self.sched,
+                self.limits,
+                self.capture_trace,
+                self.cycle_skipping,
+                self.compute_skipping
             )
             .as_bytes(),
         )
@@ -841,7 +901,7 @@ impl Simulator {
             s.u64("cfg_digest", self.config_digest());
             s.u64("cycle", total.core_cycles + m.core_cycle);
         });
-        s.frame("stat", 0, |s| total.save_state(s));
+        s.frame("stat", 1, |s| total.save_state(s));
         s.frame("trc", 0, |s| {
             s.bool("has", trace.is_some());
             if let Some(t) = trace {
@@ -919,7 +979,7 @@ impl Simulator {
             Ok(())
         })?;
         let mut stats = SimStats::new();
-        l.frame("stat", 0, |l| stats.load_state(l))?;
+        l.frame("stat", 1, |l| stats.load_state(l))?;
         let mut trace = None;
         l.frame("trc", 0, |l| {
             if l.bool("has")? {
@@ -1059,10 +1119,12 @@ impl Simulator {
             core_cycle,
             ticks_executed,
             cycles_skipped,
+            compute_cycles_skipped,
             stages,
             resp_bufs,
             worker_prof,
         } = m;
+        let compute_skipping = self.compute_skipping;
         let total_warps = *total_warps;
         let n_sms = sms.len();
         let n_parts = slices.len();
@@ -1079,25 +1141,39 @@ impl Simulator {
         let mut mc_events: Vec<u64> = vec![0; mcs.len()];
 
         let outcome = loop {
-            // 0. Fast-forward over provably idle cycles. Runs at the top of
-            //    the iteration — before the next cycle executes — so a
-            //    resumed run re-derives the remainder of a skip the pause
-            //    cut short, keeping the executed/skipped accounting
-            //    bit-identical to the uninterrupted run.
+            // 0. Fast-forward over provably idle — or busy but analytically
+            //    predictable — cycles. Runs at the top of the iteration,
+            //    before the next cycle executes, so a resumed run re-derives
+            //    the remainder of a skip the pause cut short, keeping the
+            //    executed/skipped accounting bit-identical to the
+            //    uninterrupted run.
             if self.cycle_skipping && *core_cycle > 0 {
                 let _t_ff = prof::enter(Phase::FastForward);
                 let mut target = next_interesting_cycle(
-                    *core_cycle, limit, *acc, core_hz, mem_hz, *mem_time,
+                    *core_cycle, limit, *acc, core_hz, mem_hz, *mem_time, compute_skipping,
                     sms, slices, req_noc, reply_noc, mcs, &pool, &mut mc_events,
                 );
                 if let Some(p) = pause {
-                    // Never skip past the pause point: the span up to `p`
-                    // is still provably idle, so clamping preserves
-                    // equivalence.
+                    // Never skip past the pause point: any prefix of a
+                    // skippable span is itself skippable (idle cycles stay
+                    // idle; a compute replay is valid for every shorter
+                    // span), so clamping preserves equivalence.
                     target = target.min(p.saturating_add(1));
                 }
                 if target > *core_cycle + 1 {
                     let skipped = target - *core_cycle - 1;
+                    // Replay each SM's round-robin compute schedule over the
+                    // span in closed form — the exact grants, `rr` cursor
+                    // moves and `Computing -> Ready` transitions the naive
+                    // loop would have produced. A span where any SM did so
+                    // is accounted as compute-skip; pure idle spans keep the
+                    // PR 2 idle-skip classification.
+                    let mut advanced_compute = false;
+                    if compute_skipping {
+                        for sm in sms.iter_mut() {
+                            advanced_compute |= sm.advance_compute(skipped);
+                        }
+                    }
                     // Advance the memory clock analytically over the
                     // skipped span; the controllers see the exact same tick
                     // count (all of them no-ops) as the naive loop would
@@ -1113,6 +1189,9 @@ impl Simulator {
                         }
                     }
                     *cycles_skipped += skipped;
+                    if advanced_compute {
+                        *compute_cycles_skipped += skipped;
+                    }
                     *core_cycle = target - 1;
                 }
             }
@@ -1259,6 +1338,7 @@ impl LaunchMachine {
         total.core_cycles += self.core_cycle;
         total.ticks_executed += self.ticks_executed;
         total.cycles_skipped += self.cycles_skipped;
+        total.compute_cycles_skipped += self.compute_cycles_skipped;
         for sm in &self.sms {
             total.instructions += sm.instructions;
             total.l1_hits += sm.l1().hits();
@@ -1316,11 +1396,13 @@ impl LaunchMachine {
 }
 
 /// The next core cycle at which executing the loop body could have any
-/// effect, given that the current cycle's phases just completed and the
-/// termination check failed. Every cycle strictly between `now` and the
-/// returned cycle is a provable no-op for every component. Clamped to
-/// `limit + 1`, where the loop exits without running phases; with no event
-/// at all (a stalled run headed for the cycle limit) the clamp is returned.
+/// *externally unpredictable* effect, given that the current cycle's phases
+/// just completed and the termination check failed. Every cycle strictly
+/// between `now` and the returned cycle is either a provable no-op for
+/// every component or (with `compute_skip`) a pure compute-issue cycle that
+/// [`Sm::advance_compute`] replays in closed form. Clamped to `limit + 1`,
+/// where the loop exits without running phases; with no event at all (a
+/// stalled run headed for the cycle limit) the clamp is returned.
 #[allow(clippy::too_many_arguments)]
 fn next_interesting_cycle(
     now: u64,
@@ -1329,6 +1411,7 @@ fn next_interesting_cycle(
     core_hz: u64,
     mem_hz: u64,
     mem_time: u64,
+    compute_skip: bool,
     sms: &[Sm],
     slices: &[Slice],
     req_noc: &[DelayQueue<SliceReq>],
@@ -1338,7 +1421,23 @@ fn next_interesting_cycle(
     mc_events: &mut [u64],
 ) -> u64 {
     let mut next = limit.saturating_add(1);
-    if next <= now + 1 || sms.iter().any(Sm::has_work) || slices.iter().any(Slice::has_work) {
+    if next <= now + 1 || slices.iter().any(Slice::has_work) {
+        return now + 1;
+    }
+    if compute_skip {
+        // An SM needs a real tick no later than its next external event:
+        // the earliest cycle it can emit a request, complete a drain, or
+        // issue a non-compute op. Purely computing SMs report the closed-
+        // form end of their round-robin burst instead of bailing, which is
+        // what extends fast-forward from idle spans to busy ones.
+        for sm in sms {
+            match sm.next_external_event(now) {
+                Some(event) if event <= now + 1 => return now + 1,
+                Some(event) => next = next.min(event),
+                None => {}
+            }
+        }
+    } else if sms.iter().any(Sm::has_work) {
         return now + 1;
     }
     // Parked store retries are events only when they would succeed; a
@@ -1437,6 +1536,21 @@ mod tests {
         assert!(parse_no_skip("yes").is_err());
         assert!(parse_no_skip("").is_err());
         assert!(parse_no_skip("2").is_err());
+    }
+
+    #[test]
+    fn parse_no_compute_skip_accepts_booleans() {
+        assert_eq!(parse_no_compute_skip("1"), Ok(true));
+        assert_eq!(parse_no_compute_skip("true"), Ok(true));
+        assert_eq!(parse_no_compute_skip(" 0 "), Ok(false));
+        assert_eq!(parse_no_compute_skip("false"), Ok(false));
+    }
+
+    #[test]
+    fn parse_no_compute_skip_rejects_garbage() {
+        assert!(parse_no_compute_skip("yes").is_err());
+        assert!(parse_no_compute_skip("").is_err());
+        assert!(parse_no_compute_skip("2").is_err());
     }
 
     #[test]

@@ -174,6 +174,7 @@ proptest! {
         dms_delay in 1u32..2049,
         ams_th in 0u32..16,
         skip in proptest::arbitrary::any::<bool>(),
+        compute_skip in proptest::arbitrary::any::<bool>(),
         pause_frac in 0u64..100,
         second_frac in 0u64..100,
     ) {
@@ -193,6 +194,7 @@ proptest! {
                 .with_limits(limits)
                 .with_trace_capture(true)
                 .with_cycle_skipping(skip)
+                .with_compute_skipping(compute_skip)
         };
 
         // Reference: the uninterrupted run.

@@ -1,6 +1,8 @@
-//! Property test: event-driven fast-forward is result-invisible for
-//! randomly generated synthetic kernels under randomly drawn scheduler
-//! configurations and cycle limits.
+//! Property test: event-driven fast-forward — both the idle skipper and the
+//! analytic compute-burst skipper — is result-invisible for randomly
+//! generated synthetic kernels under randomly drawn scheduler
+//! configurations and cycle limits. All three loop modes (full skip,
+//! idle-only skip, naive) are compared pairwise.
 //!
 //! The suite-level test (`tests/fast_forward_equivalence.rs` at the
 //! workspace root) covers the 20 real applications; this one probes odd
@@ -172,32 +174,42 @@ proptest! {
             approx: pick >= 3,
             base: 0,
         };
-        let run = |skip: bool| {
+        let run = |skip: bool, compute_skip: bool| {
             let mut kernel = build();
             Simulator::new(GpuConfig::default(), sched.clone())
                 .with_limits(limits)
                 .with_trace_capture(true)
                 .with_cycle_skipping(skip)
+                .with_compute_skipping(compute_skip)
                 .run(&mut kernel)
         };
-        let fast = run(true);
-        let slow = run(false);
+        let full = run(true, true);
+        let idle = run(true, false);
+        let slow = run(false, false);
         prop_assert_eq!(slow.stats.cycles_skipped, 0u64);
-        prop_assert_eq!(fast.hit_cycle_limit, slow.hit_cycle_limit);
-        prop_assert_eq!(&fast.output, &slow.output);
-        prop_assert!(fast.trace == slow.trace, "DRAM traces differ");
-        let mut fs = fast.stats.clone();
-        let mut ss = slow.stats.clone();
-        // A limit hit counts one final cycle the loop never executes.
-        prop_assert_eq!(
-            fs.ticks_executed + fs.cycles_skipped + u64::from(fast.hit_cycle_limit),
-            fs.core_cycles,
-            "skip accounting must partition core cycles"
-        );
-        fs.cycles_skipped = 0;
-        fs.ticks_executed = 0;
-        ss.cycles_skipped = 0;
-        ss.ticks_executed = 0;
-        prop_assert!(fs == ss, "stats differ:\nfast: {fs:?}\nslow: {ss:?}");
+        prop_assert_eq!(idle.stats.compute_cycles_skipped, 0u64);
+        for fast in [&full, &idle] {
+            prop_assert_eq!(fast.hit_cycle_limit, slow.hit_cycle_limit);
+            prop_assert_eq!(&fast.output, &slow.output);
+            prop_assert!(fast.trace == slow.trace, "DRAM traces differ");
+            let mut fs = fast.stats.clone();
+            let mut ss = slow.stats.clone();
+            prop_assert!(
+                fs.compute_cycles_skipped <= fs.cycles_skipped,
+                "compute skips exceed total skips"
+            );
+            // A limit hit counts one final cycle the loop never executes.
+            prop_assert_eq!(
+                fs.ticks_executed + fs.cycles_skipped + u64::from(fast.hit_cycle_limit),
+                fs.core_cycles,
+                "skip accounting must partition core cycles"
+            );
+            fs.cycles_skipped = 0;
+            fs.compute_cycles_skipped = 0;
+            fs.ticks_executed = 0;
+            ss.cycles_skipped = 0;
+            ss.ticks_executed = 0;
+            prop_assert!(fs == ss, "stats differ:\nfast: {fs:?}\nslow: {ss:?}");
+        }
     }
 }

@@ -33,6 +33,7 @@ proptest! {
         ams_th in 0u32..16,
         cores in 2usize..5,
         skip in proptest::arbitrary::any::<bool>(),
+        compute_skip in proptest::arbitrary::any::<bool>(),
     ) {
         let sched = scheme(pick, dms_delay, ams_th);
         let limits = SimLimits {
@@ -53,6 +54,7 @@ proptest! {
                 .with_limits(limits)
                 .with_trace_capture(true)
                 .with_cycle_skipping(skip)
+                .with_compute_skipping(compute_skip)
                 .with_cores(cores)
                 .run(&mut kernel)
         };

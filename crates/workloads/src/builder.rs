@@ -316,6 +316,7 @@ pub struct SimBuilder {
     limits: SimLimits,
     trace: bool,
     skip: Option<bool>,
+    compute_skip: Option<bool>,
     cores: Option<usize>,
     checkpoints: Option<CheckpointPolicy>,
 }
@@ -334,6 +335,7 @@ impl SimBuilder {
             limits: SimLimits::default(),
             trace: false,
             skip: None,
+            compute_skip: None,
             cores: None,
             checkpoints: None,
         }
@@ -385,6 +387,15 @@ impl SimBuilder {
         self
     }
 
+    /// Forces the analytic compute-burst fast-forward on or off (default:
+    /// on, unless `LAZYDRAM_NO_COMPUTE_SKIP` is set). Only meaningful while
+    /// cycle skipping itself is enabled: with skipping off entirely, the
+    /// master loop never consults the SM schedule analytically.
+    pub fn compute_skipping(mut self, enabled: bool) -> Self {
+        self.compute_skip = Some(enabled);
+        self
+    }
+
     /// Overrides the phased tick's thread budget (default:
     /// `LAZYDRAM_CORES`, itself defaulting to 1). Results are bit-identical
     /// at every value, so — like `cycle_skipping` — the setting is excluded
@@ -426,7 +437,7 @@ impl SimBuilder {
     /// simulation's results — app, scheme label, scale bits, machine config,
     /// scheduling policy, safety limits. Deliberately **excludes** the knobs
     /// proven result-invariant by the bit-identity suites (`cycle_skipping`,
-    /// `cores`, trace capture), so the result store keyed on this digest
+    /// `compute_skipping`, `cores`, trace capture), so the result store keyed on this digest
     /// serves hits across them. The checkpoint tag (which guards *trajectory*
     /// resumption, not results) keeps including them.
     pub fn cell_digest(&self) -> u64 {
@@ -452,7 +463,7 @@ impl SimBuilder {
         // anyway; the tag avoids even attempting it).
         let tag = digest(
             format!(
-                "{}|{}|{:x}|{:?}|{:?}|{:?}|{}|{:?}",
+                "{}|{}|{:x}|{:?}|{:?}|{:?}|{}|{:?}|{:?}",
                 self.app.name,
                 self.label,
                 self.scale.to_bits(),
@@ -460,7 +471,8 @@ impl SimBuilder {
                 self.sched,
                 self.limits,
                 self.trace,
-                self.skip
+                self.skip,
+                self.compute_skip
             )
             .as_bytes(),
         );
@@ -469,6 +481,9 @@ impl SimBuilder {
             .with_trace_capture(self.trace);
         if let Some(skip) = self.skip {
             sim = sim.with_cycle_skipping(skip);
+        }
+        if let Some(compute_skip) = self.compute_skip {
+            sim = sim.with_compute_skipping(compute_skip);
         }
         if let Some(cores) = self.cores {
             sim = sim.with_cores(cores);
@@ -779,6 +794,7 @@ mod tests {
         // Result-invariant knobs (proven by the bit-identity suites) do not
         // split the cache namespace…
         assert_eq!(d, base.clone().cycle_skipping(false).cell_digest());
+        assert_eq!(d, base.clone().compute_skipping(false).cell_digest());
         assert_eq!(d, base.clone().cores(4).cell_digest());
         assert_eq!(d, base.clone().trace(true).cell_digest());
         // …while anything that changes the measured results does.

@@ -1,42 +1,66 @@
-//! Event-driven fast-forward must be invisible in results: for every
-//! application and scheme, a run with cycle skipping enabled must produce
-//! bit-identical output, statistics, and DRAM trace to the naive
-//! cycle-by-cycle loop. Only `cycles_skipped` / `ticks_executed` (the
-//! instrumentation of the skipping itself) may differ, so those are
-//! normalized before comparison.
+//! Fast-forward must be invisible in results: for every application and
+//! scheme, a run with the full skipper (idle + analytic compute bursts), a
+//! run with only the idle skipper (`LAZYDRAM_NO_COMPUTE_SKIP`'s effect), and
+//! the naive cycle-by-cycle loop (`LAZYDRAM_NO_SKIP`'s effect) must produce
+//! bit-identical output, statistics, and DRAM trace. Only `cycles_skipped` /
+//! `compute_cycles_skipped` / `ticks_executed` (the instrumentation of the
+//! skipping itself) may differ, so those are normalized before comparison.
 
 use lazydram::common::{SchedConfig, SimStats};
 use lazydram::gpu::{RunResult, SimLimits};
 use lazydram::workloads::{all_apps, AppSpec};
 use lazydram::SimBuilder;
 
-fn run(app: &AppSpec, sched: &SchedConfig, scale: f64, limits: SimLimits, skip: bool) -> RunResult {
+/// The three loop modes under test, mirroring the env-var escape hatches.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Mode {
+    /// Idle skip + analytic compute-burst skip (the default).
+    Full,
+    /// Idle skip only — `LAZYDRAM_NO_COMPUTE_SKIP=1`.
+    IdleOnly,
+    /// Naive cycle-by-cycle loop — `LAZYDRAM_NO_SKIP=1`.
+    Naive,
+}
+
+fn run(app: &AppSpec, sched: &SchedConfig, scale: f64, limits: SimLimits, mode: Mode) -> RunResult {
     SimBuilder::new(app)
         .sched(sched.clone(), "equiv")
         .scale(scale)
         .limits(limits)
         .trace(true)
-        .cycle_skipping(skip)
+        .cycle_skipping(mode != Mode::Naive)
+        .compute_skipping(mode == Mode::Full)
         .build()
         .run()
 }
 
 /// Strips the loop-instrumentation counters that legitimately differ
-/// between the two loop modes.
+/// between the loop modes.
 fn normalized(stats: &SimStats) -> SimStats {
     let mut s = stats.clone();
     s.cycles_skipped = 0;
+    s.compute_cycles_skipped = 0;
     s.ticks_executed = 0;
     s
 }
 
-/// Runs `app` both ways and asserts full equivalence; returns the number of
-/// core cycles the fast run skipped.
-fn assert_equivalent(app: &AppSpec, sched: &SchedConfig, scale: f64, limits: SimLimits) -> u64 {
-    let fast = run(app, sched, scale, limits, true);
-    let slow = run(app, sched, scale, limits, false);
+/// Runs `app` in all three loop modes and asserts full equivalence; returns
+/// `(cycles_skipped, compute_cycles_skipped)` of the full-skip run.
+fn assert_equivalent(
+    app: &AppSpec,
+    sched: &SchedConfig,
+    scale: f64,
+    limits: SimLimits,
+) -> (u64, u64) {
+    let full = run(app, sched, scale, limits, Mode::Full);
+    let idle = run(app, sched, scale, limits, Mode::IdleOnly);
+    let slow = run(app, sched, scale, limits, Mode::Naive);
     let name = app.name;
     assert_eq!(slow.stats.cycles_skipped, 0, "{name}: naive loop must not skip");
+    assert_eq!(
+        idle.stats.compute_cycles_skipped, 0,
+        "{name}: idle-only mode must not take compute skips"
+    );
     if !slow.hit_cycle_limit {
         // On a limit hit the final counted cycle is never executed, so the
         // exact partition below only holds for completed runs.
@@ -45,22 +69,31 @@ fn assert_equivalent(app: &AppSpec, sched: &SchedConfig, scale: f64, limits: Sim
             "{name}: naive loop must execute every counted cycle"
         );
     }
-    assert_eq!(fast.hit_cycle_limit, slow.hit_cycle_limit, "{name}: limit flag");
-    assert_eq!(fast.output, slow.output, "{name}: outputs differ");
-    assert!(fast.trace == slow.trace, "{name}: DRAM traces differ");
-    assert_eq!(
-        normalized(&fast.stats),
-        normalized(&slow.stats),
-        "{name}: statistics differ"
-    );
-    if !fast.hit_cycle_limit {
+    for (label, fast) in [("full", &full), ("idle-only", &idle)] {
+        assert_eq!(fast.hit_cycle_limit, slow.hit_cycle_limit, "{name}/{label}: limit flag");
+        assert_eq!(fast.output, slow.output, "{name}/{label}: outputs differ");
+        assert!(fast.trace == slow.trace, "{name}/{label}: DRAM traces differ");
         assert_eq!(
-            fast.stats.ticks_executed + fast.stats.cycles_skipped,
-            fast.stats.core_cycles,
-            "{name}: skip accounting must partition the core cycles"
+            normalized(&fast.stats),
+            normalized(&slow.stats),
+            "{name}/{label}: statistics differ"
         );
+        assert!(
+            fast.stats.compute_cycles_skipped <= fast.stats.cycles_skipped,
+            "{name}/{label}: compute skips must be a subset of all skips"
+        );
+        if !fast.hit_cycle_limit {
+            assert_eq!(
+                fast.stats.ticks_executed + fast.stats.cycles_skipped,
+                fast.stats.core_cycles,
+                "{name}/{label}: skip accounting must partition the core cycles"
+            );
+        }
     }
-    fast.stats.cycles_skipped
+    assert_eq!(idle.stats.compute_skip_fraction(), 0.0, "{name}: idle-only fraction");
+    let f = full.stats.compute_skip_fraction();
+    assert!((0.0..=1.0).contains(&f), "{name}: fraction {f} out of range");
+    (full.stats.cycles_skipped, full.stats.compute_cycles_skipped)
 }
 
 #[test]
@@ -68,11 +101,18 @@ fn whole_suite_static_dms_is_equivalent() {
     // Static-DMS creates the longest idle epochs — the adversarial case for
     // fast-forward correctness and the headline case for its speedup.
     let mut total_skipped = 0u64;
+    let mut total_compute = 0u64;
     for app in all_apps() {
-        total_skipped +=
+        let (skipped, compute) =
             assert_equivalent(&app, &SchedConfig::static_dms(), 0.02, SimLimits::default());
+        total_skipped += skipped;
+        total_compute += compute;
     }
     assert!(total_skipped > 0, "fast-forward never engaged across the suite");
+    assert!(
+        total_compute > 0,
+        "the analytic compute-burst skipper never engaged across the suite"
+    );
 }
 
 #[test]
@@ -95,11 +135,11 @@ fn scheme_rotation_is_equivalent() {
 
 #[test]
 fn cycle_limit_hit_is_equivalent() {
-    // A tight limit exercises the skip-past-the-limit clamp: both loops must
+    // A tight limit exercises the skip-past-the-limit clamp: all loops must
     // report the same truncated statistics and the limit flag.
     let app = lazydram::workloads::by_name("GEMM").expect("app");
     let limits = SimLimits { max_core_cycles: 2_000 };
-    let fast = run(&app, &SchedConfig::static_dms(), 0.3, limits, true);
+    let fast = run(&app, &SchedConfig::static_dms(), 0.3, limits, Mode::Full);
     assert!(fast.hit_cycle_limit, "limit chosen too high for this check");
     assert_equivalent(&app, &SchedConfig::static_dms(), 0.3, limits);
 }

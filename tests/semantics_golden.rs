@@ -15,6 +15,13 @@
 //!   digest caught results drifting. Fix the code, not the pin.
 //! * Speed-only changes (fast-forward, parallelism, allocation) must NOT
 //!   trip this test — if one does, it changed results, not just speed.
+//! * **Wire-format changes** (a new serialized statistics field, a `snap`
+//!   frame version bump) change the stored *bytes* without changing the
+//!   measured results. Those re-pin the digest here and bump
+//!   `STORE_VERSION` in `crates/bench/src/store.rs`, but leave
+//!   `SEMANTICS_VERSION` alone — prove results are untouched via the
+//!   bit-identity suites (`tests/fast_forward_equivalence.rs` and the
+//!   tier1 figure captures) before re-pinning.
 
 use lazydram::bench::store::encode_entry;
 use lazydram::bench::{measure, Measurement};
@@ -25,7 +32,7 @@ use lazydram::{Scheme, SimBuilder};
 
 /// `(SEMANTICS_VERSION, golden digest)` — see the module docs for the
 /// re-pin protocol.
-const PINNED: (u64, u64) = (1, 0xad2673ce8bb32a52);
+const PINNED: (u64, u64) = (1, 0x413d50ecf773609f);
 
 fn cell(app: &str, scheme: Scheme) -> Measurement {
     let app = by_name(app).expect("known app");

@@ -91,6 +91,43 @@ cmp "$CKPT_TMP/cores1.jsonl" "$CKPT_TMP/cores4.jsonl"
 cmp "$CKPT_TMP/cores1.out" "$CKPT_TMP/cores4.out"
 echo "cores=1 and cores=4 sweeps byte-identical (stdout + JSONL)"
 
+echo "== tier1: compute-skip byte-identity smoke =="
+# The analytic compute-burst fast-forward must be result-invisible: the same
+# fig04/SCP sweep in the three loop modes — full skip (default), idle-only
+# skip (LAZYDRAM_NO_COMPUTE_SKIP=1), naive loop (LAZYDRAM_NO_SKIP=1) — must
+# produce byte-identical stdout. The JSONL rows additionally embed the
+# loop-instrumentation counters (cycles_skipped / compute_cycles_skipped /
+# ticks_executed), which legitimately differ between loop modes, so those
+# keys are stripped before comparison; everything else must match byte for
+# byte. A cores=4 run with compute-skip on closes the loop on the
+# skip × parallel-tick interaction.
+strip_loop_counters() {
+    sed -E 's/"(cycles_skipped|compute_cycles_skipped|ticks_executed)":[0-9]+,//g' "$1"
+}
+LAZYDRAM_APPS=SCP LAZYDRAM_SCALE=0.05 LAZYDRAM_QUIET=1 \
+LAZYDRAM_RESULTS="$CKPT_TMP/cs_full.jsonl" \
+    cargo bench -q -p lazydram-bench --bench fig04_delay_sweep > "$CKPT_TMP/cs_full.out"
+LAZYDRAM_APPS=SCP LAZYDRAM_SCALE=0.05 LAZYDRAM_QUIET=1 LAZYDRAM_NO_COMPUTE_SKIP=1 \
+LAZYDRAM_RESULTS="$CKPT_TMP/cs_idle.jsonl" \
+    cargo bench -q -p lazydram-bench --bench fig04_delay_sweep > "$CKPT_TMP/cs_idle.out"
+LAZYDRAM_APPS=SCP LAZYDRAM_SCALE=0.05 LAZYDRAM_QUIET=1 LAZYDRAM_NO_SKIP=1 \
+LAZYDRAM_RESULTS="$CKPT_TMP/cs_naive.jsonl" \
+    cargo bench -q -p lazydram-bench --bench fig04_delay_sweep > "$CKPT_TMP/cs_naive.out"
+LAZYDRAM_APPS=SCP LAZYDRAM_SCALE=0.05 LAZYDRAM_QUIET=1 LAZYDRAM_CORES=4 \
+LAZYDRAM_RESULTS="$CKPT_TMP/cs_wide.jsonl" \
+    cargo bench -q -p lazydram-bench --bench fig04_delay_sweep > "$CKPT_TMP/cs_wide.out"
+cmp "$CKPT_TMP/cs_full.out" "$CKPT_TMP/cs_idle.out"
+cmp "$CKPT_TMP/cs_full.out" "$CKPT_TMP/cs_naive.out"
+cmp "$CKPT_TMP/cs_full.out" "$CKPT_TMP/cs_wide.out"
+strip_loop_counters "$CKPT_TMP/cs_full.jsonl" > "$CKPT_TMP/cs_full.norm"
+strip_loop_counters "$CKPT_TMP/cs_idle.jsonl" > "$CKPT_TMP/cs_idle.norm"
+strip_loop_counters "$CKPT_TMP/cs_naive.jsonl" > "$CKPT_TMP/cs_naive.norm"
+cmp "$CKPT_TMP/cs_full.norm" "$CKPT_TMP/cs_idle.norm"
+cmp "$CKPT_TMP/cs_full.norm" "$CKPT_TMP/cs_naive.norm"
+# cores=4 with compute-skip on is bit-identical *including* the counters.
+cmp "$CKPT_TMP/cs_full.jsonl" "$CKPT_TMP/cs_wide.jsonl"
+echo "full / idle-only / naive loop modes byte-identical (cores=1 and 4)"
+
 echo "== tier1: result-cache smoke =="
 # Cross-sweep caching must be invisible in the results: the same fig04/SCP
 # sweep runs cold (populating the store) and warm (served from it); stdout
@@ -127,7 +164,7 @@ cargo run -q --release -p lazydram-bench --bin dbg_diverge -- SLA 128 256 0.05 4
 
 echo "== tier1: timed smoke sweep (BENCH_PR4.json) =="
 # Per-app wall clock with profiler phase breakdown, checked against the
-# pre-PR baseline (crates/bench/baselines/pre_pr7.tsv, recorded at
+# pre-PR baseline (crates/bench/baselines/pre_pr9.tsv, recorded at
 # LAZYDRAM_SCALE=0.2). Fails loudly when any app runs slower than 2x its
 # pre-PR wall clock — an order-of-magnitude-style cap (matching perf_smoke's
 # stated purpose) because host CPU steal on shared 1-vCPU containers can
@@ -142,11 +179,14 @@ echo "== tier1: timed smoke sweep (BENCH_PR4.json) =="
 # container the pool degrades to the inline path, so the gate is an
 # overhead cap — cores=4 must stay within 1.15x of cores=1; on a real
 # multi-core host the run must additionally scale >= 2x at 4 cores.
-# Finally it times the content-addressed result store (BENCH_PR8.json):
+# It then times the content-addressed result store (BENCH_PR8.json):
 # the same delay sweep cold (populating a fresh store) vs warm (served
 # entirely from disk by a fresh runner), asserting identical measurements
 # and gating on the PR 8 acceptance floor — the warm sweep must run at
 # least 10x faster than the cold one.
+# Finally it distils the PR 9 trajectory (BENCH_PR9.json): per-app ratios
+# vs pre_pr9.tsv, the idle/compute skip split, and the sm_issue phase
+# wall clock against the pre-PR column recorded in the baseline file.
 if [ "$(nproc 2>/dev/null || echo 1)" -gt 1 ]; then
     export LAZYDRAM_MIN_CORES_SPEEDUP="${LAZYDRAM_MIN_CORES_SPEEDUP:-2.0}"
 fi
@@ -159,6 +199,7 @@ LAZYDRAM_CORES_BENCH_OUT="${LAZYDRAM_CORES_BENCH_OUT:-$PWD/BENCH_PR7.json}" \
 LAZYDRAM_MAX_CORES_OVERHEAD="${LAZYDRAM_MAX_CORES_OVERHEAD:-1.15}" \
 LAZYDRAM_CACHE_BENCH_OUT="${LAZYDRAM_CACHE_BENCH_OUT:-$PWD/BENCH_PR8.json}" \
 LAZYDRAM_MIN_CACHE_SPEEDUP="${LAZYDRAM_MIN_CACHE_SPEEDUP:-10}" \
+LAZYDRAM_PR9_BENCH_OUT="${LAZYDRAM_PR9_BENCH_OUT:-$PWD/BENCH_PR9.json}" \
     cargo bench -q -p lazydram-bench --bench perf_smoke --features prof
 
 echo "== tier1: OK =="
