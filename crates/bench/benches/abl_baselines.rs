@@ -2,13 +2,13 @@
 //! open-page baseline already capture vs strict FCFS and closed-page, and
 //! what the lazy scheduler adds on top.
 
-use lazydram_bench::{mean, print_table, scale_from_env, MeasureSpec, SimBuilder, SweepRunner};
-use lazydram_common::{Arbiter, GpuConfig, RowPolicy, SchedConfig};
+use lazydram_bench::{gpu_config_from_env, mean, MeasureSpec, print_table, scale_from_env, SimBuilder, SweepRunner};
+use lazydram_common::{Arbiter, RowPolicy, SchedConfig};
 use lazydram_workloads::by_name;
 
 fn main() {
     let scale = scale_from_env();
-    let cfg = GpuConfig::default();
+    let cfg = gpu_config_from_env();
     // "FR-FCFS+open" *is* the baseline scheduler — that column comes from the
     // cached baseline run instead of a duplicate simulation.
     let sweep: Vec<(&str, SchedConfig)> = vec![

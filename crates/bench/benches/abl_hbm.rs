@@ -2,15 +2,15 @@
 //! technology — run the headline scheme on HBM1/HBM2-like organizations.
 
 use lazydram_bench::{print_table, scale_from_env, MeasureSpec, Scheme, SimBuilder, SweepRunner};
-use lazydram_common::GpuConfig;
+use lazydram_common::DramPreset;
 use lazydram_workloads::by_name;
 
 fn main() {
     let scale = scale_from_env();
     let techs = [
-        ("GDDR5", GpuConfig::default()),
-        ("HBM1", GpuConfig::hbm1()),
-        ("HBM2", GpuConfig::hbm2()),
+        ("GDDR5", DramPreset::Gddr5.gpu_config()),
+        ("HBM1", DramPreset::Hbm1.gpu_config()),
+        ("HBM2", DramPreset::Hbm2.gpu_config()),
     ];
     let apps: Vec<_> = ["SCP", "MVT", "meanfilter"]
         .iter()

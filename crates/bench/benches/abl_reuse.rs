@@ -2,13 +2,13 @@
 //! model that inserts approximated lines into L2 (error propagates through
 //! reuse).
 
-use lazydram_bench::{print_table, scale_from_env, MeasureSpec, SimBuilder, SweepRunner};
-use lazydram_common::{GpuConfig, SchedConfig};
+use lazydram_bench::{gpu_config_from_env, MeasureSpec, print_table, scale_from_env, SimBuilder, SweepRunner};
+use lazydram_common::{SchedConfig};
 use lazydram_workloads::group;
 
 fn main() {
     let scale = scale_from_env();
-    let cfg = GpuConfig::default();
+    let cfg = gpu_config_from_env();
     let apps = [group(1), group(2), group(3)].concat();
     let runner = SweepRunner::from_env();
     let bases = runner.baselines(&apps, &cfg, scale);

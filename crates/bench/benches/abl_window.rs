@@ -1,14 +1,14 @@
 //! Ablation (paper footnote 1): the 4096-cycle profiling window of the
 //! dynamic schemes vs smaller and larger windows.
 
-use lazydram_bench::{print_table, scale_from_env, MeasureSpec, SimBuilder, SweepRunner};
+use lazydram_bench::{gpu_config_from_env, MeasureSpec, print_table, scale_from_env, SimBuilder, SweepRunner};
 use lazydram_common::config::{DynAmsConfig, DynDmsConfig};
-use lazydram_common::{AmsMode, DmsMode, GpuConfig, SchedConfig};
+use lazydram_common::{AmsMode, DmsMode, SchedConfig};
 use lazydram_workloads::by_name;
 
 fn main() {
     let scale = scale_from_env();
-    let cfg = GpuConfig::default();
+    let cfg = gpu_config_from_env();
     let windows = [1024u32, 4096, 16384];
     let apps: Vec<_> = ["SCP", "MVT", "3DCONV"]
         .iter()

@@ -1,15 +1,14 @@
 //! Figure 4: effect of the DMS delay on (a) row activations and (b) IPC,
 //! both normalized to the no-delay baseline.
 
-use lazydram_bench::{apps_from_env, mean, print_table, scale_from_env, MeasureSpec, SimBuilder,
-                     SweepRunner};
-use lazydram_common::{DmsMode, GpuConfig, SchedConfig};
+use lazydram_bench::{apps_from_env, gpu_config_from_env, mean, MeasureSpec, print_table, scale_from_env, SimBuilder, SweepRunner};
+use lazydram_common::{DmsMode, SchedConfig};
 
 fn main() {
     let scale = scale_from_env();
     let apps = apps_from_env();
     let delays = [64u32, 128, 256, 512, 1024, 2048];
-    let cfg = GpuConfig::default();
+    let cfg = gpu_config_from_env();
     let runner = SweepRunner::from_env();
     let bases = runner.baselines(&apps, &cfg, scale);
     let mut specs = Vec::new();

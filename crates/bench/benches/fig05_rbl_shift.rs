@@ -1,9 +1,8 @@
 //! Figure 5: distribution of row activations over RBL buckets as the DMS
 //! delay grows, for two applications.
 
-use lazydram_bench::{print_table, scale_from_env, Measurement, MeasureSpec, SimBuilder,
-                     SweepRunner};
-use lazydram_common::{DmsMode, GpuConfig, SchedConfig};
+use lazydram_bench::{gpu_config_from_env, Measurement, MeasureSpec, print_table, scale_from_env, SimBuilder, SweepRunner};
+use lazydram_common::{DmsMode, SchedConfig};
 use lazydram_workloads::by_name;
 
 const BUCKETS: [(u32, u32); 5] = [(1, 1), (2, 2), (3, 4), (5, 8), (9, u32::MAX - 1)];
@@ -27,7 +26,7 @@ fn fail_cells(delay: u32) -> Vec<String> {
 
 fn main() {
     let scale = scale_from_env();
-    let cfg = GpuConfig::default();
+    let cfg = gpu_config_from_env();
     let runner = SweepRunner::from_env();
     let apps: Vec<_> = ["GEMM", "SCP"].iter().map(|n| by_name(n).expect("app")).collect();
     let delays = [128u32, 512, 2048]; // delay = 0 is the cached baseline run

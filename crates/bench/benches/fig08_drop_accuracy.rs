@@ -66,7 +66,7 @@ fn run(dms: DmsMode) -> (Vec<u64>, u64, f64) {
             dropped.push(r.id.0);
         }
     }
-    let st = mc.channel().stats();
+    let st = mc.stats();
     (dropped, st.activations, st.rbl.avg_rbl())
 }
 

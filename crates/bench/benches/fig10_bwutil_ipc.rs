@@ -2,16 +2,13 @@
 //! the observation Dyn-DMS relies on to profile performance locally at the
 //! memory controller.
 
-use lazydram_bench::{
-    apps_from_env, bw_util, print_table, scale_from_env, Measurement, MeasureSpec, SimBuilder,
-    SweepRunner,
-};
-use lazydram_common::{DmsMode, GpuConfig, SchedConfig};
+use lazydram_bench::{apps_from_env, bw_util, gpu_config_from_env, Measurement, MeasureSpec, print_table, scale_from_env, SimBuilder, SweepRunner};
+use lazydram_common::{DmsMode, SchedConfig};
 
 fn main() {
     let scale = scale_from_env();
     let apps = apps_from_env();
-    let cfg = GpuConfig::default();
+    let cfg = gpu_config_from_env();
     let runner = SweepRunner::from_env();
     let delays = [256u32, 1024]; // delay = 0 is the cached baseline run
     let bases = runner.baselines(&apps, &cfg, scale);

@@ -1,13 +1,13 @@
 //! Figure 11: effect of reducing Th_RBL on SCP — lower thresholds focus the
 //! limited coverage on the lowest-RBL rows and remove more activations.
 
-use lazydram_bench::{print_table, scale_from_env, MeasureSpec, SimBuilder, SweepRunner};
-use lazydram_common::{AmsMode, GpuConfig, SchedConfig};
+use lazydram_bench::{gpu_config_from_env, MeasureSpec, print_table, scale_from_env, SimBuilder, SweepRunner};
+use lazydram_common::{AmsMode, SchedConfig};
 use lazydram_workloads::by_name;
 
 fn main() {
     let scale = scale_from_env();
-    let cfg = GpuConfig::default();
+    let cfg = gpu_config_from_env();
     let runner = SweepRunner::from_env();
     let app = by_name("SCP").expect("app");
     let thresholds = [8u32, 4, 2, 1];

@@ -3,15 +3,13 @@
 //! error-tolerant applications (groups 1-3), plus the HBM1/HBM2
 //! memory-system-energy projection of Section V.
 
-use lazydram_bench::{mean, print_table, scale_from_env, MeasureSpec, Scheme, SimBuilder,
-                     SweepRunner};
-use lazydram_common::GpuConfig;
+use lazydram_bench::{gpu_config_from_env, mean, MeasureSpec, print_table, scale_from_env, Scheme, SimBuilder, SweepRunner};
 use lazydram_energy::{CardBudget, EnergyModel, MemoryTech};
 use lazydram_workloads::all_apps;
 
 fn main() {
     let scale = scale_from_env();
-    let cfg = GpuConfig::default();
+    let cfg = gpu_config_from_env();
     let apps: Vec<_> = all_apps().into_iter().filter(|a| a.error_tolerant()).collect();
     let schemes = Scheme::PAPER;
     let runner = SweepRunner::from_env();

@@ -2,8 +2,7 @@
 //! maximum delay DMS(2048) is applied (normalized to the no-delay baseline
 //! at queue size 128).
 
-use lazydram_bench::{apps_from_env, mean, print_table, scale_from_env, MeasureSpec, SimBuilder,
-                     SweepRunner};
+use lazydram_bench::{apps_from_env, gpu_config_from_env, mean, MeasureSpec, print_table, scale_from_env, SimBuilder, SweepRunner};
 use lazydram_common::{DmsMode, GpuConfig, SchedConfig};
 
 fn main() {
@@ -11,14 +10,15 @@ fn main() {
     let apps = apps_from_env();
     let sizes = [32usize, 64, 128, 256];
     let runner = SweepRunner::from_env();
-    let bases = runner.baselines(&apps, &GpuConfig::default(), scale);
+    let cfg = gpu_config_from_env();
+    let bases = runner.baselines(&apps, &cfg, scale);
     let mut specs = Vec::new();
     for (app, base) in apps.iter().zip(&bases) {
         let Ok(base) = base else { continue };
         for &q in &sizes {
             specs.push(MeasureSpec::new(
                 SimBuilder::new(app)
-                    .gpu(GpuConfig { pending_queue_size: q, ..GpuConfig::default() })
+                    .gpu(GpuConfig { pending_queue_size: q, ..cfg.clone() })
                     .sched(
                         SchedConfig { dms: DmsMode::Static(2048), ..SchedConfig::baseline() },
                         format!("DMS(2048)/q={q}"),

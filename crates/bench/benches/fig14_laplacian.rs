@@ -2,8 +2,7 @@
 //! exact and the approximated (Dyn-DMS + Dyn-AMS) output images as PGM
 //! files and reports the application error.
 
-use lazydram_bench::{scale_from_env, Job, Scheme, SimBuilder, SweepRunner};
-use lazydram_common::GpuConfig;
+use lazydram_bench::{gpu_config_from_env, Job, scale_from_env, Scheme, SimBuilder, SweepRunner};
 use lazydram_gpu::application_error;
 use lazydram_workloads::{by_name, exact_output};
 
@@ -21,7 +20,7 @@ fn write_pgm(path: &str, pixels: &[f32], w: usize) -> std::io::Result<()> {
 
 fn main() {
     let scale = scale_from_env();
-    let cfg = GpuConfig::default();
+    let cfg = gpu_config_from_env();
     let app = by_name("laplacian").expect("app");
     let runner = SweepRunner::from_env();
     // The exact (functional) output and the approximated run are independent —

@@ -1,14 +1,12 @@
 //! Figure 15: delay-only mode for the low-error-tolerance applications
 //! (Group 4): normalized row energy and IPC under Static-DMS and Dyn-DMS.
 
-use lazydram_bench::{mean, print_table, scale_from_env, MeasureSpec, Scheme, SimBuilder,
-                     SweepRunner};
-use lazydram_common::GpuConfig;
+use lazydram_bench::{gpu_config_from_env, mean, MeasureSpec, print_table, scale_from_env, Scheme, SimBuilder, SweepRunner};
 use lazydram_workloads::group;
 
 fn main() {
     let scale = scale_from_env();
-    let cfg = GpuConfig::default();
+    let cfg = gpu_config_from_env();
     let schemes = [Scheme::StaticDms, Scheme::DynDms];
     let apps = group(4);
     let runner = SweepRunner::from_env();

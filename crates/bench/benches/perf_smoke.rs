@@ -153,8 +153,14 @@ struct BaselineRow {
 /// when the file is absent (e.g. a stripped checkout); malformed lines in a
 /// *present* file are an error.
 fn load_baseline() -> Option<Vec<BaselineRow>> {
-    let path = std::env::var("LAZYDRAM_BASELINE")
-        .unwrap_or_else(|_| format!("{}/baselines/pre_pr9.tsv", env!("CARGO_MANIFEST_DIR")));
+    load_baseline_file("LAZYDRAM_BASELINE", "pre_pr9.tsv")
+}
+
+/// [`load_baseline`] for an arbitrary `(env override, default file)` pair —
+/// each PR's trajectory gate pins its own pre-PR recording.
+fn load_baseline_file(env: &str, default_name: &str) -> Option<Vec<BaselineRow>> {
+    let path = std::env::var(env)
+        .unwrap_or_else(|_| format!("{}/baselines/{default_name}", env!("CARGO_MANIFEST_DIR")));
     let text = std::fs::read_to_string(&path).ok()?;
     let mut rows = Vec::new();
     for line in text.lines() {
@@ -563,6 +569,65 @@ fn pr9_smoke(rows: &[Row], scale: f64) {
     eprintln!("wrote {out}");
 }
 
+/// Gates the memory-backend refactor (PR 10): the timed fast-forward rows
+/// against `pre_pr10.tsv` — recorded at the revision immediately before the
+/// [`MemoryBackend`] trait extraction — writing per-row ratios to
+/// `LAZYDRAM_PR10_BENCH_OUT` (default `BENCH_PR10.json`). The trait is
+/// dispatched through a static enum, so the default GDDR5 hot path is
+/// supposed to stay monomorphic and the cap is tight:
+/// `LAZYDRAM_MAX_PR10_REGRESSION` (default 1.15x). Returns `false` on a
+/// breach; skips silently (returns `true`) when the baseline file is
+/// absent.
+///
+/// [`MemoryBackend`]: lazydram_dram::MemoryBackend
+fn pr10_smoke(rows: &[Row], scale: f64) -> bool {
+    let Some(baseline) = load_baseline_file("LAZYDRAM_PR10_BASELINE", "pre_pr10.tsv") else {
+        eprintln!("backend smoke: no pre_pr10.tsv baseline; skipping the PR 10 gate");
+        return true;
+    };
+    let cap = ratio_from_env("LAZYDRAM_MAX_PR10_REGRESSION").unwrap_or(1.15);
+    let mut json_rows = Vec::new();
+    let mut regressed = Vec::new();
+    eprintln!("
+backend smoke (MemoryBackend trait dispatch, PR 10 trajectory):");
+    for r in rows {
+        let Some(pre) = baseline.iter().find(|b| b.app == r.app && b.scheme == r.scheme) else {
+            continue;
+        };
+        let ratio = r.skip_s / pre.secs.max(1e-9);
+        let mut o = JsonObject::new();
+        o.str("app", r.app)
+            .str("scheme", r.scheme)
+            .f64("scale", scale)
+            .f64("fast_s", r.skip_s)
+            .f64("pre_pr10_s", pre.secs)
+            .f64("ratio_vs_pre_pr10", ratio);
+        json_rows.push(o.finish());
+        eprintln!("  {}/{}: {:.3}s vs pre-PR10 {:.3}s ({ratio:.2}x)", r.app, r.scheme, r.skip_s, pre.secs);
+        if ratio > cap {
+            regressed.push(format!(
+                "{}/{}: {:.3}s vs pre-PR10 {:.3}s ({ratio:.2}x > {cap}x cap)",
+                r.app, r.scheme, r.skip_s, pre.secs
+            ));
+        }
+    }
+    let out = std::env::var("LAZYDRAM_PR10_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_PR10.json".to_string());
+    std::fs::write(&out, array(&json_rows) + "
+")
+        .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    eprintln!("wrote {out}");
+    if regressed.is_empty() {
+        eprintln!("backend perf gate passed (no row slower than {cap}x pre-PR10)");
+        return true;
+    }
+    eprintln!("BACKEND PERF REGRESSION (cap {cap}x vs pre_pr10.tsv):");
+    for line in &regressed {
+        eprintln!("  {line}");
+    }
+    false
+}
+
 /// Parses a positive-ratio environment variable, panicking on malformed
 /// values (a silently ignored gate is worse than none).
 fn ratio_from_env(name: &str) -> Option<f64> {
@@ -703,6 +768,7 @@ fn main() {
     eprintln!("wrote {out}");
 
     pr9_smoke(&rows, scale);
+    let pr10_ok = pr10_smoke(&rows, scale);
 
     let trace_ok = trace_smoke(scale);
     let cores_ok = cores_smoke(scale, reps);
@@ -732,7 +798,7 @@ fn main() {
         }
         eprintln!("perf gate passed (no app slower than {cap}x pre-PR)");
     }
-    if !trace_ok || !cores_ok || !cache_ok {
+    if !trace_ok || !cores_ok || !cache_ok || !pr10_ok {
         std::process::exit(1);
     }
 }

@@ -2,11 +2,8 @@
 //! thrashing level, delay tolerance (MTD), activation sensitivity, Th_RBL
 //! sensitivity, and error tolerance, with the paper's thresholds.
 
-use lazydram_bench::{
-    apps_from_env, print_table, scale_from_env, JobResult, Measurement, MeasureSpec, Scheme,
-    SimBuilder, SweepRunner,
-};
-use lazydram_common::{AmsMode, DmsMode, GpuConfig, SchedConfig};
+use lazydram_bench::{apps_from_env, gpu_config_from_env, JobResult, Measurement, MeasureSpec, print_table, scale_from_env, Scheme, SimBuilder, SweepRunner};
+use lazydram_common::{AmsMode, DmsMode, SchedConfig};
 
 const DELAYS: [u32; 5] = [128, 256, 512, 1024, 2048];
 const THRESHOLDS: [u32; 4] = [8, 4, 2, 1];
@@ -90,7 +87,7 @@ fn classify(
 
 fn main() {
     let scale = scale_from_env();
-    let cfg = GpuConfig::default();
+    let cfg = gpu_config_from_env();
     let apps = apps_from_env();
     let runner = SweepRunner::from_env();
     let bases = runner.baselines(&apps, &cfg, scale);

@@ -10,8 +10,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
-use lazydram_common::{GpuConfig, SimStats};
-use lazydram_energy::{EnergyModel, MemoryTech};
+use lazydram_common::{DramPreset, GpuConfig, SimStats};
 use lazydram_gpu::{application_error, Trace};
 use lazydram_workloads::{exact_output, AppSpec};
 
@@ -19,10 +18,12 @@ pub mod runner;
 pub mod store;
 
 pub use lazydram_common::Scheme;
+pub use lazydram_energy::{EnergyModel, MemoryTech};
 pub use lazydram_gpu::{ReplayReport, TraceError, TraceSim};
 pub use lazydram_workloads::{
-    parse_cache_mode, parse_checkpoint_every, parse_trace_mode, CacheMode, CachePolicy,
-    CheckpointPolicy, SimBuilder, SimRun, TraceMode, TracePolicy, DEFAULT_CHECKPOINT_EVERY,
+    parse_backend, parse_cache_mode, parse_checkpoint_every, parse_trace_mode, CacheMode,
+    CachePolicy, CheckpointPolicy, SimBuilder, SimRun, TraceMode, TracePolicy,
+    DEFAULT_CHECKPOINT_EVERY,
 };
 pub use runner::{Baseline, Job, JobFailure, JobResult, MeasureSpec, SweepRunner};
 pub use store::{CacheStats, EntryInfo, Fidelity, Store};
@@ -94,6 +95,29 @@ pub fn apps_from_env() -> Vec<AppSpec> {
         }
         _ => lazydram_workloads::all_apps(),
     }
+}
+
+/// The DRAM backend preset for a harness run: `LAZYDRAM_BACKEND` env var
+/// (a [`DramPreset`] label such as `gddr5`, `ddr4` or `flex`) or the
+/// default GDDR5 machine.
+///
+/// # Panics
+///
+/// Panics on a malformed `LAZYDRAM_BACKEND` instead of silently sweeping
+/// the wrong memory model.
+pub fn backend_from_env() -> DramPreset {
+    match std::env::var("LAZYDRAM_BACKEND") {
+        Ok(s) => parse_backend(&s).unwrap_or_else(|e| panic!("{e}")),
+        Err(_) => DramPreset::Gddr5,
+    }
+}
+
+/// The machine configuration for a harness run: [`backend_from_env`]'s
+/// preset expanded to its full [`GpuConfig`] (geometry + timings + backend
+/// model). Figure harnesses use this instead of `GpuConfig::default()` so
+/// `LAZYDRAM_BACKEND=<label>` re-runs any figure on any backend.
+pub fn gpu_config_from_env() -> GpuConfig {
+    backend_from_env().gpu_config()
 }
 
 /// Aggregate DRAM data-bus utilization of a run: busy cycles across all
@@ -199,7 +223,7 @@ pub fn try_measure_traced(
     exact: &[f32],
 ) -> Result<(Measurement, Option<Trace>), String> {
     let r = run.run_recoverable()?;
-    let energy = EnergyModel::new(MemoryTech::Gddr5);
+    let energy = EnergyModel::new(MemoryTech::for_backend(run.backend()));
     let row_energy_pj = energy.breakdown(&r.stats.dram).row_energy_pj;
     let m = Measurement {
         app: run.app().name.to_string(),
@@ -234,7 +258,7 @@ pub fn try_measure_replay(run: &SimRun, trace: &Trace) -> Result<Measurement, St
         .replay_trace(trace)
         .and_then(lazydram_gpu::ReplayReport::complete)
         .map_err(|e| e.to_string())?;
-    let energy = EnergyModel::new(MemoryTech::Gddr5);
+    let energy = EnergyModel::new(MemoryTech::for_backend(run.backend()));
     let row_energy_pj = energy.breakdown(&report.stats.dram).row_energy_pj;
     Ok(Measurement {
         app: run.app().name.to_string(),
@@ -373,6 +397,15 @@ mod tests {
         let err = parse_apps("GEMM,telepathy").unwrap_err();
         assert!(err.contains("telepathy"), "{err}");
         assert!(err.contains("GEMM") && err.contains("laplacian"), "{err}");
+    }
+
+    #[test]
+    fn backend_env_helpers_expand_presets() {
+        // Not touching the process env (tests run in parallel): exercise the
+        // parse + expand path the env helpers are built from.
+        let cfg = parse_backend("ddr4").unwrap().gpu_config();
+        assert_eq!(cfg.backend, lazydram_common::BackendKind::Ddr4);
+        assert!(parse_backend("gddr6").is_err());
     }
 
     #[test]

@@ -59,8 +59,11 @@ use std::sync::{Arc, Mutex};
 /// Wire-format version of a store entry. Bump on any layout change; readers
 /// reject entries from a different version (and `auto` mode re-simulates and
 /// overwrites them). v2: the embedded `SimStats` frame gained the
-/// `compute_cycles_skipped` counter (PR 9 skip-accounting split).
-pub const STORE_VERSION: u16 = 2;
+/// `compute_cycles_skipped` counter (PR 9 skip-accounting split). v3: cell
+/// keys started covering the memory-backend kind (PR 10 backend matrix) —
+/// the layout is unchanged, but v2 entries predate backend-keyed configs,
+/// so they are retired wholesale rather than trusted to collide correctly.
+pub const STORE_VERSION: u16 = 3;
 
 /// Filename extension of a store entry.
 pub const ENTRY_EXT: &str = "meas";

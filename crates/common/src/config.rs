@@ -74,6 +74,84 @@ impl DramTimings {
             ..Self::default()
         }
     }
+
+    /// A DDR4-2400-class timing package in 1200 MHz command-clock cycles,
+    /// with the full constraint set (tFAW, tCCDL, refresh) enabled. Used by
+    /// [`DramPreset::Ddr4`] / the `Ddr4` backend.
+    pub fn ddr4() -> Self {
+        Self {
+            t_cl: 16,
+            t_rp: 16,
+            t_rc: 55,
+            t_ras: 39,
+            t_ccd: 4,
+            t_rcd: 16,
+            t_rrd: 6,
+            t_cdlr: 8,
+            t_wl: 12,
+            t_wr: 18,
+            t_faw: 26,
+            t_ccdl: 6,
+            t_refi: 9_360,
+            t_rfc: 420,
+        }
+    }
+
+    /// An LPDDR4-3200-class timing package in 800 MHz command-clock cycles.
+    /// LPDDR4 has no bank groups, so `t_ccdl` stays 0; refresh is enabled.
+    /// Used by [`DramPreset::Lpddr4`] / the `Lpddr4` backend.
+    pub fn lpddr4() -> Self {
+        Self {
+            t_cl: 14,
+            t_rp: 17,
+            t_rc: 51,
+            t_ras: 34,
+            t_ccd: 4,
+            t_rcd: 15,
+            t_rrd: 8,
+            t_cdlr: 9,
+            t_wl: 9,
+            t_wr: 15,
+            t_faw: 32,
+            t_ccdl: 0,
+            t_refi: 6_240,
+            t_rfc: 336,
+        }
+    }
+}
+
+/// Which memory-backend model services a controller's DRAM commands.
+///
+/// This selects the *model* behind the `MemoryBackend` trait in
+/// `lazydram_dram`, not the machine geometry: geometry and the timing
+/// package still come from the rest of [`GpuConfig`]. The discriminant
+/// values are stable — they tag backend checkpoint frames on the wire, so a
+/// checkpoint taken under one backend can never be restored into another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum BackendKind {
+    /// The cycle-level banked channel model (GDDR5/HBM-style), the paper's
+    /// baseline. Byte-identical to the pre-trait hard-wired model.
+    Gddr5 = 0,
+    /// Fixed-latency, bank-state-free tier for fast functional runs: every
+    /// command is always legal and a CAS completes after tRCD+tCL+tCCD.
+    Naive = 1,
+    /// The banked channel model tagged as DDR4-class; pair with
+    /// [`DramTimings::ddr4`] (done by [`DramPreset::Ddr4`]).
+    Ddr4 = 2,
+    /// The banked channel model tagged as LPDDR4-class; pair with
+    /// [`DramTimings::lpddr4`] (done by [`DramPreset::Lpddr4`]).
+    Lpddr4 = 3,
+    /// Flexible-Latency DRAM: the banked channel model with deterministic
+    /// per-bank tCL/tRCD variation seeded from the config digest.
+    Flex = 4,
+}
+
+impl BackendKind {
+    /// Stable wire tag used for checkpoint frame validation.
+    pub fn tag(self) -> u32 {
+        self as u32
+    }
 }
 
 /// Static configuration of the simulated GPU (Table I of the paper).
@@ -131,6 +209,8 @@ pub struct GpuConfig {
     pub l2_latency: u32,
     /// DRAM timing parameters.
     pub timings: DramTimings,
+    /// Memory-backend model servicing the controllers' DRAM commands.
+    pub backend: BackendKind,
 }
 
 impl Default for GpuConfig {
@@ -160,6 +240,7 @@ impl Default for GpuConfig {
             l2_throughput: 2,
             l2_latency: 16,
             timings: DramTimings::default(),
+            backend: BackendKind::Gddr5,
         }
     }
 }
@@ -171,60 +252,6 @@ impl GpuConfig {
         Self {
             num_sms: 4,
             warps_per_sm: 16,
-            ..Self::default()
-        }
-    }
-
-    /// A representative first-generation HBM configuration: more, slower
-    /// channels with smaller rows. Used by the Section V technology
-    /// discussion ("independent of the memory technology used as long as it
-    /// adopts similar structures as the row buffer").
-    pub fn hbm1() -> Self {
-        Self {
-            num_channels: 8,
-            mem_clock_mhz: 500,
-            banks_per_channel: 8,
-            bank_groups: 4,
-            row_bytes: 2048,
-            timings: DramTimings {
-                t_cl: 7,
-                t_rp: 7,
-                t_rc: 24,
-                t_ras: 17,
-                t_ccd: 2,
-                t_rcd: 7,
-                t_rrd: 4,
-                t_cdlr: 4,
-                t_wl: 2,
-                t_wr: 8,
-                ..DramTimings::default()
-            },
-            ..Self::default()
-        }
-    }
-
-    /// A representative HBM2 configuration (faster clock, pseudo-channel-
-    /// like organization approximated as 8 channels).
-    pub fn hbm2() -> Self {
-        Self {
-            num_channels: 8,
-            mem_clock_mhz: 1000,
-            banks_per_channel: 16,
-            bank_groups: 4,
-            row_bytes: 1024,
-            timings: DramTimings {
-                t_cl: 14,
-                t_rp: 14,
-                t_rc: 47,
-                t_ras: 33,
-                t_ccd: 2,
-                t_rcd: 14,
-                t_rrd: 4,
-                t_cdlr: 6,
-                t_wl: 4,
-                t_wr: 16,
-                ..DramTimings::default()
-            },
             ..Self::default()
         }
     }
@@ -565,6 +592,157 @@ impl std::fmt::Display for Scheme {
     }
 }
 
+/// The named memory-technology presets of the backend matrix, unified into
+/// one constructor enum (mirroring [`Scheme`] for scheduling policies).
+///
+/// A preset bundles a machine geometry, a [`DramTimings`] package, and a
+/// [`BackendKind`] into one [`GpuConfig`]. Every consumer-facing entry point
+/// (`SimBuilder::preset`, the CLI `--backend` flag, the `LAZYDRAM_BACKEND`
+/// env var) selects a memory technology through this enum; sweeps that need
+/// off-menu machines still build a raw [`GpuConfig`] by hand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DramPreset {
+    /// The paper's baseline: 6-channel Hynix GDDR5 at 924 MHz (Table I).
+    Gddr5,
+    /// A representative first-generation HBM machine: more, slower channels
+    /// with smaller rows. Used by the Section V technology discussion
+    /// ("independent of the memory technology used as long as it adopts
+    /// similar structures as the row buffer").
+    Hbm1,
+    /// A representative HBM2 machine (faster clock, pseudo-channel-like
+    /// organization approximated as 8 channels).
+    Hbm2,
+    /// A DDR4-2400-class machine: 4 wide channels with large (8 KiB) rows.
+    Ddr4,
+    /// An LPDDR4-3200-class machine: 8 narrow channels, no bank groups.
+    Lpddr4,
+    /// The paper-baseline geometry serviced by the fixed-latency
+    /// [`BackendKind::Naive`] model (fast functional tier).
+    Naive,
+    /// The paper-baseline geometry with Flexible-Latency DRAM: per-bank
+    /// tCL/tRCD variation seeded deterministically from the config digest.
+    Flex,
+}
+
+impl DramPreset {
+    /// Every preset, the paper baseline first.
+    pub const ALL: [DramPreset; 7] = [
+        DramPreset::Gddr5,
+        DramPreset::Hbm1,
+        DramPreset::Hbm2,
+        DramPreset::Ddr4,
+        DramPreset::Lpddr4,
+        DramPreset::Naive,
+        DramPreset::Flex,
+    ];
+
+    /// The machine configuration this preset names.
+    pub fn gpu_config(self) -> GpuConfig {
+        match self {
+            DramPreset::Gddr5 => GpuConfig::default(),
+            DramPreset::Hbm1 => GpuConfig {
+                num_channels: 8,
+                mem_clock_mhz: 500,
+                banks_per_channel: 8,
+                bank_groups: 4,
+                row_bytes: 2048,
+                timings: DramTimings {
+                    t_cl: 7,
+                    t_rp: 7,
+                    t_rc: 24,
+                    t_ras: 17,
+                    t_ccd: 2,
+                    t_rcd: 7,
+                    t_rrd: 4,
+                    t_cdlr: 4,
+                    t_wl: 2,
+                    t_wr: 8,
+                    ..DramTimings::default()
+                },
+                ..GpuConfig::default()
+            },
+            DramPreset::Hbm2 => GpuConfig {
+                num_channels: 8,
+                mem_clock_mhz: 1000,
+                banks_per_channel: 16,
+                bank_groups: 4,
+                row_bytes: 1024,
+                timings: DramTimings {
+                    t_cl: 14,
+                    t_rp: 14,
+                    t_rc: 47,
+                    t_ras: 33,
+                    t_ccd: 2,
+                    t_rcd: 14,
+                    t_rrd: 4,
+                    t_cdlr: 6,
+                    t_wl: 4,
+                    t_wr: 16,
+                    ..DramTimings::default()
+                },
+                ..GpuConfig::default()
+            },
+            DramPreset::Ddr4 => GpuConfig {
+                num_channels: 4,
+                mem_clock_mhz: 1200,
+                banks_per_channel: 16,
+                bank_groups: 4,
+                row_bytes: 8192,
+                timings: DramTimings::ddr4(),
+                backend: BackendKind::Ddr4,
+                ..GpuConfig::default()
+            },
+            DramPreset::Lpddr4 => GpuConfig {
+                num_channels: 8,
+                mem_clock_mhz: 800,
+                banks_per_channel: 8,
+                bank_groups: 1,
+                row_bytes: 4096,
+                timings: DramTimings::lpddr4(),
+                backend: BackendKind::Lpddr4,
+                ..GpuConfig::default()
+            },
+            DramPreset::Naive => GpuConfig {
+                backend: BackendKind::Naive,
+                ..GpuConfig::default()
+            },
+            DramPreset::Flex => GpuConfig {
+                backend: BackendKind::Flex,
+                ..GpuConfig::default()
+            },
+        }
+    }
+
+    /// The display label (also the CLI/env spelling).
+    pub fn label(self) -> &'static str {
+        match self {
+            DramPreset::Gddr5 => "gddr5",
+            DramPreset::Hbm1 => "hbm1",
+            DramPreset::Hbm2 => "hbm2",
+            DramPreset::Ddr4 => "ddr4",
+            DramPreset::Lpddr4 => "lpddr4",
+            DramPreset::Naive => "naive",
+            DramPreset::Flex => "flex",
+        }
+    }
+
+    /// Every label, in [`DramPreset::ALL`] order.
+    pub fn labels() -> Vec<&'static str> {
+        DramPreset::ALL.iter().map(|p| p.label()).collect()
+    }
+
+    /// Looks a preset up by its (case-insensitive) label.
+    pub fn by_label(name: &str) -> Option<DramPreset> {
+        DramPreset::ALL.into_iter().find(|p| p.label().eq_ignore_ascii_case(name))
+    }
+}
+
+impl std::fmt::Display for DramPreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -634,6 +812,42 @@ mod tests {
         assert_eq!(d.restart_windows, 32);
         let a = DynAmsConfig::default();
         assert_eq!((a.window, a.min_th, a.max_th), (4096, 1, 8));
+    }
+
+    #[test]
+    fn preset_labels_round_trip() {
+        for p in DramPreset::ALL {
+            assert_eq!(DramPreset::by_label(p.label()), Some(p));
+            assert_eq!(format!("{p}"), p.label());
+        }
+        assert_eq!(DramPreset::by_label("LPDDR4"), Some(DramPreset::Lpddr4));
+        assert_eq!(DramPreset::by_label("sram"), None);
+        assert_eq!(DramPreset::labels().len(), DramPreset::ALL.len());
+    }
+
+    #[test]
+    fn preset_configs_are_consistent() {
+        assert_eq!(DramPreset::Gddr5.gpu_config(), GpuConfig::default());
+        for p in DramPreset::ALL {
+            let g = p.gpu_config();
+            assert_eq!(g.banks_per_channel % g.bank_groups, 0, "{p}");
+            assert!(g.lines_per_row() >= 8, "{p}");
+        }
+        assert_eq!(DramPreset::Naive.gpu_config().backend, BackendKind::Naive);
+        assert_eq!(DramPreset::Ddr4.gpu_config().backend, BackendKind::Ddr4);
+        assert_eq!(DramPreset::Ddr4.gpu_config().timings, DramTimings::ddr4());
+        assert_eq!(DramPreset::Lpddr4.gpu_config().timings, DramTimings::lpddr4());
+        assert_eq!(DramPreset::Flex.gpu_config().backend, BackendKind::Flex);
+    }
+
+    #[test]
+    fn backend_tags_are_stable() {
+        // Wire tags for checkpoint frames: frozen, never renumber.
+        assert_eq!(BackendKind::Gddr5.tag(), 0);
+        assert_eq!(BackendKind::Naive.tag(), 1);
+        assert_eq!(BackendKind::Ddr4.tag(), 2);
+        assert_eq!(BackendKind::Lpddr4.tag(), 3);
+        assert_eq!(BackendKind::Flex.tag(), 4);
     }
 
     #[test]

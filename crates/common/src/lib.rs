@@ -57,7 +57,10 @@ pub const SEMANTICS_VERSION: u64 = 1;
 
 pub use addr::{AddressMap, Location};
 pub use fasthash::{FastMap, FastSet};
-pub use config::{AmsMode, Arbiter, DmsMode, DramTimings, GpuConfig, RowPolicy, SchedConfig, Scheme};
+pub use config::{
+    AmsMode, Arbiter, BackendKind, DmsMode, DramPreset, DramTimings, GpuConfig, RowPolicy,
+    SchedConfig, Scheme,
+};
 pub use prof::ProfReport;
 pub use req::{AccessKind, MemSpace, Request, RequestId};
 pub use rng::SplitMix64;

@@ -21,7 +21,7 @@ use crate::queue::{PendingQueue, QueueFull};
 use lazydram_common::prof::{self, Phase};
 use lazydram_common::snap::{Loader, Saver, SnapResult};
 use lazydram_common::{AccessKind, Arbiter, GpuConfig, Request, RequestId, RowPolicy, SchedConfig};
-use lazydram_dram::Channel;
+use lazydram_dram::{DramBackend, MemoryBackend};
 use std::collections::VecDeque;
 
 /// A completed memory request returned to the reply network.
@@ -46,7 +46,7 @@ struct Inflight {
 #[derive(Debug, Clone)]
 pub struct MemoryController {
     queue: PendingQueue,
-    channel: Channel,
+    backend: DramBackend,
     banks_per_group: usize,
     arbiter: Arbiter,
     row_policy: RowPolicy,
@@ -73,7 +73,7 @@ impl MemoryController {
                 cfg.banks_per_channel,
                 cfg.banks_per_channel / cfg.bank_groups,
             ),
-            channel: Channel::new(cfg),
+            backend: DramBackend::new(cfg),
             banks_per_group: cfg.banks_per_channel / cfg.bank_groups,
             arbiter: sched.arbiter,
             row_policy: sched.row_policy,
@@ -124,9 +124,14 @@ impl MemoryController {
         self.banks_per_group
     }
 
-    /// The underlying channel (for statistics).
-    pub fn channel(&self) -> &Channel {
-        &self.channel
+    /// Accumulated DRAM statistics of this controller's backend.
+    pub fn stats(&self) -> &lazydram_common::DramStats {
+        self.backend.stats()
+    }
+
+    /// All-bank refreshes performed by the backend so far.
+    pub fn refreshes(&self) -> u64 {
+        self.backend.refreshes()
     }
 
     /// Enqueues a request; its arrival stamp is set to the current cycle.
@@ -140,7 +145,7 @@ impl MemoryController {
             return Err(QueueFull);
         }
         req.arrival = self.now;
-        let stats = self.channel.stats_mut();
+        let stats = self.backend.stats_mut();
         stats.requests_received += 1;
         if req.is_global_read() {
             stats.global_reads_received += 1;
@@ -158,13 +163,13 @@ impl MemoryController {
         let now = self.now;
         // Not worth a profiler tag: `advance_to` is a single max(), and a
         // per-tick prof guard would cost more than the work it measures.
-        self.channel.advance_to(now);
+        self.backend.advance_to(now);
 
         // Window profilers.
-        let busy = self.channel.stats().bus_busy_cycles;
+        let busy = self.backend.stats().bus_busy_cycles;
         self.dms.tick(now, busy);
         let (dropped, reads) = {
-            let s = self.channel.stats();
+            let s = self.backend.stats();
             (s.dropped, s.global_reads_received)
         };
         self.ams.tick(now, dropped, reads);
@@ -188,7 +193,7 @@ impl MemoryController {
                 .and_then(|id| self.queue.remove(id));
             match victim {
                 Some(req) if remaining > 0 => {
-                    self.channel.stats_mut().dropped += 1;
+                    self.backend.stats_mut().dropped += 1;
                     out.push(Response {
                         id: req.id,
                         addr: req.addr,
@@ -206,17 +211,17 @@ impl MemoryController {
 
         // Refresh extension: when an all-bank refresh falls due, close open
         // rows (one per cycle) and issue the refresh before normal work.
-        if self.channel.refresh_due(now) {
-            if self.channel.can_refresh(now) {
-                self.channel.refresh(now);
+        if self.backend.refresh_due(now) {
+            if self.backend.can_refresh(now) {
+                self.backend.refresh(now);
                 return;
             }
-            let mut open = self.channel.open_banks();
+            let mut open = self.backend.open_banks();
             while open != 0 {
                 let bank = open.trailing_zeros() as usize;
                 open &= open - 1;
-                if self.channel.can_precharge(bank, now) {
-                    self.channel.precharge(bank, now);
+                if self.backend.can_precharge(bank, now) {
+                    self.backend.precharge(bank, now);
                     return;
                 }
             }
@@ -239,23 +244,23 @@ impl MemoryController {
         let now = self.now;
         // A drop sequence emits one response per cycle; the refresh
         // machinery may issue PRE/REF any cycle once the refresh is due.
-        if self.dropping.is_some() || self.channel.refresh_due(now) {
+        if self.dropping.is_some() || self.backend.refresh_due(now) {
             return Some(now + 1);
         }
         // Closed-page policy precharges open rows as soon as tRAS allows,
         // even with an empty queue — tick until they are closed.
-        if self.row_policy == RowPolicy::Closed && self.channel.open_banks() != 0 {
+        if self.row_policy == RowPolicy::Closed && self.backend.open_banks() != 0 {
             return Some(now + 1);
         }
         if !self.queue.is_empty() {
             // A pending row-buffer hit can legalize on bus/bank timing
             // alone (never DMS-gated) — treat as imminent. Only banks that
             // are both open and have pending requests can host one.
-            let mut scan = self.channel.open_banks() & self.queue.bank_mask();
+            let mut scan = self.backend.open_banks() & self.queue.bank_mask();
             while scan != 0 {
                 let bank = scan.trailing_zeros() as usize;
                 scan &= scan - 1;
-                let row = self.channel.open_row(bank).expect("bank in open mask");
+                let row = self.backend.open_row(bank).expect("bank in open mask");
                 if self.queue.any_for_row(bank, row) {
                     return Some(now + 1);
                 }
@@ -272,7 +277,7 @@ impl MemoryController {
             if let Some(f) = self.inflight.front() {
                 next = next.min(f.ready_at);
             }
-            next = next.min(self.channel.refresh_due_at());
+            next = next.min(self.backend.refresh_due_at());
             if let Some(b) = self.dms.next_window_boundary() {
                 next = next.min(b);
             }
@@ -287,7 +292,7 @@ impl MemoryController {
         if let Some(f) = self.inflight.front() {
             next = next.min(f.ready_at);
         }
-        next = next.min(self.channel.refresh_due_at());
+        next = next.min(self.backend.refresh_due_at());
         if let Some(b) = self.dms.next_window_boundary() {
             next = next.min(b);
         }
@@ -305,7 +310,7 @@ impl MemoryController {
         debug_assert!(to >= self.now, "advance_idle must not move backwards");
         self.now = to;
         let _t = prof::enter(Phase::Dram);
-        self.channel.advance_to(to);
+        self.backend.advance_to(to);
     }
 
     /// FR-FCFS + DMS + AMS scheduling: issues at most one DRAM command.
@@ -322,18 +327,18 @@ impl MemoryController {
             Arbiter::FrFcfs => {
                 // A hit needs an open row and pending work in that bank:
                 // scan only the intersection of the two occupancy masks.
-                let mut scan = self.channel.open_banks() & self.queue.bank_mask();
+                let mut scan = self.backend.open_banks() & self.queue.bank_mask();
                 while scan != 0 {
                     let bank = scan.trailing_zeros() as usize;
                     scan &= scan - 1;
-                    let row = self.channel.open_row(bank).expect("bank in open mask");
+                    let row = self.backend.open_row(bank).expect("bank in open mask");
                     let Some((seq, req)) = self.queue.oldest_for_row(bank, row) else {
                         continue;
                     };
                     if best.is_some_and(|(s, _, _)| s <= seq) {
                         continue;
                     }
-                    if self.channel.can_cas(bank, req.kind, now) {
+                    if self.backend.can_cas(bank, req.kind, now) {
                         best = Some((seq, req.id, bank));
                     }
                 }
@@ -341,8 +346,8 @@ impl MemoryController {
             Arbiter::Fcfs => {
                 if let Some(req) = self.queue.oldest().copied() {
                     let bank = req.loc.flat_bank(self.queue_banks_per_group());
-                    if self.channel.open_row(bank) == Some(req.loc.row)
-                        && self.channel.can_cas(bank, req.kind, now)
+                    if self.backend.open_row(bank) == Some(req.loc.row)
+                        && self.backend.can_cas(bank, req.kind, now)
                     {
                         best = Some((0, req.id, bank));
                     }
@@ -351,7 +356,7 @@ impl MemoryController {
         }
         if let Some((_, id, bank)) = best {
             let req = self.queue.remove(id).expect("candidate still queued");
-            let done = self.channel.cas(bank, req.kind, req.is_global_read(), now);
+            let done = self.backend.cas(bank, req.kind, req.is_global_read(), now);
             if req.kind == AccessKind::Read {
                 self.inflight.push_back(Inflight {
                     ready_at: done,
@@ -369,13 +374,13 @@ impl MemoryController {
         // requests left, immediately (not gated by DMS — closing is not a
         // new row opening), even when the queue is empty.
         if self.row_policy == RowPolicy::Closed {
-            let mut scan = self.channel.open_banks();
+            let mut scan = self.backend.open_banks();
             while scan != 0 {
                 let bank = scan.trailing_zeros() as usize;
                 scan &= scan - 1;
-                let open = self.channel.open_row(bank).expect("bank in open mask");
-                if !self.queue.any_for_row(bank, open) && self.channel.can_precharge(bank, now) {
-                    self.channel.precharge(bank, now);
+                let open = self.backend.open_row(bank).expect("bank in open mask");
+                if !self.queue.any_for_row(bank, open) && self.backend.can_precharge(bank, now) {
+                    self.backend.precharge(bank, now);
                     return;
                 }
             }
@@ -411,7 +416,7 @@ impl MemoryController {
                 while scan != 0 {
                     let bank = scan.trailing_zeros() as usize;
                     scan &= scan - 1;
-                    let needs_pre = match self.channel.open_row(bank) {
+                    let needs_pre = match self.backend.open_row(bank) {
                         Some(open) => {
                             if self.queue.any_for_row(bank, open) {
                                 continue; // row hits pending (maybe timing-blocked)
@@ -433,7 +438,7 @@ impl MemoryController {
                 // still want it (that is exactly why FCFS wastes row energy).
                 if let Some(req) = self.queue.oldest().copied() {
                     let bank = req.loc.flat_bank(self.queue_banks_per_group());
-                    match self.channel.open_row(bank) {
+                    match self.backend.open_row(bank) {
                         Some(open) if open == req.loc.row => {} // hit pending timing
                         Some(_) => {
                             cands[0] = (0, bank, true);
@@ -458,7 +463,7 @@ impl MemoryController {
                     .expect("candidate exists")
                     .1;
                 let (dropped, reads) = {
-                    let s = self.channel.stats();
+                    let s = self.backend.stats();
                     (s.dropped, s.global_reads_received)
                 };
                 if self.ams.should_drop(
@@ -477,7 +482,7 @@ impl MemoryController {
                         .map(|(_, r)| r.id)
                         .and_then(|id| self.queue.remove(id))
                     {
-                        self.channel.stats_mut().dropped += 1;
+                        self.backend.stats_mut().dropped += 1;
                         out.push(Response {
                             id: victim.id,
                             addr: victim.addr,
@@ -493,8 +498,8 @@ impl MemoryController {
                 }
             }
             if needs_pre {
-                if self.channel.can_precharge(bank, now) {
-                    self.channel.precharge(bank, now);
+                if self.backend.can_precharge(bank, now) {
+                    self.backend.precharge(bank, now);
                     return;
                 }
             } else {
@@ -505,8 +510,8 @@ impl MemoryController {
                     .1
                     .loc
                     .row;
-                if self.channel.can_activate(bank, now) {
-                    self.channel.activate(bank, row, now);
+                if self.backend.can_activate(bank, now) {
+                    self.backend.activate(bank, row, now);
                     return;
                 }
             }
@@ -516,7 +521,7 @@ impl MemoryController {
     /// Finishes the simulation: closes all open rows so their RBL is
     /// recorded. Returns any still-inflight responses (flushed immediately).
     pub fn drain(&mut self) -> Vec<Response> {
-        self.channel.drain();
+        self.backend.drain();
         let out: Vec<Response> = self.inflight.drain(..).map(|f| f.resp).collect();
         out
     }
@@ -528,7 +533,10 @@ impl MemoryController {
     /// constructed from the same configuration.
     pub fn save_state(&self, s: &mut Saver) {
         s.frame("pq", 0, |s| self.queue.save_state(s));
-        s.frame("chan", 0, |s| self.channel.save_state(s));
+        // The frame index carries the backend's stable wire tag, so a
+        // checkpoint taken under one backend can never be restored into
+        // another (the loader validates tag and index together).
+        s.frame("chan", self.backend.kind().tag(), |s| self.backend.save_state(s));
         s.frame("dms", 0, |s| self.dms.save_state(s));
         s.frame("ams", 0, |s| self.ams.save_state(s));
         // The remaining scalars live in their own frame so the whole payload
@@ -565,7 +573,7 @@ impl MemoryController {
     /// snapshot geometry disagrees with this controller's configuration.
     pub fn load_state(&mut self, l: &mut Loader<'_>) -> SnapResult<()> {
         l.frame("pq", 0, |l| self.queue.load_state(l))?;
-        l.frame("chan", 0, |l| self.channel.load_state(l))?;
+        l.frame("chan", self.backend.kind().tag(), |l| self.backend.load_state(l))?;
         l.frame("dms", 0, |l| self.dms.load_state(l))?;
         l.frame("ams", 0, |l| self.ams.load_state(l))?;
         l.frame("rest", 0, |l| {
@@ -657,7 +665,7 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].id, RequestId(1));
         assert!(!out[0].approximated);
-        let st = mc.channel().stats();
+        let st = mc.stats();
         assert_eq!(st.activations, 1);
         assert_eq!(st.reads, 1);
         assert_eq!(st.row_misses, 1);
@@ -677,7 +685,7 @@ mod tests {
         let out = run_until_idle(&mut mc, 500);
         let pos = |id: u64| out.iter().position(|r| r.id == RequestId(id)).unwrap();
         assert!(pos(3) < pos(2), "row hit must be served before older miss");
-        assert_eq!(mc.channel().stats().row_hits, 1);
+        assert_eq!(mc.stats().row_hits, 1);
     }
 
     #[test]
@@ -687,7 +695,7 @@ mod tests {
         mc.enqueue(mkreq(&map, 1, 0, 0, 0, AccessKind::Write)).unwrap();
         let out = run_until_idle(&mut mc, 200);
         assert!(out.is_empty());
-        assert_eq!(mc.channel().stats().writes, 1);
+        assert_eq!(mc.stats().writes, 1);
     }
 
     #[test]
@@ -744,7 +752,7 @@ mod tests {
             }
             let _ = run_until_idle(&mut mc, 5_000);
             let _ = mc.drain();
-            mc.channel().stats().clone()
+            mc.stats().clone()
         };
         let base = run(SchedConfig::baseline(), 150);
         let dms = run(SchedConfig { dms: DmsMode::Static(256), ..SchedConfig::baseline() }, 150);
@@ -769,8 +777,8 @@ mod tests {
         let out = run_until_idle(&mut mc, 200);
         assert_eq!(out.len(), 1);
         assert!(out[0].approximated, "isolated low-RBL read should be dropped");
-        assert_eq!(mc.channel().stats().activations, 0);
-        assert_eq!(mc.channel().stats().dropped, 1);
+        assert_eq!(mc.stats().activations, 0);
+        assert_eq!(mc.stats().dropped, 1);
     }
 
     #[test]
@@ -788,8 +796,8 @@ mod tests {
         let out = run_until_idle(&mut mc, 500);
         assert_eq!(out.len(), 1);
         assert!(!out[0].approximated);
-        assert_eq!(mc.channel().stats().dropped, 0);
-        assert_eq!(mc.channel().stats().activations, 1);
+        assert_eq!(mc.stats().dropped, 0);
+        assert_eq!(mc.stats().activations, 1);
     }
 
     #[test]
@@ -810,7 +818,7 @@ mod tests {
             }
         }
         run_until_idle(&mut mc, 10_000);
-        let st = mc.channel().stats();
+        let st = mc.stats();
         assert!(st.dropped <= 3 + 8, "cap plus one bounded drop sequence");
         assert!(st.coverage() <= 0.10 + 8.0 / 30.0);
         assert!(st.dropped >= 1, "some drops must happen");
@@ -832,8 +840,8 @@ mod tests {
         let out = run_until_idle(&mut mc, 100);
         assert_eq!(out.len(), 3);
         assert!(out.iter().all(|r| r.approximated));
-        assert_eq!(mc.channel().stats().activations, 0);
-        assert_eq!(mc.channel().stats().dropped, 3);
+        assert_eq!(mc.stats().activations, 0);
+        assert_eq!(mc.stats().dropped, 3);
     }
 
     /// Figure 8: DMS makes AMS drop the *right* request.
@@ -873,7 +881,7 @@ mod tests {
             }
             out.extend(run_until_idle(&mut mc, 5_000));
             let dropped: Vec<u64> = out.iter().filter(|r| r.approximated).map(|r| r.id.0).collect();
-            (dropped, mc.channel().stats().clone())
+            (dropped, mc.stats().clone())
         };
 
         let (dropped_ams, st_ams) = run(DmsMode::Off);
@@ -937,7 +945,7 @@ mod tests {
         for _ in 0..80 {
             tick1(&mut mc);
         }
-        let st = mc.channel().stats();
+        let st = mc.stats();
         assert_eq!(st.activations, 2, "closed-page must have closed the idle row");
         assert_eq!(st.precharges, 2);
     }
@@ -953,8 +961,8 @@ mod tests {
         }
         mc.enqueue(mkreq(&map, 2, 0, 0, 1, AccessKind::Read)).unwrap();
         run_until_idle(&mut mc, 500);
-        assert_eq!(mc.channel().stats().activations, 1, "open-page keeps the row");
-        assert_eq!(mc.channel().stats().row_hits, 1);
+        assert_eq!(mc.stats().activations, 1, "open-page keeps the row");
+        assert_eq!(mc.stats().row_hits, 1);
     }
 
     #[test]
@@ -980,7 +988,7 @@ mod tests {
             out.extend(tick1(&mut mc));
         }
         assert_eq!(out.len() as u64, id, "all reads answered despite refreshes");
-        assert!(mc.channel().refreshes() >= 5, "refreshes kept recurring");
+        assert!(mc.refreshes() >= 5, "refreshes kept recurring");
     }
 
     #[test]
@@ -989,8 +997,8 @@ mod tests {
         let mut mc = baseline_mc();
         mc.enqueue(mkreq(&map, 1, 0, 0, 0, AccessKind::Read)).unwrap();
         run_until_idle(&mut mc, 200);
-        assert_eq!(mc.channel().stats().rbl.activations(), 0, "row still open");
+        assert_eq!(mc.stats().rbl.activations(), 0, "row still open");
         mc.drain();
-        assert_eq!(mc.channel().stats().rbl.count(1), 1);
+        assert_eq!(mc.stats().rbl.count(1), 1);
     }
 }

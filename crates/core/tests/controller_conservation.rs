@@ -65,7 +65,7 @@ fn run_conservation(seed_reqs: Vec<(u32, u8, bool)>, sched: SchedConfig) -> Resu
     prop_assert_eq!(seen.len(), read_ids.len(), "missing responses");
 
     // Served + dropped == received.
-    let st = mc.channel().stats();
+    let st = mc.stats();
     prop_assert_eq!(st.reads + st.writes + st.dropped, st.requests_received);
     Ok(())
 }

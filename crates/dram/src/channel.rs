@@ -11,6 +11,11 @@ use lazydram_common::{AccessKind, DramStats, DramTimings, GpuConfig};
 #[derive(Debug, Clone, PartialEq)]
 pub struct Channel {
     timings: DramTimings,
+    /// Per-bank timing overrides (Flexible-Latency DRAM). Empty means every
+    /// bank uses `timings`; when non-empty it holds one entry per bank.
+    /// Derived from the configuration at construction time, never
+    /// serialized.
+    bank_timings: Vec<DramTimings>,
     banks: Vec<Bank>,
     banks_per_group: usize,
     /// Bit `b` set iff bank `b` has an open row. Derived from `banks`
@@ -51,6 +56,7 @@ impl Channel {
         );
         Self {
             timings: cfg.timings,
+            bank_timings: Vec::new(),
             banks: (0..cfg.banks_per_channel).map(|_| Bank::new()).collect(),
             banks_per_group: cfg.banks_per_channel / cfg.bank_groups,
             open_banks: 0,
@@ -83,9 +89,29 @@ impl Channel {
         self.banks_per_group
     }
 
-    /// The timing parameters in force.
-    pub fn timings(&self) -> &DramTimings {
-        &self.timings
+    /// Installs per-bank timing overrides (Flexible-Latency DRAM). `over`
+    /// must hold exactly one entry per bank. Call right after construction,
+    /// before any command is issued.
+    ///
+    /// Channel-global constraints (tRRD, tFAW, tCCD/tCCDL gaps, tCDLR,
+    /// refresh) keep using the configuration's base timings; only the
+    /// per-bank command timings (tCL/tRCD/tRP/tRAS/tRC/tWL/tWR) vary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `over.len()` differs from the bank count.
+    pub fn set_bank_timings(&mut self, over: Vec<DramTimings>) {
+        assert_eq!(over.len(), self.banks.len(), "one timing set per bank");
+        self.bank_timings = over;
+    }
+
+    /// The timing parameters in force for `bank`.
+    fn bt(&self, bank: usize) -> &DramTimings {
+        if self.bank_timings.is_empty() {
+            &self.timings
+        } else {
+            &self.bank_timings[bank]
+        }
     }
 
     /// The row currently open in `bank`, if any.
@@ -147,7 +173,8 @@ impl Channel {
     /// Debug-panics if [`Channel::can_activate`] is false at `now`.
     pub fn activate(&mut self, bank: usize, row: u32, now: u64) {
         debug_assert!(self.can_activate(bank, now), "illegal ACT at {now}");
-        self.banks[bank].activate(row, now, &self.timings);
+        let t = *self.bt(bank);
+        self.banks[bank].activate(row, now, &t);
         self.open_banks |= 1 << bank;
         self.next_act_ok = now + u64::from(self.timings.t_rrd);
         self.last_cmd_cycle = Some(now);
@@ -170,7 +197,8 @@ impl Channel {
     /// Debug-panics if [`Channel::can_precharge`] is false at `now`.
     pub fn precharge(&mut self, bank: usize, now: u64) {
         debug_assert!(self.can_precharge(bank, now), "illegal PRE at {now}");
-        let rec = self.banks[bank].precharge(now, &self.timings);
+        let t = *self.bt(bank);
+        let rec = self.banks[bank].precharge(now, &t);
         self.open_banks &= !(1 << bank);
         self.last_cmd_cycle = Some(now);
         self.stats.precharges += 1;
@@ -210,7 +238,7 @@ impl Channel {
                 }
             }
         }
-        let data_start = now + self.cas_latency(kind);
+        let data_start = now + self.cas_latency(bank, kind);
         if data_start < self.bus_free {
             return false;
         }
@@ -224,10 +252,11 @@ impl Channel {
         true
     }
 
-    fn cas_latency(&self, kind: AccessKind) -> u64 {
+    fn cas_latency(&self, bank: usize, kind: AccessKind) -> u64 {
+        let t = self.bt(bank);
         match kind {
-            AccessKind::Read => u64::from(self.timings.t_cl),
-            AccessKind::Write => u64::from(self.timings.t_wl),
+            AccessKind::Read => u64::from(t.t_cl),
+            AccessKind::Write => u64::from(t.t_wl),
         }
     }
 
@@ -251,9 +280,10 @@ impl Channel {
         } else {
             self.stats.row_hits += 1;
         }
-        self.banks[bank].cas(kind, global_read, now, &self.timings);
+        let t = *self.bt(bank);
+        self.banks[bank].cas(kind, global_read, now, &t);
         self.last_cmd_cycle = Some(now);
-        let data_start = now + self.cas_latency(kind);
+        let data_start = now + self.cas_latency(bank, kind);
         let data_end = data_start + u64::from(self.timings.t_ccd);
         self.bus_free = data_end;
         self.last_cas = Some((now, bank / self.banks_per_group));

@@ -1,6 +1,7 @@
-//! Cycle-level GDDR5 DRAM channel model.
+//! Cycle-level DRAM channel models behind the [`MemoryBackend`] trait.
 //!
-//! One [`Channel`] owns a set of banks organized in bank groups, a shared
+//! The banked model: one [`Channel`] owns a set of banks organized in bank
+//! groups, a shared
 //! command bus (one command per memory cycle) and a shared data bus (one burst
 //! per [`t_ccd`](lazydram_common::DramTimings::t_ccd) cycles). The memory
 //! controller (in `lazydram-core`) decides *which* request to serve; this
@@ -37,9 +38,14 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod auditor;
+mod backend;
 mod bank;
 mod channel;
 
 pub use auditor::{Auditor, Command, ProtocolViolation};
+pub use backend::{
+    Ddr4Backend, DramBackend, FlexBackend, Gddr5Backend, Lpddr4Backend, MemoryBackend,
+    NaiveBackend,
+};
 pub use bank::{ActivationRecord, Bank, BankState};
 pub use channel::Channel;

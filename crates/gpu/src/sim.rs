@@ -1372,7 +1372,7 @@ impl LaunchMachine {
 
         let mut launch_dram = lazydram_common::DramStats::new();
         for mc in &self.mcs {
-            launch_dram.merge(mc.channel().stats());
+            launch_dram.merge(mc.stats());
             let d = &mc.ams().declines;
             if total.ams_declines.len() < d.len() {
                 total.ams_declines.resize(d.len(), 0);

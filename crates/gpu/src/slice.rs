@@ -504,7 +504,7 @@ mod tests {
         assert_eq!(r.line, 0x10_0000);
         assert!(r.values.is_none());
         assert!(slice.l2().probe(0x10_0000));
-        assert_eq!(mc.channel().stats().reads, 1);
+        assert_eq!(mc.stats().reads, 1);
     }
 
     #[test]
@@ -521,7 +521,7 @@ mod tests {
         slice.tick(501, &mut incoming, &mut mc, &image, &map);
         slice.flush_replies(501, &mut replies);
         assert!(replies[1].pop_ready(501).is_some());
-        assert_eq!(mc.channel().stats().reads, 1, "L2 hit must not touch DRAM");
+        assert_eq!(mc.stats().reads, 1, "L2 hit must not touch DRAM");
     }
 
     #[test]
@@ -536,7 +536,7 @@ mod tests {
         while !mc.is_idle() {
             pump_mc(&mut mc, &mut slice);
         }
-        assert_eq!(mc.channel().stats().writes, 1);
+        assert_eq!(mc.stats().writes, 1);
         assert!(!slice.l2().probe(0x10_0000), "write-no-allocate");
     }
 
@@ -632,6 +632,6 @@ mod tests {
         while !mc.is_idle() {
             pump_mc(&mut mc, &mut slice);
         }
-        assert!(mc.channel().stats().writes >= 1, "dirty eviction must write back");
+        assert!(mc.stats().writes >= 1, "dirty eviction must write back");
     }
 }

@@ -455,7 +455,7 @@ impl TraceSim {
             let completed_now: u64 = mcs
                 .iter()
                 .map(|m| {
-                    let s = m.channel().stats();
+                    let s = m.stats();
                     s.reads + s.writes + s.dropped
                 })
                 .sum();
@@ -473,7 +473,7 @@ impl TraceSim {
         let mut stats = SimStats::new();
         for mc in &mut mcs {
             let _ = mc.drain();
-            stats.dram.merge(mc.channel().stats());
+            stats.dram.merge(mc.stats());
         }
         let served = stats.dram.reads + stats.dram.writes + stats.dram.dropped;
         Ok(ReplayReport {

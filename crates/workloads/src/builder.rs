@@ -26,7 +26,7 @@
 
 use crate::suite::AppSpec;
 use lazydram_common::snap::digest;
-use lazydram_common::{GpuConfig, SchedConfig, Scheme};
+use lazydram_common::{BackendKind, DramPreset, GpuConfig, SchedConfig, Scheme};
 use lazydram_gpu::{
     Checkpoint, Kernel, ReplayReport, RunOutcome, RunResult, SimLimits, Simulator, SnapResult,
     Trace, TraceError,
@@ -53,6 +53,23 @@ pub fn parse_checkpoint_every(s: &str) -> Result<u64, String> {
              expected e.g. 100000 or 5000000"
         )),
     }
+}
+
+/// Parses a `LAZYDRAM_BACKEND` value: a (case-insensitive) [`DramPreset`]
+/// label. A malformed value is a hard error naming the valid labels —
+/// like `LAZYDRAM_CACHE_MODE`, never a silent fallback to the default
+/// machine.
+///
+/// # Errors
+///
+/// Returns a message listing every valid label on anything else.
+pub fn parse_backend(s: &str) -> Result<DramPreset, String> {
+    DramPreset::by_label(s.trim()).ok_or_else(|| {
+        format!(
+            "LAZYDRAM_BACKEND={s:?} is not a DRAM backend preset; expected one of: {}",
+            DramPreset::labels().join(", ")
+        )
+    })
 }
 
 /// What a [`TracePolicy`] does with captured request traces.
@@ -362,6 +379,12 @@ impl SimBuilder {
         self
     }
 
+    /// Selects a named memory-technology preset from the backend matrix
+    /// (geometry + timing package + backend model together).
+    pub fn preset(self, preset: DramPreset) -> Self {
+        self.gpu(preset.gpu_config())
+    }
+
     /// Sets the work scale (1.0 = the paper's input sizes).
     pub fn scale(mut self, scale: f64) -> Self {
         self.scale = scale;
@@ -476,6 +499,7 @@ impl SimBuilder {
             )
             .as_bytes(),
         );
+        let backend = self.cfg.backend;
         let mut sim = Simulator::new(self.cfg, self.sched)
             .with_limits(self.limits)
             .with_trace_capture(self.trace);
@@ -492,6 +516,7 @@ impl SimBuilder {
             app: self.app,
             scale: self.scale,
             label: self.label,
+            backend,
             checkpoints: self.checkpoints,
             tag,
             sim,
@@ -505,6 +530,7 @@ pub struct SimRun {
     app: AppSpec,
     scale: f64,
     label: String,
+    backend: BackendKind,
     checkpoints: Option<CheckpointPolicy>,
     tag: u64,
     sim: Simulator,
@@ -524,6 +550,12 @@ impl SimRun {
     /// The work scale.
     pub fn scale(&self) -> f64 {
         self.scale
+    }
+
+    /// The memory-backend model this run's controllers use (the energy
+    /// model picks its technology profile from this).
+    pub fn backend(&self) -> BackendKind {
+        self.backend
     }
 
     fn launches(&self) -> Vec<Box<dyn Kernel>> {
@@ -813,6 +845,36 @@ mod tests {
                 .sched(SchedConfig::dyn_combo(), "Dyn-DMS+Dyn-AMS")
                 .cell_digest()
         );
+    }
+
+    #[test]
+    fn parse_backend_is_strict() {
+        assert_eq!(parse_backend("gddr5"), Ok(DramPreset::Gddr5));
+        assert_eq!(parse_backend(" LPDDR4 "), Ok(DramPreset::Lpddr4));
+        assert_eq!(parse_backend("Flex"), Ok(DramPreset::Flex));
+        for bad in ["", "gddr6", "naive,flex", "1"] {
+            let err = parse_backend(bad).unwrap_err();
+            assert!(err.contains("not a DRAM backend preset"), "{err}");
+            assert!(err.contains("naive"), "must list valid labels: {err}");
+        }
+    }
+
+    #[test]
+    fn preset_splits_the_cell_namespace() {
+        let app = crate::suite::by_name("SCP").expect("app");
+        let base = SimBuilder::new(&app).scheme(Scheme::DynCombo);
+        let d = base.clone().cell_digest();
+        // The default preset is the default machine…
+        assert_eq!(d, base.clone().preset(DramPreset::Gddr5).cell_digest());
+        // …and every other backend keys its own cells.
+        let mut seen = vec![d];
+        for p in DramPreset::ALL.into_iter().skip(1) {
+            let dp = base.clone().preset(p).cell_digest();
+            assert!(!seen.contains(&dp), "{p} must not collide");
+            seen.push(dp);
+        }
+        let run = base.preset(DramPreset::Naive).build();
+        assert_eq!(run.backend(), BackendKind::Naive);
     }
 
     #[test]

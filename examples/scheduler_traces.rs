@@ -66,7 +66,7 @@ fn fig3(delay: DmsMode, label: &str) {
         }
     }
     let _ = mc.drain();
-    let st = mc.channel().stats();
+    let st = mc.stats();
     println!("  {label:<18} activations {} (8 requests)  Avg-RBL {:.2}  order {:?}",
              st.activations, st.rbl.avg_rbl(), served.iter().map(|s| s.0).collect::<Vec<_>>());
 }
@@ -106,7 +106,7 @@ fn main() {
         }
         let _ = mc.drain();
         let dropped: Vec<u64> = served.iter().filter(|s| s.1).map(|s| s.0).collect();
-        let st = mc.channel().stats();
+        let st = mc.stats();
         println!("  {label:<18} dropped req {dropped:?}  activations {}  Avg-RBL {:.2}",
                  st.activations, st.rbl.avg_rbl());
     }

@@ -2,17 +2,20 @@
 //!
 //! ```text
 //! lazydram apps                         list the 20 workloads and groups
-//! lazydram run <APP> [--scheme S] [--scale F]
-//! lazydram sweep <APP> [--scale F]      DMS delay sweep for one app
-//! lazydram schemes <APP> [--scale F]    all six paper schemes side by side
+//! lazydram run <APP> [--scheme S] [--scale F] [--backend B]
+//! lazydram sweep <APP> [--scale F] [--backend B]      DMS delay sweep for one app
+//! lazydram schemes <APP> [--scale F] [--backend B]    all six paper schemes side by side
 //! lazydram capture <APP> <FILE> [--scale F]   record the baseline request trace
-//! lazydram replay <FILE> [--scheme S]   open-loop MC+DRAM replay of a trace
+//! lazydram replay <FILE> [--scheme S] [--backend B]   open-loop MC+DRAM replay of a trace
+//!
+//! `--backend` picks a memory model from the backend matrix (`lazydram
+//! backends` lists the labels); the default is the paper's GDDR5 machine.
 //! lazydram cache <stats | ls | gc --max-bytes N | clear>
 //!                                       administer the result store (LAZYDRAM_CACHE_DIR)
 //! ```
 
 use lazydram::bench::{CacheMode, EntryInfo, Store};
-use lazydram::common::{DmsMode, GpuConfig, SchedConfig};
+use lazydram::common::{DmsMode, DramPreset, GpuConfig, SchedConfig};
 use lazydram::energy::{EnergyModel, MemoryTech};
 use lazydram::gpu::{application_error, Trace, TraceSim};
 use lazydram::workloads::{all_apps, by_name, AppSpec};
@@ -33,6 +36,33 @@ fn app_or_exit(name: &str) -> AppSpec {
     })
 }
 
+fn backend_or_exit(args: &[String]) -> DramPreset {
+    let Some(label) = parse_flag(args, "--backend") else { return DramPreset::Gddr5 };
+    DramPreset::by_label(&label).unwrap_or_else(|| {
+        eprintln!(
+            "unknown backend {label:?}; valid labels: {}",
+            DramPreset::labels().join(", ")
+        );
+        std::process::exit(2);
+    })
+}
+
+fn cmd_backends() {
+    println!("{:<8} {:>4}  {:>6}  {:>5}  {:>6}  model", "label", "ch", "MHz", "banks", "rowB");
+    for p in DramPreset::ALL {
+        let c = p.gpu_config();
+        println!(
+            "{:<8} {:>4}  {:>6}  {:>5}  {:>6}  {:?}",
+            p.label(),
+            c.num_channels,
+            c.mem_clock_mhz,
+            c.banks_per_channel,
+            c.row_bytes,
+            c.backend,
+        );
+    }
+}
+
 fn cmd_apps() {
     println!("{:<14} {:>5}  description", "app", "group");
     for a in all_apps() {
@@ -41,16 +71,16 @@ fn cmd_apps() {
     println!("\ngroups 1-3 are error tolerant (AMS applies); group 4 is delay-only");
 }
 
-fn cmd_run(app: &AppSpec, scheme: &str, scale: f64) {
+fn cmd_run(app: &AppSpec, scheme: &str, scale: f64, preset: DramPreset) {
     let scheme = Scheme::by_label(scheme).unwrap_or_else(|| {
         eprintln!("unknown scheme {scheme:?} (baseline, Static-DMS, Dyn-DMS, Static-AMS, Dyn-AMS, Static-DMS+Static-AMS, Dyn-DMS+Dyn-AMS)");
         std::process::exit(2);
     });
-    let run = SimBuilder::new(app).scheme(scheme).scale(scale).build();
+    let run = SimBuilder::new(app).preset(preset).scheme(scheme).scale(scale).build();
     let exact = run.exact_output();
     let r = run.run();
-    let e = EnergyModel::new(MemoryTech::Gddr5).breakdown(&r.stats.dram);
-    println!("{} under {} (scale {scale})", app.name, scheme.label());
+    let e = EnergyModel::new(MemoryTech::for_preset(preset)).breakdown(&r.stats.dram);
+    println!("{} under {} (scale {scale}, backend {preset})", app.name, scheme.label());
     println!("  core cycles      {:>12}", r.stats.core_cycles);
     println!("  IPC              {:>12.3}", r.stats.ipc());
     println!("  DRAM activations {:>12}", r.stats.dram.activations);
@@ -60,16 +90,22 @@ fn cmd_run(app: &AppSpec, scheme: &str, scale: f64) {
     println!("  app error        {:>11.2}%", 100.0 * application_error(&exact, &r.output));
 }
 
-fn cmd_sweep(app: &AppSpec, scale: f64) {
-    let base = SimBuilder::new(app).scheme(Scheme::Baseline).scale(scale).build().run();
-    println!("{}: DMS delay sweep (scale {scale})", app.name);
+fn cmd_sweep(app: &AppSpec, scale: f64, preset: DramPreset) {
+    let base =
+        SimBuilder::new(app).preset(preset).scheme(Scheme::Baseline).scale(scale).build().run();
+    println!("{}: DMS delay sweep (scale {scale}, backend {preset})", app.name);
     println!("{:>7} {:>10} {:>9}", "delay", "norm acts", "norm IPC");
     for d in [0u32, 64, 128, 256, 512, 1024, 2048] {
         let sched = SchedConfig {
             dms: if d == 0 { DmsMode::Off } else { DmsMode::Static(d) },
             ..SchedConfig::baseline()
         };
-        let r = SimBuilder::new(app).sched(sched, format!("DMS({d})")).scale(scale).build().run();
+        let r = SimBuilder::new(app)
+            .preset(preset)
+            .sched(sched, format!("DMS({d})"))
+            .scale(scale)
+            .build()
+            .run();
         println!(
             "{d:>7} {:>10.3} {:>9.3}",
             r.stats.dram.activations as f64 / base.stats.dram.activations.max(1) as f64,
@@ -78,14 +114,15 @@ fn cmd_sweep(app: &AppSpec, scale: f64) {
     }
 }
 
-fn cmd_schemes(app: &AppSpec, scale: f64) {
-    let base_run = SimBuilder::new(app).scheme(Scheme::Baseline).scale(scale).build();
+fn cmd_schemes(app: &AppSpec, scale: f64, preset: DramPreset) {
+    let base_run =
+        SimBuilder::new(app).preset(preset).scheme(Scheme::Baseline).scale(scale).build();
     let exact = base_run.exact_output();
     let base = base_run.run();
-    println!("{}: all schemes (scale {scale})", app.name);
+    println!("{}: all schemes (scale {scale}, backend {preset})", app.name);
     println!("{:>24} {:>10} {:>9} {:>9} {:>9}", "scheme", "norm acts", "norm IPC", "coverage", "error");
     for scheme in Scheme::PAPER {
-        let r = SimBuilder::new(app).scheme(scheme).scale(scale).build().run();
+        let r = SimBuilder::new(app).preset(preset).scheme(scheme).scale(scale).build().run();
         println!(
             "{:>24} {:>10.3} {:>9.3} {:>8.1}% {:>8.2}%",
             scheme.label(),
@@ -112,12 +149,12 @@ fn cmd_capture(app: &AppSpec, path: &Path, scale: f64) {
     );
 }
 
-fn cmd_replay(path: &Path, scheme: &str) {
+fn cmd_replay(path: &Path, scheme: &str, preset: DramPreset) {
     let scheme = Scheme::by_label(scheme).unwrap_or_else(|| {
         eprintln!("unknown scheme {scheme:?}");
         std::process::exit(2);
     });
-    let cfg = GpuConfig::default();
+    let cfg = preset.gpu_config();
     let trace = Trace::load_file(path, &cfg).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(1);
@@ -126,8 +163,12 @@ fn cmd_replay(path: &Path, scheme: &str) {
         eprintln!("{e}");
         std::process::exit(1);
     });
-    let e = EnergyModel::new(MemoryTech::Gddr5).breakdown(&report.stats.dram);
-    println!("{} under {} (open-loop replay, MC+DRAM only)", path.display(), scheme.label());
+    let e = EnergyModel::new(MemoryTech::for_preset(preset)).breakdown(&report.stats.dram);
+    println!(
+        "{} under {} (open-loop replay, MC+DRAM only, backend {preset})",
+        path.display(),
+        scheme.label()
+    );
     println!("  served           {:>12} / {}", report.served, trace.len());
     println!("  DRAM activations {:>12}", report.stats.dram.activations);
     println!("  Avg-RBL          {:>12.2}", report.stats.dram.avg_rbl());
@@ -227,27 +268,29 @@ fn cmd_cache(args: &[String]) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale: f64 = parse_flag(&args, "--scale").and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let preset = backend_or_exit(&args);
     match args.first().map(String::as_str) {
         Some("apps") => cmd_apps(),
+        Some("backends") => cmd_backends(),
         Some("run") if args.len() >= 2 => {
             let scheme = parse_flag(&args, "--scheme").unwrap_or_else(|| "Dyn-DMS+Dyn-AMS".into());
-            cmd_run(&app_or_exit(&args[1]), &scheme, scale);
+            cmd_run(&app_or_exit(&args[1]), &scheme, scale, preset);
         }
-        Some("sweep") if args.len() >= 2 => cmd_sweep(&app_or_exit(&args[1]), scale),
-        Some("schemes") if args.len() >= 2 => cmd_schemes(&app_or_exit(&args[1]), scale),
+        Some("sweep") if args.len() >= 2 => cmd_sweep(&app_or_exit(&args[1]), scale, preset),
+        Some("schemes") if args.len() >= 2 => cmd_schemes(&app_or_exit(&args[1]), scale, preset),
         Some("capture") if args.len() >= 3 => {
             cmd_capture(&app_or_exit(&args[1]), Path::new(&args[2]), scale);
         }
         Some("replay") if args.len() >= 2 => {
             let scheme = parse_flag(&args, "--scheme").unwrap_or_else(|| "baseline".into());
-            cmd_replay(Path::new(&args[1]), &scheme);
+            cmd_replay(Path::new(&args[1]), &scheme, preset);
         }
         Some("cache") => cmd_cache(&args),
         _ => {
             eprintln!(
-                "usage: lazydram <apps | run APP [--scheme S] | sweep APP | schemes APP | \
-                 capture APP FILE | replay FILE [--scheme S] | \
-                 cache <stats|ls|gc --max-bytes N|clear>> [--scale F]"
+                "usage: lazydram <apps | backends | run APP [--scheme S] | sweep APP | \
+                 schemes APP | capture APP FILE | replay FILE [--scheme S] | \
+                 cache <stats|ls|gc --max-bytes N|clear>> [--scale F] [--backend B]"
             );
             std::process::exit(2);
         }

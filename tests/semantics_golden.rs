@@ -26,17 +26,34 @@
 use lazydram::bench::store::encode_entry;
 use lazydram::bench::{measure, Measurement};
 use lazydram::common::snap::{digest, fold};
-use lazydram::common::SEMANTICS_VERSION;
+use lazydram::common::{DramPreset, SEMANTICS_VERSION};
 use lazydram::workloads::by_name;
 use lazydram::{Scheme, SimBuilder};
 
 /// `(SEMANTICS_VERSION, golden digest)` — see the module docs for the
-/// re-pin protocol.
-const PINNED: (u64, u64) = (1, 0x413d50ecf773609f);
+/// re-pin protocol. (The digest covers stored bytes, so `STORE_VERSION`
+/// bumps re-pin it too; v3 re-pin carried no behavior change — the
+/// default-machine cells were byte-identical across the bump.)
+const PINNED: (u64, u64) = (1, 0xd2c685aaa0c7f114);
+
+/// One golden cell per non-default memory backend: SCP under the headline
+/// scheme on each new backend model. A drifting digest here with a clean
+/// [`PINNED`] means only the new backends changed behavior — same re-pin
+/// protocol, scoped to the named backend.
+const PINNED_BACKENDS: [(DramPreset, u64); 4] = [
+    (DramPreset::Naive, 0x9b3eea56c5980d17),
+    (DramPreset::Ddr4, 0x7a077a259977b513),
+    (DramPreset::Lpddr4, 0x0b8861394b8dd44f),
+    (DramPreset::Flex, 0x4584e5a18ecf97d0),
+];
 
 fn cell(app: &str, scheme: Scheme) -> Measurement {
+    preset_cell(app, scheme, DramPreset::Gddr5)
+}
+
+fn preset_cell(app: &str, scheme: Scheme, preset: DramPreset) -> Measurement {
     let app = by_name(app).expect("known app");
-    let run = SimBuilder::new(&app).scheme(scheme).scale(0.05).build();
+    let run = SimBuilder::new(&app).preset(preset).scheme(scheme).scale(0.05).build();
     let exact = run.exact_output();
     measure(&run, &exact)
 }
@@ -64,4 +81,16 @@ fn semantics_version_pins_golden_outputs() {
          invalidates all cached results) and re-pin PINNED in this test; \
          otherwise find and fix the regression."
     );
+}
+
+#[test]
+fn backend_semantics_pin_golden_outputs() {
+    for (preset, pinned) in PINNED_BACKENDS {
+        let m = preset_cell("SCP", Scheme::DynCombo, preset);
+        let h = digest(&encode_entry(0, &m));
+        assert_eq!(
+            h, pinned,
+            "backend {preset} drifted from its pinned golden cell              (got digest {h:#018x}); follow the re-pin protocol in the              module docs"
+        );
+    }
 }

@@ -1,19 +1,19 @@
-//! HBM configurations and alternative scheduler baselines, end to end.
+//! Memory-technology presets and alternative scheduler baselines, end to end.
 
-use lazydram::common::{Arbiter, GpuConfig, RowPolicy, SchedConfig};
+use lazydram::common::{Arbiter, DramPreset, GpuConfig, RowPolicy, SchedConfig};
 use lazydram::workloads::{by_name, run_app};
 
 const SCALE: f64 = 0.05;
 
 #[test]
-fn hbm_configurations_run_and_preserve_outputs() {
+fn backend_presets_run_and_preserve_outputs() {
     let app = by_name("meanfilter").expect("app");
     let exact = lazydram::workloads::exact_output(&app, SCALE);
-    for cfg in [GpuConfig::hbm1(), GpuConfig::hbm2()] {
-        let r = run_app(&app, &cfg, &SchedConfig::baseline(), SCALE);
-        assert!(!r.hit_cycle_limit);
-        assert_eq!(r.output, exact, "timing config must not change values");
-        assert!(r.stats.dram.activations > 0);
+    for preset in DramPreset::ALL {
+        let r = run_app(&app, &preset.gpu_config(), &SchedConfig::baseline(), SCALE);
+        assert!(!r.hit_cycle_limit, "{preset}");
+        assert_eq!(r.output, exact, "{preset}: memory model must not change values");
+        assert!(r.stats.dram.activations > 0, "{preset}");
     }
 }
 

@@ -156,6 +156,43 @@ LAZYDRAM_CACHE_DIR="$CKPT_TMP/cache" LAZYDRAM_CACHE_MODE=require \
 cmp "$CKPT_TMP/cc.jsonl" "$CKPT_TMP/cr.jsonl"
 echo "cold + warm + require-mode sweeps byte-identical; warm run hit the store"
 
+echo "== tier1: memory-backend matrix smoke =="
+# The MemoryBackend trait (PR 10) must be (a) sweepable: the fig04/SCP
+# sweep runs green under every LAZYDRAM_BACKEND label; (b) invisible by
+# default: an explicit LAZYDRAM_BACKEND=gddr5 run is byte-identical to an
+# unset-env run; (c) byte-identical to the pre-trait model: the full fig04
+# and fig12 harnesses reproduce the stdout + JSONL captured at the revision
+# before the trait extraction (crates/bench/captures/pre_pr10/).
+for backend in gddr5 hbm1 hbm2 ddr4 lpddr4 naive flex; do
+    LAZYDRAM_APPS=SCP LAZYDRAM_SCALE=0.05 LAZYDRAM_QUIET=1 \
+    LAZYDRAM_BACKEND="$backend" \
+    LAZYDRAM_RESULTS="$CKPT_TMP/be_$backend.jsonl" \
+        cargo bench -q -p lazydram-bench --bench fig04_delay_sweep \
+        > "$CKPT_TMP/be_$backend.out"
+    if grep -q '"record":"failure"' "$CKPT_TMP/be_$backend.jsonl"; then
+        echo "backend $backend produced failure records" >&2; exit 1
+    fi
+done
+LAZYDRAM_APPS=SCP LAZYDRAM_SCALE=0.05 LAZYDRAM_QUIET=1 \
+LAZYDRAM_RESULTS="$CKPT_TMP/be_default.jsonl" \
+    cargo bench -q -p lazydram-bench --bench fig04_delay_sweep \
+    > "$CKPT_TMP/be_default.out"
+cmp "$CKPT_TMP/be_default.jsonl" "$CKPT_TMP/be_gddr5.jsonl"
+cmp "$CKPT_TMP/be_default.out" "$CKPT_TMP/be_gddr5.out"
+LAZYDRAM_SCALE=0.05 LAZYDRAM_QUIET=1 \
+LAZYDRAM_RESULTS="$CKPT_TMP/pre10_fig04.jsonl" \
+    cargo bench -q -p lazydram-bench --bench fig04_delay_sweep \
+    > "$CKPT_TMP/pre10_fig04.out"
+cmp "$CKPT_TMP/pre10_fig04.out" crates/bench/captures/pre_pr10/fig04.out
+cmp "$CKPT_TMP/pre10_fig04.jsonl" crates/bench/captures/pre_pr10/fig04.jsonl
+LAZYDRAM_SCALE=0.05 LAZYDRAM_QUIET=1 \
+LAZYDRAM_RESULTS="$CKPT_TMP/pre10_fig12.jsonl" \
+    cargo bench -q -p lazydram-bench --bench fig12_main \
+    > "$CKPT_TMP/pre10_fig12.out"
+cmp "$CKPT_TMP/pre10_fig12.out" crates/bench/captures/pre_pr10/fig12.out
+cmp "$CKPT_TMP/pre10_fig12.jsonl" crates/bench/captures/pre_pr10/fig12.jsonl
+echo "all 7 backends green; GDDR5 default byte-identical to pre-trait captures"
+
 echo "== tier1: divergence-bisection smoke =="
 # The bisection tool must find a concrete first divergent cycle between two
 # Static-DMS delays on SLA (it exercises run_until/resume_until chaining).
@@ -187,6 +224,9 @@ echo "== tier1: timed smoke sweep (BENCH_PR4.json) =="
 # Finally it distils the PR 9 trajectory (BENCH_PR9.json): per-app ratios
 # vs pre_pr9.tsv, the idle/compute skip split, and the sm_issue phase
 # wall clock against the pre-PR column recorded in the baseline file.
+# The PR 10 gate (BENCH_PR10.json) compares the same rows against
+# pre_pr10.tsv — recorded immediately before the MemoryBackend trait — with
+# a tight 1.15x cap: static enum dispatch is supposed to be free.
 if [ "$(nproc 2>/dev/null || echo 1)" -gt 1 ]; then
     export LAZYDRAM_MIN_CORES_SPEEDUP="${LAZYDRAM_MIN_CORES_SPEEDUP:-2.0}"
 fi
@@ -200,6 +240,8 @@ LAZYDRAM_MAX_CORES_OVERHEAD="${LAZYDRAM_MAX_CORES_OVERHEAD:-1.15}" \
 LAZYDRAM_CACHE_BENCH_OUT="${LAZYDRAM_CACHE_BENCH_OUT:-$PWD/BENCH_PR8.json}" \
 LAZYDRAM_MIN_CACHE_SPEEDUP="${LAZYDRAM_MIN_CACHE_SPEEDUP:-10}" \
 LAZYDRAM_PR9_BENCH_OUT="${LAZYDRAM_PR9_BENCH_OUT:-$PWD/BENCH_PR9.json}" \
+LAZYDRAM_PR10_BENCH_OUT="${LAZYDRAM_PR10_BENCH_OUT:-$PWD/BENCH_PR10.json}" \
+LAZYDRAM_MAX_PR10_REGRESSION="${LAZYDRAM_MAX_PR10_REGRESSION:-1.15}" \
     cargo bench -q -p lazydram-bench --bench perf_smoke --features prof
 
 echo "== tier1: OK =="
